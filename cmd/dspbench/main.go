@@ -1,0 +1,140 @@
+// Command dspbench regenerates the paper's evaluation: Figure 7
+// (kernel gains under CB partitioning vs the dual-ported Ideal),
+// Figure 8 (application gains under CB, profiled weights, partial
+// duplication, and Ideal), and Table 3 (performance/cost trade-offs).
+//
+// Usage:
+//
+//	dspbench [-fig7] [-fig8] [-table3] [-all] [-bench name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+	"dualbank/internal/pipeline"
+)
+
+func main() {
+	fig7 := flag.Bool("fig7", false, "run the kernel experiment (Figure 7)")
+	fig8 := flag.Bool("fig8", false, "run the application experiment (Figure 8)")
+	table3 := flag.Bool("table3", false, "run the performance/cost table (Table 3)")
+	orgs := flag.Bool("organizations", false, "compare memory organisations (low-order vs high-order vs dual-ported)")
+	tables := flag.Bool("tables", false, "print the benchmark inventories (Tables 1 and 2)")
+	sweep := flag.Bool("sweep", false, "sweep FIR filter order vs CB gain")
+	all := flag.Bool("all", false, "run everything")
+	one := flag.String("bench", "", "run a single benchmark across all modes")
+	selective := flag.String("selective", "", "run PCR-driven selective duplication on one benchmark")
+	list := flag.Bool("list", false, "list benchmark names")
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *selective != "" {
+		runSelective(*selective)
+		return
+	}
+	if *one != "" {
+		runOne(*one)
+		return
+	}
+	if !*fig7 && !*fig8 && !*table3 && !*orgs && !*tables && !*sweep {
+		*all = true
+	}
+	if *tables || *all {
+		fmt.Println(bench.RenderTables())
+	}
+	if *fig7 || *all {
+		rows, err := bench.Figure7()
+		check(err)
+		fmt.Println(bench.RenderFigure(
+			"Figure 7: Performance Gain for DSP Kernels (over single-bank baseline)",
+			rows, bench.Figure7Modes))
+	}
+	if *fig8 || *all {
+		rows, err := bench.Figure8()
+		check(err)
+		fmt.Println(bench.RenderFigure(
+			"Figure 8: Performance Gain for DSP Applications (over single-bank baseline)",
+			rows, bench.Figure8Modes))
+	}
+	if *table3 || *all {
+		rows, err := bench.Table3()
+		check(err)
+		fmt.Println(bench.RenderTable3(rows))
+	}
+	if *orgs || *all {
+		rows, err := bench.Organizations()
+		check(err)
+		fmt.Println(bench.RenderFigure(
+			"Memory organisations: low-order interleaved (hardware conflict stalls) vs high-order banked (CB/Dup) vs dual-ported",
+			rows, bench.OrganizationModes))
+	}
+	if *sweep || *all {
+		rows, err := bench.SweepFIR([]int{8, 16, 32, 64, 128, 256}, 16)
+		check(err)
+		fmt.Println(bench.RenderSweep("FIR order sensitivity: CB gain vs filter length (16 samples)", rows))
+	}
+}
+
+func runOne(name string) {
+	p, ok := bench.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dspbench: unknown benchmark %q (use -list)\n", name)
+		os.Exit(2)
+	}
+	modes := []alloc.Mode{
+		alloc.SingleBank, alloc.CB, alloc.CBProfiled,
+		alloc.CBDup, alloc.FullDup, alloc.Ideal,
+	}
+	var base bench.Result
+	for _, m := range modes {
+		res, err := bench.Run(p, m)
+		check(err)
+		if m == alloc.SingleBank {
+			base = res
+			fmt.Printf("%-12s cycles=%-10d cost=%d\n", m, res.Cycles, res.Mem.Total())
+			continue
+		}
+		fmt.Printf("%-12s cycles=%-10d gain=%+6.1f%% cost=%-8d dupStores=%d dup=%v\n",
+			m, res.Cycles, bench.Gain(base, res), res.Mem.Total(), res.DupStores, res.Duplicated)
+	}
+}
+
+// runSelective demonstrates the paper's §5 refinement: duplicate only
+// the arrays whose performance gain justifies their memory cost.
+func runSelective(name string) {
+	p, ok := bench.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dspbench: unknown benchmark %q (use -list)\n", name)
+		os.Exit(2)
+	}
+	res, err := pipeline.CompileSelective(p.Source, p.Name, pipeline.SelectiveOptions{})
+	check(err)
+	fmt.Printf("selective duplication for %s\n", p.Name)
+	fmt.Printf("plain CB: %d cycles, PCR %.3f\n", res.BaseCycles, res.BasePCR)
+	fmt.Printf("candidates: %v\n", res.Candidates)
+	for _, tr := range res.Trials {
+		verdict := "rejected"
+		if tr.Kept {
+			verdict = "kept"
+		}
+		fmt.Printf("  %-10s %-8s cycles=%-8d PG=%.2f CI=%.2f PCR=%.3f  (%s)\n",
+			tr.Symbol, verdict, tr.Cycles, tr.PG, tr.CI, tr.PCR, tr.Reason)
+	}
+	fmt.Printf("chosen: %v\n", res.Chosen)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Command dspcc is the MiniC compiler driver: it compiles a source
+// file for the dual-bank VLIW model DSP and prints the resulting IR,
+// interference graph, data partition, or VLIW assembly.
+//
+// Usage:
+//
+//	dspcc [-mode cb|pr|dup|fulldup|ideal|single] [-dump ir|graph|asm|all] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dualbank/internal/advise"
+	"dualbank/internal/alloc"
+	"dualbank/internal/asm"
+	"dualbank/internal/encode"
+	"dualbank/internal/pipeline"
+)
+
+var modeNames = map[string]alloc.Mode{
+	"single":   alloc.SingleBank,
+	"cb":       alloc.CB,
+	"pr":       alloc.CBProfiled,
+	"dup":      alloc.CBDup,
+	"fulldup":  alloc.FullDup,
+	"ideal":    alloc.Ideal,
+	"loworder": alloc.LowOrder,
+}
+
+func main() {
+	mode := flag.String("mode", "cb", "data allocation mode: single, cb, pr, dup, fulldup, ideal, loworder")
+	dump := flag.String("dump", "asm", "what to print: ir, graph, asm, stats, advise, all")
+	out := flag.String("o", "", "write a binary ROM image to this file (run it with dspsim -image)")
+	flag.Parse()
+
+	m, ok := modeNames[*mode]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dspcc: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	src, name, err := readSource(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspcc:", err)
+		os.Exit(1)
+	}
+	c, err := pipeline.Compile(src, name, pipeline.Options{Mode: m})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspcc:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		img, err := encode.Encode(c.Sched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dspcc:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, img, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dspcc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes, %d instructions)\n", *out, len(img), c.Sched.StaticInstrs())
+	}
+	show := func(what string) bool { return *dump == what || *dump == "all" }
+	if show("ir") {
+		fmt.Print(c.IR.String())
+	}
+	if show("graph") {
+		if c.Alloc.Graph != nil {
+			fmt.Println("interference graph:")
+			fmt.Print(c.Alloc.Graph.String())
+			fmt.Println("partition:")
+			fmt.Println(c.Alloc.Part.String())
+		} else {
+			fmt.Printf("mode %s builds no interference graph\n", c.Alloc.Mode)
+		}
+	}
+	if show("asm") {
+		fmt.Print(asm.Print(c.Sched))
+	}
+	if show("advise") {
+		fmt.Print(advise.Report(c))
+	}
+	if show("stats") || show("all") {
+		fmt.Printf("\n; mode=%s dupStores=%d X=%d+%d Y=%d+%d words\n",
+			c.Alloc.Mode, c.Alloc.DupStores,
+			c.Alloc.DupWords+c.Alloc.GlobalX, c.Alloc.StackX,
+			c.Alloc.DupWords+c.Alloc.GlobalY, c.Alloc.StackY)
+		fmt.Print(c.Sched.StaticStats())
+	}
+}
+
+func readSource(args []string) (src, name string, err error) {
+	if len(args) == 0 || args[0] == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), "stdin", err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), args[0], err
+}

@@ -1,0 +1,132 @@
+// Command dspsim compiles a MiniC program and executes it on the
+// dual-bank VLIW instruction-set simulator, reporting the cycle count
+// and, optionally, the contents of named global arrays.
+//
+// Usage:
+//
+//	dspsim [-mode cb|...] [-print global[:n]] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/compact"
+	"dualbank/internal/encode"
+	"dualbank/internal/ir"
+	"dualbank/internal/pipeline"
+	"dualbank/internal/sim"
+)
+
+var modeNames = map[string]alloc.Mode{
+	"single":   alloc.SingleBank,
+	"cb":       alloc.CB,
+	"pr":       alloc.CBProfiled,
+	"dup":      alloc.CBDup,
+	"fulldup":  alloc.FullDup,
+	"ideal":    alloc.Ideal,
+	"loworder": alloc.LowOrder,
+}
+
+func main() {
+	mode := flag.String("mode", "cb", "data allocation mode: single, cb, pr, dup, fulldup, ideal, loworder")
+	print := flag.String("print", "", "comma-separated globals to dump after the run (name or name:count)")
+	image := flag.Bool("image", false, "the input is a binary ROM image produced by dspcc -o")
+	trace := flag.Bool("trace", false, "print one line per retired long instruction")
+	flag.Parse()
+
+	m, ok := modeNames[*mode]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dspsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var data []byte
+	var err error
+	name := "stdin"
+	if flag.NArg() == 0 || flag.Arg(0) == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		name = flag.Arg(0)
+		data, err = os.ReadFile(name)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspsim:", err)
+		os.Exit(1)
+	}
+
+	var sched *compact.Program
+	var globals []*ir.Symbol
+	if *image {
+		sched, err = encode.Decode(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dspsim:", err)
+			os.Exit(1)
+		}
+		globals = sched.Src.Globals
+	} else {
+		c, err := pipeline.Compile(string(data), name, pipeline.Options{Mode: m})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dspsim:", err)
+			os.Exit(1)
+		}
+		sched = c.Sched
+		globals = c.IR.Globals
+	}
+
+	mach := sim.NewMachine(sched)
+	if *trace {
+		mach.Trace = os.Stdout
+	}
+	if err := mach.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dspsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ports=%-11s cycles=%d ops=%d instrs=%d dualmem=%d conflicts=%d\n",
+		sched.Ports, mach.Cycles, mach.OpsExecuted, sched.StaticInstrs(),
+		mach.DualMemCycles, mach.BankConflicts)
+
+	if *print == "" {
+		return
+	}
+	byName := func(n string) *ir.Symbol {
+		for _, g := range globals {
+			if g.Name == n {
+				return g
+			}
+		}
+		return nil
+	}
+	for _, spec := range strings.Split(*print, ",") {
+		gname, count := spec, 8
+		if i := strings.IndexByte(spec, ':'); i >= 0 {
+			gname = spec[:i]
+			if n, err := strconv.Atoi(spec[i+1:]); err == nil {
+				count = n
+			}
+		}
+		g := byName(gname)
+		if g == nil {
+			fmt.Fprintf(os.Stderr, "dspsim: no global %q\n", gname)
+			continue
+		}
+		if count > g.Size {
+			count = g.Size
+		}
+		fmt.Printf("%s[0:%d] =", gname, count)
+		for i := 0; i < count; i++ {
+			if g.Elem == ir.TFloat {
+				v, _ := mach.Float32(g, i)
+				fmt.Printf(" %g", v)
+			} else {
+				v, _ := mach.Int32(g, i)
+				fmt.Printf(" %d", v)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,92 @@
+// Package dualbank is a reproduction of "Exploiting Dual Data-Memory
+// Banks in Digital Signal Processors" (Saghir, Chow & Lee, ASPLOS-VII,
+// 1996): an optimizing compiler for a C subset (MiniC) targeting a
+// nine-unit VLIW model DSP with two single-ported, high-order
+// interleaved data-memory banks, together with an instruction-set
+// simulator and the paper's benchmark suite.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/core — the paper's contribution: compaction-based (CB)
+//     data partitioning and partial-data-duplication analysis.
+//   - internal/minic, internal/lower, internal/opt,
+//     internal/regalloc, internal/alloc, internal/compact — the
+//     compiler pipeline.
+//   - internal/sim — the IR interpreter and the VLIW machine simulator.
+//   - internal/bench — the Table 1/2 benchmark suites and the
+//     harnesses regenerating Figure 7, Figure 8 and Table 3.
+//
+// Quick start:
+//
+//	c, err := dualbank.Compile(src, "fir", dualbank.Options{Mode: dualbank.CB})
+//	m, err := c.Run()
+//	fmt.Println(m.Cycles)
+package dualbank
+
+import (
+	"dualbank/internal/alloc"
+	"dualbank/internal/asm"
+	"dualbank/internal/opt"
+	"dualbank/internal/pipeline"
+	"dualbank/internal/sim"
+)
+
+// Mode selects the data-allocation strategy — the experiment arms of
+// the paper's evaluation.
+type Mode = alloc.Mode
+
+// The available allocation modes.
+const (
+	// SingleBank places all data in bank X (the unoptimized baseline).
+	SingleBank = alloc.SingleBank
+	// CB is compaction-based partitioning with static loop-depth
+	// weights (§3.1).
+	CB = alloc.CB
+	// Profiled is CB with profile-driven edge weights (Pr in Figure 8).
+	Profiled = alloc.CBProfiled
+	// Duplication is CB plus partial data duplication (§3.2).
+	Duplication = alloc.CBDup
+	// FullDuplication replicates every variable in both banks.
+	FullDuplication = alloc.FullDup
+	// Ideal models dual-ported memory cells, the paper's upper bound.
+	Ideal = alloc.Ideal
+	// LowOrder models a low-order-interleaved memory with run-time
+	// conflict stalls — the organisation the paper argues against.
+	LowOrder = alloc.LowOrder
+)
+
+// Options configures compilation.
+type Options struct {
+	// Mode is the data-allocation strategy (default SingleBank).
+	Mode Mode
+	// InterruptSafe makes duplicated-store pairs commit atomically in
+	// one instruction (the store-lock/store-unlock discipline of §3.2).
+	InterruptSafe bool
+	// DisableMACFusion, DisableLoopShaping and DisableStrengthReduce
+	// turn off individual optimizer features, for ablation studies.
+	DisableMACFusion      bool
+	DisableLoopShaping    bool
+	DisableStrengthReduce bool
+}
+
+// Compiled is a compiled program; see pipeline.Compiled.
+type Compiled = pipeline.Compiled
+
+// Machine is the VLIW simulator state after a run; see sim.Machine.
+type Machine = sim.Machine
+
+// Compile builds MiniC source into scheduled VLIW code.
+func Compile(source, name string, o Options) (*Compiled, error) {
+	return pipeline.Compile(source, name, pipeline.Options{
+		Mode:          o.Mode,
+		InterruptSafe: o.InterruptSafe,
+		Opt: opt.Options{
+			NoMACFusion:      o.DisableMACFusion,
+			NoLoopShaping:    o.DisableLoopShaping,
+			NoStrengthReduce: o.DisableStrengthReduce,
+		},
+	})
+}
+
+// Assembly renders a compiled program as VLIW assembly text.
+func Assembly(c *Compiled) string { return asm.Print(c.Sched) }

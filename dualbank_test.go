@@ -1,0 +1,124 @@
+package dualbank_test
+
+import (
+	"strings"
+	"testing"
+
+	"dualbank"
+)
+
+const facadeSrc = `
+float A[16] = {1.0, 2.0};
+float B[16] = {0.5};
+float sum;
+void main() {
+	int i;
+	float s = 0.0;
+	for (i = 0; i < 16; i++) {
+		s += A[i] * B[i];
+	}
+	sum = s;
+}
+`
+
+func TestFacadeCompileAndRun(t *testing.T) {
+	c, err := dualbank.Compile(facadeSrc, "fir", dualbank.Options{Mode: dualbank.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Float32(c.Global("sum"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("sum = %g, want 0.5", got)
+	}
+	if m.Cycles <= 0 {
+		t.Fatal("no cycles counted")
+	}
+}
+
+func TestFacadeAssembly(t *testing.T) {
+	c, err := dualbank.Compile(facadeSrc, "fir", dualbank.Options{Mode: dualbank.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dualbank.Assembly(c)
+	for _, want := range []string{"main:", "MU0:", "MU1:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("assembly missing %q", want)
+		}
+	}
+}
+
+func TestFacadeModesDiffer(t *testing.T) {
+	cycles := map[dualbank.Mode]int64{}
+	for _, mode := range []dualbank.Mode{
+		dualbank.SingleBank, dualbank.CB, dualbank.Profiled,
+		dualbank.Duplication, dualbank.FullDuplication,
+		dualbank.Ideal, dualbank.LowOrder,
+	} {
+		c, err := dualbank.Compile(facadeSrc, "fir", dualbank.Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		m, err := c.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		cycles[mode] = m.Cycles
+	}
+	if cycles[dualbank.CB] >= cycles[dualbank.SingleBank] {
+		t.Errorf("CB (%d) not faster than single-bank (%d)",
+			cycles[dualbank.CB], cycles[dualbank.SingleBank])
+	}
+	if cycles[dualbank.Ideal] > cycles[dualbank.CB] {
+		t.Errorf("Ideal (%d) slower than CB (%d)", cycles[dualbank.Ideal], cycles[dualbank.CB])
+	}
+}
+
+func TestFacadeAblationOptions(t *testing.T) {
+	full, err := dualbank.Compile(facadeSrc, "fir", dualbank.Options{Mode: dualbank.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crippled, err := dualbank.Compile(facadeSrc, "fir", dualbank.Options{
+		Mode:                  dualbank.CB,
+		DisableMACFusion:      true,
+		DisableLoopShaping:    true,
+		DisableStrengthReduce: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := crippled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Cycles <= mf.Cycles {
+		t.Errorf("disabling optimizations did not cost cycles (%d vs %d)", mc.Cycles, mf.Cycles)
+	}
+	// Results must be identical either way.
+	a, _ := mf.Float32(full.Global("sum"), 0)
+	b, _ := mc.Float32(crippled.Global("sum"), 0)
+	if a != b {
+		t.Errorf("ablation changed the result: %g vs %g", a, b)
+	}
+}
+
+func TestFacadeCompileError(t *testing.T) {
+	if _, err := dualbank.Compile("int x = ;", "bad", dualbank.Options{}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := dualbank.Compile("int x;", "nomain", dualbank.Options{}); err == nil {
+		t.Fatal("program without main accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// This example walks through the paper's flagship result (§3.2 and
+// Figure 6): the LPC autocorrelation loop
+//
+//	R[m] += s[n] * s[n+m]
+//
+// reads two elements of the *same* array at once, so no assignment of
+// arrays to banks can make the accesses parallel — only duplicating
+// the array in both banks (or dual-ported memory) can. The example
+// compiles the lpc application benchmark under every mode, shows which
+// symbol the compiler marks for duplication, and reports the gains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualbank"
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+)
+
+func main() {
+	p, _ := bench.ByName("lpc")
+
+	fmt.Println("The Figure 6 loop (from the lpc benchmark source):")
+	fmt.Println()
+	fmt.Println("    for (i = 0; i < lim; i++) {")
+	fmt.Println("        acc += s[i] * s[i + m];")
+	fmt.Println("    }")
+	fmt.Println()
+
+	// Show what the analysis finds.
+	c, err := dualbank.Compile(p.Source, "lpc", dualbank.Options{Mode: dualbank.Duplication})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Symbols the compaction-based analysis marks for duplication:")
+	for _, s := range c.Alloc.Duplicated {
+		fmt.Printf("  %s (%d words) — now present in both banks at address %d\n",
+			s.Name, s.Size, s.Addr)
+	}
+	fmt.Printf("Coherence stores inserted: %d\n\n", c.Alloc.DupStores)
+
+	base, err := bench.Run(p, alloc.SingleBank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %10s %8s\n", "mode", "cycles", "gain")
+	fmt.Printf("%-22s %10d %8s\n", "single bank", base.Cycles, "--")
+	for _, mode := range []alloc.Mode{alloc.CB, alloc.CBDup, alloc.Ideal} {
+		res, err := bench.Run(p, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10d %+7.1f%%\n", label(mode), res.Cycles, bench.Gain(base, res))
+	}
+	fmt.Println()
+	fmt.Println("CB partitioning alone barely helps lpc: its hot loop's two")
+	fmt.Println("accesses hit one array. Partial duplication recovers nearly")
+	fmt.Println("all of the dual-ported ideal — the paper's 3% -> 34% result.")
+}
+
+func label(m alloc.Mode) string {
+	switch m {
+	case alloc.CB:
+		return "CB partitioning"
+	case alloc.CBDup:
+		return "CB + duplication"
+	case alloc.Ideal:
+		return "ideal (dual-ported)"
+	}
+	return m.String()
+}

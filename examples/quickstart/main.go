@@ -1,0 +1,58 @@
+// Quickstart reproduces Figure 1 of the paper: an N-th order FIR
+// filter written in C, compiled for the dual-bank VLIW DSP. It prints
+// the VLIW assembly under the single-bank baseline and under
+// compaction-based partitioning — showing the two arrays landing in
+// opposite banks and their loads pairing into one long instruction —
+// and compares simulated cycle counts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualbank"
+)
+
+const src = `
+float A[64] = {1.0, 2.0, 3.0, 4.0};   // remaining elements are zero
+float B[64] = {0.5, 0.25, 0.125};
+float sum;
+
+void main() {
+	int i;
+	float s = 0.0;
+	for (i = 0; i < 64; i++) {
+		s += A[i] * B[i];
+	}
+	sum = s;
+}
+`
+
+func main() {
+	fmt.Println("Figure 1: N-th order FIR filter, sum += A[i]*B[i]")
+	fmt.Println()
+
+	var cycles [2]int64
+	for i, mode := range []dualbank.Mode{dualbank.SingleBank, dualbank.CB} {
+		c, err := dualbank.Compile(src, "fir", dualbank.Options{Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := c.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles[i] = m.Cycles
+		sum, err := m.Float32(c.Global("sum"), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== mode %s: %d cycles, sum = %g ===\n", mode, m.Cycles, sum)
+		fmt.Println(dualbank.Assembly(c))
+	}
+	fmt.Printf("CB partitioning speedup over single bank: %.2fx\n",
+		float64(cycles[0])/float64(cycles[1]))
+	fmt.Println("Note how A and B occupy different banks under CB, so the")
+	fmt.Println("inner loop issues both element loads in one instruction —")
+	fmt.Println("the dual-bank parallel move of the DSP56001 listing in Figure 1(b).")
+}

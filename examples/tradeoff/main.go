@@ -1,0 +1,52 @@
+// Tradeoff explores the performance/cost frontier of §4.2: for a
+// chosen application it evaluates every allocation strategy, applies
+// the paper's first-order cost model (Cost = X + Y + 2S + I), and
+// prints the Performance Gain, Cost Increase, and Performance/Cost
+// Ratio of each — the per-application view of Table 3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+	"dualbank/internal/cost"
+)
+
+func main() {
+	name := flag.String("bench", "lpc", "application benchmark to explore (see dspbench -list)")
+	flag.Parse()
+
+	p, ok := bench.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown benchmark %q; available: %s", *name, strings.Join(bench.Names(), ", "))
+	}
+	base, err := bench.Run(p, alloc.SingleBank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Performance/cost frontier for %s\n", p.Name)
+	fmt.Printf("baseline: %d cycles, cost %d words (X=%d Y=%d stack=%d instr=%d)\n\n",
+		base.Cycles, base.Mem.Total(), base.Mem.XData, base.Mem.YData, base.Mem.Stack, base.Mem.Instr)
+	fmt.Printf("%-14s %10s %6s %6s %6s %6s   %s\n",
+		"mode", "cycles", "PG", "CI", "PCR", "cost", "duplicated")
+	for _, mode := range []alloc.Mode{
+		alloc.CB, alloc.CBProfiled, alloc.CBDup, alloc.FullDup, alloc.Ideal,
+	} {
+		res, err := bench.Run(p, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := cost.Compare(base.Cycles, res.Cycles, base.Mem, res.Mem)
+		fmt.Printf("%-14s %10d %6.2f %6.2f %6.2f %6d   %s\n",
+			mode, res.Cycles, m.PG, m.CI, m.PCR, res.Mem.Total(),
+			strings.Join(res.Duplicated, ","))
+	}
+	fmt.Println()
+	fmt.Println("PCR > 1 means the speedup outweighs the memory cost; the paper")
+	fmt.Println("uses this to argue full duplication is never cost-effective while")
+	fmt.Println("partitioning (and selective duplication) usually is.")
+}

@@ -1,0 +1,3 @@
+module dualbank
+
+go 1.22

@@ -1,0 +1,110 @@
+package advise_test
+
+import (
+	"strings"
+	"testing"
+
+	"dualbank/internal/advise"
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+	"dualbank/internal/pipeline"
+)
+
+func report(t *testing.T, name string, mode alloc.Mode) string {
+	t.Helper()
+	p, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("no benchmark %q", name)
+	}
+	c, err := pipeline.Compile(p.Source, name, pipeline.Options{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return advise.Report(c)
+}
+
+func TestReportLpcNamesDuplicationCandidate(t *testing.T) {
+	out := report(t, "lpc", alloc.CB)
+	for _, want := range []string{
+		"Data-allocation report for lpc",
+		"Bank X:", "Bank Y:",
+		"Same-array parallel accesses",
+		"s ", // the frame buffer
+		"coherence store per write",
+		"hint: compile with partial duplication",
+		"Static schedule utilization",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportDupModeShowsStatus(t *testing.T) {
+	out := report(t, "lpc", alloc.CBDup)
+	if !strings.Contains(out, "(duplicated)") {
+		t.Errorf("report does not show duplicated status:\n%s", out)
+	}
+	if strings.Contains(out, "hint: compile with partial duplication") {
+		t.Errorf("hint shown although duplication is already on:\n%s", out)
+	}
+}
+
+func TestReportReadOnlyNote(t *testing.T) {
+	// A read-only array with same-array parallel reads: duplication is
+	// free of coherence stores, and the report should say so.
+	src := `
+float tbl[32] = {1.0, 2.0, 3.0};
+float r;
+void main() {
+	int i;
+	float acc = 0.0;
+	for (i = 0; i < 16; i++) {
+		acc += tbl[i] * tbl[i + 16];
+	}
+	r = acc;
+}
+`
+	c, err := pipeline.Compile(src, "rotab", pipeline.Options{Mode: alloc.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := advise.Report(c)
+	if !strings.Contains(out, "READ-ONLY") {
+		t.Errorf("report misses the read-only observation:\n%s", out)
+	}
+}
+
+func TestReportNoAnalysisModes(t *testing.T) {
+	out := report(t, "histogram", alloc.SingleBank)
+	if !strings.Contains(out, "performs no partitioning analysis") {
+		t.Errorf("single-bank report should say no analysis ran:\n%s", out)
+	}
+}
+
+func TestReportResidualEdges(t *testing.T) {
+	// Three arrays pairwise co-accessed: any bipartition leaves one
+	// pair co-resident, which the report must surface.
+	src := `
+float a[8] = {1.0};
+float b[8] = {2.0};
+float c[8] = {3.0};
+float r;
+void main() {
+	int i;
+	float acc = 0.0;
+	for (i = 0; i < 8; i++) {
+		acc += a[i] * b[i] + c[i];
+	}
+	r = acc;
+}
+`
+	comp, err := pipeline.Compile(src, "tri", pipeline.Options{Mode: alloc.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := advise.Report(comp)
+	if !strings.Contains(out, "consider restructuring") {
+		t.Errorf("triangle graph should leave a residual edge:\n%s", out)
+	}
+}

@@ -1,0 +1,319 @@
+// Package alloc implements the data allocation pass of the paper's
+// back-end (§3). It runs after register allocation and before the
+// operation-compaction pass, and decides where every variable and array
+// lives:
+//
+//   - Under CB partitioning it builds the interference graph, runs the
+//     greedy min-cost bipartition, and assigns each symbol to bank X or
+//     bank Y. Callee-save slots are assigned to alternating banks
+//     mechanically, outside the graph, exactly as §3.1 prescribes.
+//   - Under partial duplication it additionally replicates every array
+//     the graph marked for duplication into both banks and inserts the
+//     coherence store that keeps the second copy current after each
+//     store to the first.
+//   - Full duplication replicates everything; the single-bank baseline
+//     and the Ideal dual-ported configuration disable partitioning.
+//
+// Finally the pass assigns word addresses. Duplicated symbols are laid
+// out first, at equal addresses in both banks, so one address (or one
+// frame offset) reaches either copy (§3.2); bank-private globals and
+// the static stack frames follow. Every memory operation is then
+// tagged with the bank holding its data, the information the
+// compaction pass uses to pick memory units.
+package alloc
+
+import (
+	"fmt"
+
+	"dualbank/internal/core"
+	"dualbank/internal/ir"
+	"dualbank/internal/machine"
+)
+
+// Mode selects the data-allocation strategy; these are the experiment
+// arms of Figures 7–8 and Table 3.
+type Mode int8
+
+const (
+	// SingleBank disables the allocation pass: all data in bank X.
+	// This is the paper's unoptimized reference.
+	SingleBank Mode = iota
+	// CB is compaction-based partitioning with static (loop-depth)
+	// edge weights.
+	CB
+	// CBProfiled is CB with profile-derived edge weights (Pr).
+	CBProfiled
+	// CBDup is CB plus partial data duplication (Dup).
+	CBDup
+	// FullDup duplicates every variable and array in both banks.
+	FullDup
+	// Ideal models dual-ported memory cells: placement is irrelevant
+	// because either memory unit reaches either bank.
+	Ideal
+	// LowOrder models the alternative memory organisation the paper
+	// argues against: consecutive addresses interleave across the
+	// banks, the compiler issues accesses pairwise and the hardware
+	// stalls a cycle on a run-time bank conflict. Used by the
+	// organisation-comparison study.
+	LowOrder
+)
+
+var modeNames = map[Mode]string{
+	SingleBank: "single-bank", CB: "CB", CBProfiled: "Pr",
+	CBDup: "Dup", FullDup: "full-dup", Ideal: "Ideal",
+	LowOrder: "low-order",
+}
+
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Mode(%d)", int8(m))
+}
+
+// Partitioned reports whether the mode runs the CB partitioner.
+func (m Mode) Partitioned() bool { return m == CB || m == CBProfiled || m == CBDup }
+
+// Options configures the pass.
+type Options struct {
+	Mode Mode
+	// InterruptSafe brackets each duplicated-store pair so both copies
+	// commit in one instruction (the store-lock/store-unlock discipline
+	// discussed in §3.2). Off by default, as in the paper's evaluation.
+	InterruptSafe bool
+	// DupFilter, when non-nil, restricts partial duplication (CBDup
+	// mode) to the marked arrays it accepts. The selective-duplication
+	// refinement of §5 uses this to trial individual candidates.
+	DupFilter func(*ir.Symbol) bool
+	// Method selects the graph-partitioning algorithm (greedy by
+	// default; Kernighan-Lin refinement and simulated annealing are
+	// available for the algorithm-comparison study).
+	Method core.Method
+}
+
+// Result describes the allocation for reporting and the cost model.
+type Result struct {
+	Mode  Mode
+	Graph *core.Graph     // nil unless the mode partitions
+	Part  *core.Partition // nil unless the mode partitions
+
+	Duplicated []*ir.Symbol
+	DupStores  int // coherence stores inserted
+
+	// Word accounting for the cost model: the shared duplicated region
+	// (present in both banks), per-bank globals, and per-bank static
+	// stack (locals, parameter slots, spills, save slots).
+	DupWords         int
+	GlobalX, GlobalY int
+	StackX, StackY   int
+
+	Ports machine.PortModel
+}
+
+// Run performs data allocation on p according to opts. It mutates
+// symbol bank/address assignments and memory-op tags, and inserts
+// coherence stores for duplicated data.
+func Run(p *ir.Program, opts Options) (*Result, error) {
+	res := &Result{Mode: opts.Mode, Ports: machine.PortsBanked}
+
+	switch opts.Mode {
+	case SingleBank:
+		for _, s := range p.Symbols() {
+			s.Bank = machine.BankX
+			s.Duplicated = false
+		}
+	case Ideal:
+		res.Ports = machine.PortsDualPorted
+		for _, s := range p.Symbols() {
+			s.Bank = machine.BankX
+			s.Duplicated = false
+		}
+	case LowOrder:
+		res.Ports = machine.PortsLowOrder
+		// Placement cannot steer banks: the bank is the address parity.
+		// Symbols are laid out flat; memory operations stay untagged
+		// and the scheduler pairs them freely, betting on the hardware.
+		for _, s := range p.Symbols() {
+			s.Bank = machine.BankNone
+			s.Duplicated = false
+		}
+	case FullDup:
+		for _, s := range p.Symbols() {
+			s.Bank = machine.BankBoth
+			s.Duplicated = true
+		}
+	case CB, CBProfiled, CBDup:
+		policy := core.WeightStatic
+		if opts.Mode == CBProfiled {
+			policy = core.WeightProfiled
+		}
+		g := core.BuildGraph(p, policy)
+		part := g.PartitionWith(opts.Method)
+		res.Graph, res.Part = g, part
+		for _, s := range part.SetX {
+			s.Bank = machine.BankX
+			s.Duplicated = false
+		}
+		for _, s := range part.SetY {
+			s.Bank = machine.BankY
+			s.Duplicated = false
+		}
+		if opts.Mode == CBDup {
+			// Partial duplication: replicate the arrays flagged while
+			// building the graph — those with simultaneous data-ready
+			// accesses that no partition can separate (Figure 6).
+			for _, s := range g.Nodes {
+				if g.DupMarks[s] && s.IsArray() {
+					if opts.DupFilter != nil && !opts.DupFilter(s) {
+						continue
+					}
+					s.Bank = machine.BankBoth
+					s.Duplicated = true
+				}
+			}
+		}
+		// Save/restore slots are partitioned mechanically: successive
+		// slots of each function alternate between the banks.
+		for _, f := range p.Funcs {
+			next := machine.BankX
+			for _, s := range f.Locals {
+				if !s.Save {
+					continue
+				}
+				s.Bank = next
+				s.Duplicated = false
+				next = next.Other()
+			}
+		}
+	default:
+		return nil, fmt.Errorf("alloc: unknown mode %v", opts.Mode)
+	}
+
+	insertCoherenceStores(p, opts, res)
+	tagMemOps(p)
+	if err := layout(p, res); err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(p); err != nil {
+		return nil, fmt.Errorf("alloc: %w", err)
+	}
+	return res, nil
+}
+
+// insertCoherenceStores doubles every store to a duplicated symbol:
+// the original targets the X copy and a clone, inserted immediately
+// after it, targets the Y copy. The two stores carry different bank
+// tags, so the dependence graph lets them issue in the same long
+// instruction when both memory units are free.
+func insertCoherenceStores(p *ir.Program, opts Options, res *Result) {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			var out []*ir.Op
+			for _, op := range b.Ops {
+				if op.Kind == ir.OpStore && op.Sym.Duplicated {
+					op.Bank = machine.BankX
+					clone := &ir.Op{
+						Kind: ir.OpStore,
+						Args: op.Args,
+						Idx:  op.Idx,
+						Sym:  op.Sym,
+						Bank: machine.BankY,
+					}
+					op.DupPair, clone.DupPair = clone, op
+					if opts.InterruptSafe {
+						op.Atomic, clone.Atomic = true, true
+					}
+					out = append(out, op, clone)
+					res.DupStores++
+					continue
+				}
+				out = append(out, op)
+			}
+			b.Ops = out
+		}
+	}
+	for _, s := range p.Symbols() {
+		if s.Duplicated {
+			res.Duplicated = append(res.Duplicated, s)
+		}
+	}
+}
+
+// tagMemOps stamps every remaining memory operation with its symbol's
+// bank. Loads from duplicated symbols stay BankBoth: the scheduler may
+// satisfy them from either copy.
+func tagMemOps(p *ir.Program) {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if !op.IsMem() {
+					continue
+				}
+				if op.Kind == ir.OpStore && op.Sym.Duplicated {
+					continue // already tagged by the expansion
+				}
+				op.Bank = op.Sym.Bank
+			}
+		}
+	}
+}
+
+// layout assigns word addresses: first the duplicated region (equal
+// addresses in both banks), then each bank's globals, then the static
+// stack frames.
+func layout(p *ir.Program, res *Result) error {
+	cursorDup := 0
+	for _, s := range p.Symbols() {
+		if s.Duplicated {
+			s.Addr = cursorDup
+			cursorDup += s.Size
+		}
+	}
+	res.DupWords = cursorDup
+
+	x, y := cursorDup, cursorDup
+	place := func(s *ir.Symbol) {
+		switch s.Bank {
+		case machine.BankY:
+			s.Addr = y
+			y += s.Size
+		default:
+			s.Addr = x
+			x += s.Size
+		}
+	}
+	for _, s := range p.Globals {
+		if !s.Duplicated {
+			place(s)
+		}
+	}
+	res.GlobalX, res.GlobalY = x-cursorDup, y-cursorDup
+
+	gx, gy := x, y
+	for _, f := range p.Funcs {
+		fx, fy := 0, 0
+		for _, s := range f.Locals {
+			if s.Duplicated {
+				continue
+			}
+			if s.Bank == machine.BankY {
+				fy += s.Size
+			} else {
+				fx += s.Size
+			}
+		}
+		f.FrameWordsX, f.FrameWordsY = fx, fy
+		for _, s := range f.Locals {
+			if !s.Duplicated {
+				place(s)
+			}
+		}
+	}
+	res.StackX, res.StackY = x-gx, y-gy
+
+	if x > machine.BankWords || y > machine.BankWords {
+		return fmt.Errorf("alloc: data exceeds bank capacity (X=%d Y=%d words, capacity %d)",
+			x, y, machine.BankWords)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/asm"
+	"dualbank/internal/pipeline"
+)
+
+const src = `
+float A[8] = {1.0};
+float B[8] = {2.0};
+float sum;
+void main() {
+	int i;
+	float s = 0.0;
+	for (i = 0; i < 8; i++) {
+		s += A[i] * B[i];
+	}
+	sum = s;
+}
+`
+
+func TestPrintContainsStructure(t *testing.T) {
+	c, err := pipeline.Compile(src, "fir", pipeline.Options{Mode: alloc.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := asm.Print(c.Sched)
+	for _, want := range []string{
+		"; program fir",
+		"banked",
+		"main:",
+		".main_b0:",
+		"MU0:",   // memory unit 0 in use
+		"MU1:",   // both banks active under CB
+		" || ",   // at least one packed instruction
+		"enddo",  // hardware loop
+		"fmac",   // fused multiply-accumulate
+		"bank=X", // symbol table comments
+		"bank=Y",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("assembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintFuncUnknown(t *testing.T) {
+	c, err := pipeline.Compile(src, "fir", pipeline.Options{Mode: alloc.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := asm.PrintFunc(c.Sched, "nope"); !strings.Contains(out, "no function") {
+		t.Errorf("PrintFunc on unknown = %q", out)
+	}
+}
+
+func TestPrintSingleBankUsesOnlyMU0(t *testing.T) {
+	c, err := pipeline.Compile(src, "fir", pipeline.Options{Mode: alloc.SingleBank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := asm.Print(c.Sched)
+	if strings.Contains(out, "MU1:") {
+		t.Errorf("single-bank assembly uses MU1:\n%s", out)
+	}
+}

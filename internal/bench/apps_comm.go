@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the data-communication applications of Table 2:
+// V32encode, the three G721 ADPCM codec variants, and trellis.
+//
+// V32encode's self-synchronising scrambler reads two taps of its own
+// bit history per input bit — a same-array access pattern that marks
+// the history for duplication, which is why V32encode appears in the
+// paper's partial-duplication set. The G721 codecs are long serial
+// integer dependence chains over register-resident state (the paper's
+// zero-parallelism applications). trellis is a Viterbi decoder whose
+// add-compare-select reads two old path metrics from one small array.
+
+// V32Encode builds the V.32 modem encoder: scrambler, differential
+// encoder, convolutional encoder, and 8-point constellation mapper.
+func V32Encode() Program {
+	const (
+		nbits = 512
+		nsym  = nbits / 2
+	)
+	rng := newPRNG(31)
+	bits := randInts(rng, nbits, 2)
+	seed := randInts(rng, 23, 2)
+
+	// Convolutional encoder over the differential dibit stream: a
+	// 2-bit state machine producing one redundancy bit per symbol.
+	nextTab := make([]int32, 16)
+	outTab := make([]int32, 16)
+	for st := int32(0); st < 4; st++ {
+		for in := int32(0); in < 4; in++ {
+			nextTab[st*4+in] = ((st << 1) | (in & 1)) & 3
+			outTab[st*4+in] = ((st >> 1) ^ st ^ (in >> 1)) & 1
+		}
+	}
+	// 8-point constellation.
+	mapI := []int32{-3, -1, 1, 3, -3, -1, 1, 3}
+	mapQ := []int32{-1, -3, 3, 1, 1, 3, -3, -1}
+
+	// Go reference.
+	scr := make([]int32, nbits+23)
+	copy(scr, seed)
+	for i := 0; i < nbits; i++ {
+		scr[i+23] = bits[i] ^ scr[i+5] ^ scr[i]
+	}
+	wantI := make([]int32, nsym)
+	wantQ := make([]int32, nsym)
+	state, prevQ := int32(0), int32(0)
+	for s := 0; s < nsym; s++ {
+		q1 := scr[2*s+23]
+		q2 := scr[2*s+24]
+		dibit := q1*2 + q2
+		prevQ = (prevQ + dibit) & 3
+		y0 := outTab[state*4+prevQ]
+		state = nextTab[state*4+prevQ]
+		sym := prevQ*2 + y0
+		wantI[s] = mapI[sym]
+		wantQ[s] = mapQ[sym]
+	}
+
+	// The MiniC implementation processes the bit stream in frames,
+	// keeping a sliding 23-bit-history scrambler window — the natural
+	// embedded structure (the scrambler state is small; the stream is
+	// not kept in memory twice). The window is the duplication
+	// candidate: each step reads two of its taps simultaneously.
+	const (
+		frame  = 64
+		nfrm   = nbits / frame
+		fsymPF = frame / 2
+	)
+	var sb strings.Builder
+	sb.WriteString(intsDecl("bits", bits))
+	fmt.Fprintf(&sb, "int fscr[%d] = {", frame+23)
+	for i, v := range seed {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteString("};\n")
+	sb.WriteString(intsDecl("nexttab", nextTab))
+	sb.WriteString(intsDecl("outtab", outTab))
+	sb.WriteString(intsDecl("mapi", mapI))
+	sb.WriteString(intsDecl("mapq", mapQ))
+	fmt.Fprintf(&sb, "int chanI[%d];\nint chanQ[%d];\n", nsym, nsym)
+	fmt.Fprintf(&sb, `
+void main() {
+	int f;
+	int i;
+	int s;
+	int state = 0;
+	int prevq = 0;
+	for (f = 0; f < %[3]d; f++) {
+		int boff = f * %[1]d;
+		// Self-synchronising scrambler, 1 + x^-18 + x^-23, over this
+		// frame's window.
+		for (i = 0; i < %[1]d; i++) {
+			fscr[i + 23] = bits[boff + i] ^ fscr[i + 5] ^ fscr[i];
+		}
+		// Differential + convolutional encoding, constellation mapping.
+		int soff = f * %[2]d;
+		for (s = 0; s < %[2]d; s++) {
+			int q1 = fscr[2*s + 23];
+			int q2 = fscr[2*s + 24];
+			int dibit = q1 * 2 + q2;
+			prevq = (prevq + dibit) & 3;
+			int y0 = outtab[state*4 + prevq];
+			state = nexttab[state*4 + prevq];
+			int sym = prevq * 2 + y0;
+			chanI[soff + s] = mapi[sym];
+			chanQ[soff + s] = mapq[sym];
+		}
+		// Carry the last 23 scrambled bits into the next frame.
+		for (i = 0; i < 23; i++) {
+			fscr[i] = fscr[%[1]d + i];
+		}
+	}
+}
+`, frame, fsymPF, nfrm)
+
+	return Program{
+		Name:   "V32encode",
+		Desc:   "V.32 modem encoder: scrambler, differential/convolutional encoding, QAM mapping",
+		Kind:   Application,
+		Source: sb.String(),
+		Check: func(r Reader) error {
+			if err := checkI32s(r, "chanI", wantI); err != nil {
+				return err
+			}
+			return checkI32s(r, "chanQ", wantQ)
+		},
+	}
+}
+
+// Trellis builds the Viterbi trellis decoder for a constraint-length-3
+// rate-1/2 convolutional code, with full survivor traceback.
+func Trellis() Program {
+	const nb = 256
+	rng := newPRNG(17)
+	msg := randInts(rng, nb, 2)
+
+	// Encode with generators G0=7 (111), G1=5 (101); 2-bit state.
+	r0 := make([]int32, nb)
+	r1 := make([]int32, nb)
+	st := int32(0)
+	parity := func(x int32) int32 { x ^= x >> 2; x ^= x >> 1; return x & 1 }
+	for t := 0; t < nb; t++ {
+		full := (st << 1) | msg[t]
+		r0[t] = parity(full & 7)
+		r1[t] = parity(full & 5)
+		st = full & 3
+	}
+	// Expected symbols per (prev state, input bit).
+	exp0 := make([]int32, 8)
+	exp1 := make([]int32, 8)
+	for p := int32(0); p < 4; p++ {
+		for b := int32(0); b < 2; b++ {
+			full := (p << 1) | b
+			exp0[p*2+b] = parity(full & 7)
+			exp1[p*2+b] = parity(full & 5)
+		}
+	}
+
+	// Go reference Viterbi (noise-free channel decodes exactly). The
+	// branch metrics for all eight (state, input) transitions are
+	// computed once per symbol, then the add-compare-select sweep runs.
+	const inf = 1 << 20
+	pm := []int32{0, inf, inf, inf}
+	pmn := make([]int32, 4)
+	bm := make([]int32, 8)
+	surv := make([]int32, nb*4)
+	for t := 0; t < nb; t++ {
+		for j := 0; j < 8; j++ {
+			bm[j] = (r0[t] ^ exp0[j]) + (r1[t] ^ exp1[j])
+		}
+		for s := int32(0); s < 4; s++ {
+			p0 := s >> 1
+			p1 := p0 + 2
+			b := s & 1
+			m0 := pm[p0] + bm[p0*2+b]
+			m1 := pm[p1] + bm[p1*2+b]
+			if m0 <= m1 {
+				pmn[s] = m0
+				surv[t*4+int(s)] = p0
+			} else {
+				pmn[s] = m1
+				surv[t*4+int(s)] = p1
+			}
+		}
+		copy(pm, pmn)
+	}
+	best := int32(0)
+	for s := int32(1); s < 4; s++ {
+		if pm[s] < pm[best] {
+			best = s
+		}
+	}
+	wantDec := make([]int32, nb)
+	cur := best
+	for t := nb - 1; t >= 0; t-- {
+		wantDec[t] = cur & 1
+		cur = surv[t*4+int(cur)]
+	}
+
+	var sb strings.Builder
+	sb.WriteString(intsDecl("r0", r0))
+	sb.WriteString(intsDecl("r1", r1))
+	sb.WriteString(intsDecl("exp0", exp0))
+	sb.WriteString(intsDecl("exp1", exp1))
+	fmt.Fprintf(&sb, "int pm[4] = {0, %d, %d, %d};\n", inf, inf, inf)
+	fmt.Fprintf(&sb, "int pmn[4];\nint bm[8];\nint surv[%d][4];\nint dec[%d];\n", nb, nb)
+	fmt.Fprintf(&sb, `
+void main() {
+	int t;
+	int s;
+	int j;
+	for (t = 0; t < %[1]d; t++) {
+		int c0 = r0[t];
+		int c1 = r1[t];
+		for (j = 0; j < 8; j++) {
+			bm[j] = (c0 ^ exp0[j]) + (c1 ^ exp1[j]);
+		}
+		for (s = 0; s < 4; s++) {
+			int p0 = s >> 1;
+			int p1 = p0 + 2;
+			int b = s & 1;
+			int m0 = pm[p0] + bm[p0*2 + b];
+			int m1 = pm[p1] + bm[p1*2 + b];
+			if (m0 <= m1) {
+				pmn[s] = m0;
+				surv[t][s] = p0;
+			} else {
+				pmn[s] = m1;
+				surv[t][s] = p1;
+			}
+		}
+		for (s = 0; s < 4; s++) {
+			pm[s] = pmn[s];
+		}
+	}
+	int best = 0;
+	for (s = 1; s < 4; s++) {
+		if (pm[s] < pm[best]) best = s;
+	}
+	int cur = best;
+	for (t = %[1]d - 1; t >= 0; t--) {
+		dec[t] = cur & 1;
+		cur = surv[t][cur];
+	}
+}
+`, nb)
+
+	return Program{
+		Name:   "trellis",
+		Desc:   "Trellis (Viterbi) decoder for a K=3 rate-1/2 convolutional code",
+		Kind:   Application,
+		Source: sb.String(),
+		Check:  func(r Reader) error { return checkI32s(r, "dec", wantDec) },
+	}
+}

@@ -1,0 +1,369 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the three G721 ADPCM codec benchmarks: two
+// encoder implementations in different styles plus a decoder, standing
+// in for the paper's "various implementations of the CCITT G.721
+// speech encoder". The codec keeps its adaptive-predictor state in
+// locals (register-resident), and every sample is one long serial
+// integer dependence chain — normalisation loops, threshold chains,
+// sign-sign adaptation — so, as in the paper, not even dual-ported
+// memory improves these programs.
+//
+// The "ML" variants use the machine multiplier for the 2-pole/6-zero
+// predictor; the "WF" variant is the multiplier-less implementation
+// style (shift-add products via a helper function), common on early
+// fixed-point hardware.
+
+// g721State is the Go reference implementation.
+type g721State struct {
+	sr1, sr2                     int32
+	a1, a2                       int32
+	b1, b2, b3, b4, b5, b6       int32
+	dq1, dq2, dq3, dq4, dq5, dq6 int32
+	yl                           int32
+}
+
+func newG721() *g721State { return &g721State{yl: 2048} }
+
+var g721WI = []int32{-12, 18, 41, 64, 112, 198, 355, 1122}
+var g721IQL = []int32{57, 135, 213, 273, 323, 373, 425, 491}
+
+// step runs one sample through the codec. For encoding, x is the input
+// sample and the returned code/reconstruction are produced from it;
+// for decoding, code4 is the 4-bit codeword and x is ignored.
+func (g *g721State) step(x int32, code4 int32, decode bool) (code int32, sr int32) {
+	sez := (g.b1*g.dq1 + g.b2*g.dq2 + g.b3*g.dq3 + g.b4*g.dq4 + g.b5*g.dq5 + g.b6*g.dq6) >> 14
+	se := sez + ((g.a1*g.sr1 + g.a2*g.sr2) >> 14)
+	y := g.yl >> 6
+
+	var sign, c int32
+	if decode {
+		c = code4 & 7
+		sign = (code4 >> 3) & 1
+	} else {
+		d := x - se
+		sign = 0
+		ad := d
+		if d < 0 {
+			sign = 1
+			ad = -d
+		}
+		exp, m := int32(0), ad
+		for m >= 2 {
+			m >>= 1
+			exp++
+		}
+		var mant int32
+		if exp > 7 {
+			mant = (ad >> uint(exp-7)) & 127
+		} else {
+			mant = (ad << uint(7-exp)) & 127
+		}
+		dln := exp*128 + mant - y
+		c = 0
+		if dln >= 80 {
+			c = 1
+		}
+		if dln >= 178 {
+			c = 2
+		}
+		if dln >= 246 {
+			c = 3
+		}
+		if dln >= 300 {
+			c = 4
+		}
+		if dln >= 349 {
+			c = 5
+		}
+		if dln >= 400 {
+			c = 6
+		}
+		if dln >= 460 {
+			c = 7
+		}
+	}
+
+	// Inverse quantizer.
+	dql := g721IQL[c] + y
+	dex := dql >> 7
+	dmant := (dql & 127) | 128
+	dqv := (dmant << uint(dex&31)) >> 7
+	if sign == 1 {
+		dqv = -dqv
+	}
+
+	// Scale-factor adaptation.
+	g.yl += g721WI[c] - (g.yl >> 6)
+	if g.yl < 128 {
+		g.yl = 128
+	}
+	if g.yl > 131072 {
+		g.yl = 131072
+	}
+
+	// Sign-sign predictor adaptation.
+	adj := func(cur, other, step, lim int32) int32 {
+		t := step
+		if (dqv ^ other) < 0 {
+			t = -step
+		}
+		cur += t
+		if cur > lim {
+			cur = lim
+		}
+		if cur < -lim {
+			cur = -lim
+		}
+		return cur
+	}
+	g.b1 = adj(g.b1, g.dq1, 3, 2048)
+	g.b2 = adj(g.b2, g.dq2, 3, 2048)
+	g.b3 = adj(g.b3, g.dq3, 3, 2048)
+	g.b4 = adj(g.b4, g.dq4, 3, 2048)
+	g.b5 = adj(g.b5, g.dq5, 3, 2048)
+	g.b6 = adj(g.b6, g.dq6, 3, 2048)
+	g.a1 = adj(g.a1, g.sr1, 12, 12288)
+	g.a2 = adj(g.a2, g.sr2, 6, 8192)
+
+	sr = se + dqv
+	if sr > 32767 {
+		sr = 32767
+	}
+	if sr < -32768 {
+		sr = -32768
+	}
+	g.sr2, g.sr1 = g.sr1, sr
+	g.dq6, g.dq5, g.dq4, g.dq3, g.dq2, g.dq1 = g.dq5, g.dq4, g.dq3, g.dq2, g.dq1, dqv
+
+	return c | (sign << 3), sr
+}
+
+// g721Input builds the deterministic test waveform.
+func g721Input(n int) []int32 {
+	rng := newPRNG(2021)
+	pcm := make([]int32, n)
+	v := int32(0)
+	for i := range pcm {
+		v += rng.i32n(900) - 450
+		if v > 20000 {
+			v = 20000
+		}
+		if v < -20000 {
+			v = -20000
+		}
+		pcm[i] = v
+	}
+	return pcm
+}
+
+// g721Predictor emits the 2-pole/6-zero signal-estimate computation.
+// The ML style uses the machine multiplier; the WF style expands each
+// product into an inline shift-add loop (multiplier-less), one long
+// serial chain per product.
+func g721Predictor(shiftAdd bool) string {
+	pairs := [][2]string{
+		{"b1", "dq1"}, {"b2", "dq2"}, {"b3", "dq3"},
+		{"b4", "dq4"}, {"b5", "dq5"}, {"b6", "dq6"},
+		{"a1", "sr1"}, {"a2", "sr2"},
+	}
+	if !shiftAdd {
+		p := func(i int) string {
+			return fmt.Sprintf("(%s * %s)", pairs[i][0], pairs[i][1])
+		}
+		return fmt.Sprintf(`		int sez = (%s + %s + %s + %s + %s + %s) >> 14;
+		int se = sez + ((%s + %s) >> 14);`,
+			p(0), p(1), p(2), p(3), p(4), p(5), p(6), p(7))
+	}
+	var sb strings.Builder
+	for i, pr := range pairs {
+		fmt.Fprintf(&sb, `		int p%[1]d;
+		{
+			int sg = 0;
+			int mb = %[3]s;
+			if (mb < 0) {
+				sg = 1;
+				mb = -mb;
+			}
+			int ac = 0;
+			int sh = 0;
+			while (mb != 0) {
+				if (mb & 1) {
+					ac += %[2]s << sh;
+				}
+				mb = mb >> 1;
+				sh = sh + 1;
+			}
+			if (sg) ac = -ac;
+			p%[1]d = ac;
+		}
+`, i+1, pr[0], pr[1])
+	}
+	sb.WriteString(`		int sez = (p1 + p2 + p3 + p4 + p5 + p6) >> 14;
+		int se = sez + ((p7 + p8) >> 14);`)
+	return sb.String()
+}
+
+const g721EncodeFront = `		int d = x - se;
+		int sign = 0;
+		int ad = d;
+		if (d < 0) {
+			sign = 1;
+			ad = -d;
+		}
+		int exp = 0;
+		int m = ad;
+		while (m >= 2) {
+			m = m >> 1;
+			exp = exp + 1;
+		}
+		int mant;
+		if (exp > 7) {
+			mant = (ad >> (exp - 7)) & 127;
+		} else {
+			mant = (ad << (7 - exp)) & 127;
+		}
+		int dln = exp * 128 + mant - y;
+		int c = 0;
+		if (dln >= 80) c = 1;
+		if (dln >= 178) c = 2;
+		if (dln >= 246) c = 3;
+		if (dln >= 300) c = 4;
+		if (dln >= 349) c = 5;
+		if (dln >= 400) c = 6;
+		if (dln >= 460) c = 7;`
+
+const g721Back = `		int dql = iql[c] + y;
+		int dex = dql >> 7;
+		int dmant = (dql & 127) | 128;
+		int dqv = (dmant << (dex & 31)) >> 7;
+		if (sign == 1) dqv = -dqv;
+
+		yl += wi[c] - (yl >> 6);
+		if (yl < 128) yl = 128;
+		if (yl > 131072) yl = 131072;
+
+		int t;
+		t = 3; if ((dqv ^ dq1) < 0) t = -3;
+		b1 += t; if (b1 > 2048) b1 = 2048; if (b1 < -2048) b1 = -2048;
+		t = 3; if ((dqv ^ dq2) < 0) t = -3;
+		b2 += t; if (b2 > 2048) b2 = 2048; if (b2 < -2048) b2 = -2048;
+		t = 3; if ((dqv ^ dq3) < 0) t = -3;
+		b3 += t; if (b3 > 2048) b3 = 2048; if (b3 < -2048) b3 = -2048;
+		t = 3; if ((dqv ^ dq4) < 0) t = -3;
+		b4 += t; if (b4 > 2048) b4 = 2048; if (b4 < -2048) b4 = -2048;
+		t = 3; if ((dqv ^ dq5) < 0) t = -3;
+		b5 += t; if (b5 > 2048) b5 = 2048; if (b5 < -2048) b5 = -2048;
+		t = 3; if ((dqv ^ dq6) < 0) t = -3;
+		b6 += t; if (b6 > 2048) b6 = 2048; if (b6 < -2048) b6 = -2048;
+		t = 12; if ((dqv ^ sr1) < 0) t = -12;
+		a1 += t; if (a1 > 12288) a1 = 12288; if (a1 < -12288) a1 = -12288;
+		t = 6; if ((dqv ^ sr2) < 0) t = -6;
+		a2 += t; if (a2 > 8192) a2 = 8192; if (a2 < -8192) a2 = -8192;
+
+		int sr = se + dqv;
+		if (sr > 32767) sr = 32767;
+		if (sr < -32768) sr = -32768;
+		sr2 = sr1;
+		sr1 = sr;
+		dq6 = dq5;
+		dq5 = dq4;
+		dq4 = dq3;
+		dq3 = dq2;
+		dq2 = dq1;
+		dq1 = dqv;`
+
+const g721Locals = `	int sr1 = 0;
+	int sr2 = 0;
+	int a1 = 0;
+	int a2 = 0;
+	int b1 = 0;
+	int b2 = 0;
+	int b3 = 0;
+	int b4 = 0;
+	int b5 = 0;
+	int b6 = 0;
+	int dq1 = 0;
+	int dq2 = 0;
+	int dq3 = 0;
+	int dq4 = 0;
+	int dq5 = 0;
+	int dq6 = 0;
+	int yl = 2048;`
+
+// g721EncodeProgram builds an encoder benchmark with the given
+// predictor-product style.
+func g721EncodeProgram(name string, shiftAdd bool) Program {
+	const n = 256
+	pcm := g721Input(n)
+	g := newG721()
+	want := make([]int32, n)
+	for i, x := range pcm {
+		want[i], _ = g.step(x, 0, false)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(intsDecl("pcm", pcm))
+	sb.WriteString(intsDecl("wi", g721WI))
+	sb.WriteString(intsDecl("iql", g721IQL))
+	fmt.Fprintf(&sb, "int code[%d];\n", n)
+	fmt.Fprintf(&sb, "\nvoid main() {\n%s\n\tint i;\n\tfor (i = 0; i < %d; i++) {\n\t\tint x = pcm[i];\n\t\tint y = yl >> 6;\n%s\n%s\n%s\n\t\tcode[i] = c | (sign << 3);\n\t}\n}\n",
+		g721Locals, n, g721Predictor(shiftAdd), g721EncodeFront, g721Back)
+
+	return Program{
+		Name:   name,
+		Desc:   "CCITT G.721-style ADPCM speech encoder (" + map[bool]string{false: "multiplier", true: "shift-add"}[shiftAdd] + " predictor)",
+		Kind:   Application,
+		Source: sb.String(),
+		Check:  func(r Reader) error { return checkI32s(r, "code", want) },
+	}
+}
+
+// G721MLEncode is the multiplier-based encoder.
+func G721MLEncode() Program {
+	return g721EncodeProgram("G721MLencode", false)
+}
+
+// G721WFEncode is the multiplier-less (shift-add) encoder.
+func G721WFEncode() Program {
+	return g721EncodeProgram("G721WFencode", true)
+}
+
+// G721MLDecode is the multiplier-based decoder, fed the reference
+// encoder's bitstream.
+func G721MLDecode() Program {
+	const n = 256
+	pcm := g721Input(n)
+	enc := newG721()
+	codes := make([]int32, n)
+	for i, x := range pcm {
+		codes[i], _ = enc.step(x, 0, false)
+	}
+	dec := newG721()
+	want := make([]int32, n)
+	for i := range codes {
+		_, want[i] = dec.step(0, codes[i], true)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(intsDecl("code", codes))
+	sb.WriteString(intsDecl("wi", g721WI))
+	sb.WriteString(intsDecl("iql", g721IQL))
+	fmt.Fprintf(&sb, "int outp[%d];\n", n)
+	fmt.Fprintf(&sb,
+		"\nvoid main() {\n%s\n\tint i;\n\tfor (i = 0; i < %d; i++) {\n\t\tint y = yl >> 6;\n%s\n\t\tint cw = code[i];\n\t\tint c = cw & 7;\n\t\tint sign = (cw >> 3) & 1;\n%s\n\t\toutp[i] = sr1;\n\t}\n}\n",
+		g721Locals, n, g721Predictor(false), g721Back)
+
+	return Program{
+		Name:   "G721MLdecode",
+		Desc:   "CCITT G.721-style ADPCM speech decoder (multiplier predictor)",
+		Kind:   Application,
+		Source: sb.String(),
+		Check:  func(r Reader) error { return checkI32s(r, "outp", want) },
+	}
+}

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file implements the image-processing applications of Table 2:
+// edge_detect, compress, and histogram.
+//
+// edge_detect uses the line-buffer structure common in embedded image
+// pipelines: three row buffers are filled from the image and the Sobel
+// gradients read across them, so most simultaneous accesses pair
+// *different* arrays and CB partitioning captures nearly all of the
+// available parallelism. histogram is the paper's no-parallelism
+// benchmark: all three passes are single serial dependence chains
+// (load, data-dependent load, store), so even dual-ported memory buys
+// nothing.
+
+// EdgeDetect builds the Sobel edge detector over a 64x64 image.
+func EdgeDetect() Program {
+	const dim = 64
+	rng := newPRNG(1234)
+	img := randInts(rng, dim*dim, 256)
+
+	// Go reference.
+	want := make([]int32, dim*dim)
+	var r0, r1, r2 [dim]int32
+	for i := 1; i < dim-1; i++ {
+		for j := 0; j < dim; j++ {
+			r0[j] = img[(i-1)*dim+j]
+			r1[j] = img[i*dim+j]
+			r2[j] = img[(i+1)*dim+j]
+		}
+		for j := 1; j < dim-1; j++ {
+			gx := (r0[j+1] + 2*r1[j+1] + r2[j+1]) - (r0[j-1] + 2*r1[j-1] + r2[j-1])
+			gy := (r2[j-1] + 2*r2[j] + r2[j+1]) - (r0[j-1] + 2*r0[j] + r0[j+1])
+			if gx < 0 {
+				gx = -gx
+			}
+			if gy < 0 {
+				gy = -gy
+			}
+			m := gx + gy
+			if m > 255 {
+				m = 255
+			}
+			want[i*dim+j] = m
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(ints2Decl("img", img, dim, dim))
+	fmt.Fprintf(&sb, "int edge[%d][%d];\nint r0[%d];\nint r1[%d];\nint r2[%d];\n",
+		dim, dim, dim, dim, dim)
+	fmt.Fprintf(&sb, `
+void main() {
+	int i;
+	int j;
+	for (i = 1; i < %[1]d - 1; i++) {
+		for (j = 0; j < %[1]d; j++) {
+			r0[j] = img[i-1][j];
+		}
+		for (j = 0; j < %[1]d; j++) {
+			r1[j] = img[i][j];
+		}
+		for (j = 0; j < %[1]d; j++) {
+			r2[j] = img[i+1][j];
+		}
+		for (j = 1; j < %[1]d - 1; j++) {
+			int gx = (r0[j+1] + 2*r1[j+1] + r2[j+1]) - (r0[j-1] + 2*r1[j-1] + r2[j-1]);
+			int gy = (r2[j-1] + 2*r2[j] + r2[j+1]) - (r0[j-1] + 2*r0[j] + r0[j+1]);
+			if (gx < 0) gx = -gx;
+			if (gy < 0) gy = -gy;
+			int m = gx + gy;
+			if (m > 255) m = 255;
+			edge[i][j] = m;
+		}
+	}
+}
+`, dim)
+
+	return Program{
+		Name:   "edge_detect",
+		Desc:   "Edge detection using 2D convolution and Sobel operators over line buffers",
+		Kind:   Application,
+		Source: sb.String(),
+		Check:  func(r Reader) error { return checkI32s(r, "edge", want) },
+	}
+}
+
+// Compress builds the DCT image-compression application: a separable
+// 8x8 discrete cosine transform over a 32x32 image followed by
+// quantization.
+func Compress() Program {
+	const (
+		dim = 32
+		bs  = 8
+	)
+	rng := newPRNG(55)
+	img := make([]float32, dim*dim)
+	for i := range img {
+		img[i] = float32(rng.i32n(256))
+	}
+	// DCT-II basis matrix.
+	cm := make([]float32, bs*bs)
+	for u := 0; u < bs; u++ {
+		for x := 0; x < bs; x++ {
+			s := math.Sqrt(2.0 / float64(bs))
+			if u == 0 {
+				s = math.Sqrt(1.0 / float64(bs))
+			}
+			cm[u*bs+x] = float32(s * math.Cos(float64(2*x+1)*float64(u)*math.Pi/float64(2*bs)))
+		}
+	}
+	qt := make([]float32, bs*bs)
+	for u := 0; u < bs; u++ {
+		for v := 0; v < bs; v++ {
+			qt[u*bs+v] = float32(8 + (u+v)*4)
+		}
+	}
+
+	// Go reference.
+	want := make([]int32, dim*dim)
+	var blk, tmp, out [bs * bs]float32
+	for bi := 0; bi < dim/bs; bi++ {
+		for bj := 0; bj < dim/bs; bj++ {
+			for x := 0; x < bs; x++ {
+				for y := 0; y < bs; y++ {
+					blk[x*bs+y] = img[(bi*bs+x)*dim+(bj*bs+y)]
+				}
+			}
+			for u := 0; u < bs; u++ {
+				for y := 0; y < bs; y++ {
+					var acc float32
+					for x := 0; x < bs; x++ {
+						acc += cm[u*bs+x] * blk[x*bs+y]
+					}
+					tmp[u*bs+y] = acc
+				}
+			}
+			for u := 0; u < bs; u++ {
+				for v := 0; v < bs; v++ {
+					var acc float32
+					for y := 0; y < bs; y++ {
+						acc += tmp[u*bs+y] * cm[v*bs+y]
+					}
+					out[u*bs+v] = acc
+				}
+			}
+			for u := 0; u < bs; u++ {
+				for v := 0; v < bs; v++ {
+					q := out[u*bs+v] / qt[u*bs+v]
+					want[(bi*bs+u)*dim+(bj*bs+v)] = int32(q)
+				}
+			}
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(floats2Decl("img", img, dim, dim))
+	sb.WriteString(floats2Decl("cm", cm, bs, bs))
+	sb.WriteString(floats2Decl("qt", qt, bs, bs))
+	fmt.Fprintf(&sb, "float blk[%d][%d];\nfloat tmp[%d][%d];\nfloat outb[%d][%d];\nint q[%d][%d];\n",
+		bs, bs, bs, bs, bs, bs, dim, dim)
+	fmt.Fprintf(&sb, `
+void main() {
+	int bi;
+	int bj;
+	int u;
+	int v;
+	int x;
+	int y;
+	for (bi = 0; bi < %[1]d; bi++) {
+		for (bj = 0; bj < %[1]d; bj++) {
+			for (x = 0; x < %[2]d; x++) {
+				for (y = 0; y < %[2]d; y++) {
+					blk[x][y] = img[bi*%[2]d + x][bj*%[2]d + y];
+				}
+			}
+			for (u = 0; u < %[2]d; u++) {
+				for (y = 0; y < %[2]d; y++) {
+					float acc = 0.0;
+					for (x = 0; x < %[2]d; x++) {
+						acc += cm[u][x] * blk[x][y];
+					}
+					tmp[u][y] = acc;
+				}
+			}
+			for (u = 0; u < %[2]d; u++) {
+				for (v = 0; v < %[2]d; v++) {
+					float acc = 0.0;
+					for (y = 0; y < %[2]d; y++) {
+						acc += tmp[u][y] * cm[v][y];
+					}
+					outb[u][v] = acc;
+				}
+			}
+			for (u = 0; u < %[2]d; u++) {
+				for (v = 0; v < %[2]d; v++) {
+					q[bi*%[2]d + u][bj*%[2]d + v] = (int)(outb[u][v] / qt[u][v]);
+				}
+			}
+		}
+	}
+}
+`, dim/bs, bs)
+
+	return Program{
+		Name:   "compress",
+		Desc:   "Image compression using an 8x8 separable Discrete Cosine Transform",
+		Kind:   Application,
+		Source: sb.String(),
+		Check:  func(r Reader) error { return checkI32sTol(r, "q", want, 1) },
+	}
+}
+
+// Histogram builds the histogram-equalization image enhancer. Every
+// pass is a serial chain of dependent memory accesses, so no memory
+// organisation can speed it up — the paper's zero-parallelism case.
+func Histogram() Program {
+	const (
+		npix   = 64 * 64
+		levels = 256
+	)
+	rng := newPRNG(77)
+	img := randInts(rng, npix, levels)
+
+	// Go reference.
+	hist := make([]int32, levels)
+	for _, p := range img {
+		hist[p]++
+	}
+	cdf := make([]int32, levels)
+	c := int32(0)
+	for v := 0; v < levels; v++ {
+		c += hist[v]
+		cdf[v] = c
+	}
+	var cdfMin int32
+	for v := 0; v < levels; v++ {
+		if cdf[v] != 0 {
+			cdfMin = cdf[v]
+			break
+		}
+	}
+	lut := make([]int32, levels)
+	den := int32(npix) - cdfMin
+	if den < 1 {
+		den = 1
+	}
+	for v := 0; v < levels; v++ {
+		x := cdf[v] - cdfMin
+		if x < 0 {
+			x = 0
+		}
+		lut[v] = (x * (levels - 1)) / den
+	}
+	want := make([]int32, npix)
+	for i, p := range img {
+		want[i] = lut[p]
+	}
+
+	var sb strings.Builder
+	sb.WriteString(intsDecl("img", img))
+	fmt.Fprintf(&sb, "int hist[%d];\nint cdf[%d];\nint lut[%d];\nint outp[%d];\n",
+		levels, levels, levels, npix)
+	fmt.Fprintf(&sb, `
+void main() {
+	int i;
+	int v;
+	for (i = 0; i < %[1]d; i++) {
+		hist[img[i]] += 1;
+	}
+	int c = 0;
+	for (v = 0; v < %[2]d; v++) {
+		c += hist[v];
+		cdf[v] = c;
+	}
+	int cdfmin = 0;
+	for (v = 0; v < %[2]d; v++) {
+		if (cdf[v] != 0) {
+			cdfmin = cdf[v];
+			break;
+		}
+	}
+	int den = %[1]d - cdfmin;
+	if (den < 1) den = 1;
+	for (v = 0; v < %[2]d; v++) {
+		int x = cdf[v] - cdfmin;
+		if (x < 0) x = 0;
+		lut[v] = (x * (%[2]d - 1)) / den;
+	}
+	for (i = 0; i < %[1]d; i++) {
+		outp[i] = lut[img[i]];
+	}
+}
+`, npix, levels)
+
+	return Program{
+		Name:   "histogram",
+		Desc:   "Image enhancement using histogram equalization",
+		Kind:   Application,
+		Source: sb.String(),
+		Check:  func(r Reader) error { return checkI32s(r, "outp", want) },
+	}
+}

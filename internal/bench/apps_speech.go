@@ -1,0 +1,423 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file implements the speech-processing applications of Table 2:
+// adpcm, lpc, and spectral.
+//
+// lpc is the paper's flagship duplication case: its hot loop is the
+// Figure 6 autocorrelation R[m] += s[n]*s[n+m], whose two simultaneous
+// accesses to the same array defeat any partitioning; only duplication
+// (or dual-ported memory) recovers the parallelism. spectral windows
+// overlapping segments into a scratch frame and runs an in-place FFT
+// over it, so its frame arrays are also duplication candidates — but
+// the butterfly stores are doubled by duplication, which is what makes
+// Dup underperform CB for this program in Figure 8.
+
+// ADPCM builds the IMA-style adaptive differential PCM speech encoder.
+func ADPCM() Program {
+	const n = 1024
+	rng := newPRNG(42)
+	pcm := make([]int32, n)
+	// A wandering waveform with speech-like local correlation.
+	v := int32(0)
+	for i := range pcm {
+		v += rng.i32n(1200) - 600
+		if v > 30000 {
+			v = 30000
+		}
+		if v < -30000 {
+			v = -30000
+		}
+		pcm[i] = v
+	}
+	step := stepTable()
+	idxTab := []int32{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+	// Go reference.
+	want := make([]int32, n)
+	valpred, index := int32(0), int32(0)
+	for i := 0; i < n; i++ {
+		diff := pcm[i] - valpred
+		sign := int32(0)
+		if diff < 0 {
+			sign = 8
+			diff = -diff
+		}
+		st := step[index]
+		delta := int32(0)
+		vpdiff := st >> 3
+		if diff >= st {
+			delta = 4
+			diff -= st
+			vpdiff += st
+		}
+		st >>= 1
+		if diff >= st {
+			delta |= 2
+			diff -= st
+			vpdiff += st
+		}
+		st >>= 1
+		if diff >= st {
+			delta |= 1
+			vpdiff += st
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		}
+		if valpred < -32768 {
+			valpred = -32768
+		}
+		index += idxTab[delta]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		want[i] = delta | sign
+	}
+
+	var sb strings.Builder
+	sb.WriteString(intsDecl("pcm", pcm))
+	sb.WriteString(intsDecl("step", step))
+	sb.WriteString(intsDecl("idxtab", idxTab))
+	fmt.Fprintf(&sb, "int code[%d];\n", n)
+	fmt.Fprintf(&sb, `
+void main() {
+	int valpred = 0;
+	int index = 0;
+	int i;
+	for (i = 0; i < %d; i++) {
+		int diff = pcm[i] - valpred;
+		int sign = 0;
+		if (diff < 0) {
+			sign = 8;
+			diff = -diff;
+		}
+		int st = step[index];
+		int delta = 0;
+		int vpdiff = st >> 3;
+		if (diff >= st) {
+			delta = 4;
+			diff -= st;
+			vpdiff += st;
+		}
+		st = st >> 1;
+		if (diff >= st) {
+			delta |= 2;
+			diff -= st;
+			vpdiff += st;
+		}
+		st = st >> 1;
+		if (diff >= st) {
+			delta |= 1;
+			vpdiff += st;
+		}
+		if (sign) {
+			valpred -= vpdiff;
+		} else {
+			valpred += vpdiff;
+		}
+		if (valpred > 32767) valpred = 32767;
+		if (valpred < -32768) valpred = -32768;
+		index += idxtab[delta];
+		if (index < 0) index = 0;
+		if (index > 88) index = 88;
+		code[i] = delta | sign;
+	}
+}
+`, n)
+
+	return Program{
+		Name:   "adpcm",
+		Desc:   "Adaptive, differential, pulse-code-modulation speech encoder",
+		Kind:   Application,
+		Source: sb.String(),
+		Check:  func(r Reader) error { return checkI32s(r, "code", want) },
+	}
+}
+
+func stepTable() []int32 {
+	return []int32{
+		7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+		41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+		190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+		724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+		2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+		6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+		16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+	}
+}
+
+// LPC builds the linear-predictive-coding speech encoder: the input
+// signal is processed in frames, each framed into a working buffer,
+// preemphasised, Hamming-windowed, autocorrelated (the Figure 6 loop),
+// and fitted with prediction coefficients by Levinson-Durbin
+// recursion. The frame buffer's same-array autocorrelation accesses
+// make it the duplication candidate that gives lpc its Figure 8
+// signature.
+func LPC() Program {
+	const (
+		frame = 160
+		nfrm  = 4
+		n     = frame * nfrm
+		order = 10
+	)
+	rng := newPRNG(7)
+	sig := randFloats(rng, n)
+	win := make([]float32, frame)
+	for i := range win {
+		win[i] = float32(0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(frame-1)))
+	}
+
+	// Go reference.
+	wantA := make([]float32, nfrm*(order+1))
+	wantR := make([]float32, nfrm*(order+1))
+	s := make([]float32, frame)
+	for f := 0; f < nfrm; f++ {
+		for i := 0; i < frame; i++ {
+			s[i] = sig[f*frame+i]
+		}
+		for i := frame - 1; i > 0; i-- {
+			s[i] = s[i] - 0.95*s[i-1]
+		}
+		for i := 0; i < frame; i++ {
+			s[i] = s[i] * win[i]
+		}
+		R := make([]float32, order+1)
+		for m := 0; m <= order; m++ {
+			var acc float32
+			for i := 0; i < frame-m; i++ {
+				acc += s[i] * s[i+m]
+			}
+			R[m] = acc
+		}
+		a := make([]float32, order+1)
+		an := make([]float32, order+1)
+		E := R[0]
+		for i := 1; i <= order; i++ {
+			acc := R[i]
+			for j := 1; j < i; j++ {
+				acc -= a[j] * R[i-j]
+			}
+			k := acc / E
+			for j := 1; j < i; j++ {
+				an[j] = a[j] - k*a[i-j]
+			}
+			for j := 1; j < i; j++ {
+				a[j] = an[j]
+			}
+			a[i] = k
+			E = E * (1 - k*k)
+		}
+		copy(wantA[f*(order+1):], a)
+		copy(wantR[f*(order+1):], R)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(floatsDecl("in", sig))
+	sb.WriteString(floatsDecl("win", win))
+	fmt.Fprintf(&sb, "float s[%d];\nfloat R[%d];\nfloat a[%d];\nfloat an[%d];\n",
+		frame, order+1, order+1, order+1)
+	fmt.Fprintf(&sb, "float coeff[%d][%d];\nfloat corr[%d][%d];\n",
+		nfrm, order+1, nfrm, order+1)
+	fmt.Fprintf(&sb, `
+void main() {
+	int f;
+	int i;
+	int j;
+	int m;
+	for (f = 0; f < %[3]d; f++) {
+		int off = f * %[1]d;
+		// Frame the raw input into the working buffer.
+		for (i = 0; i < %[1]d; i++) {
+			s[i] = in[off + i];
+		}
+		// Preemphasis (in place, backwards).
+		for (i = %[1]d - 1; i > 0; i--) {
+			s[i] = s[i] - 0.95 * s[i-1];
+		}
+		// Hamming window.
+		for (i = 0; i < %[1]d; i++) {
+			s[i] = s[i] * win[i];
+		}
+		// Autocorrelation (the Figure 6 loop).
+		for (m = 0; m <= %[2]d; m++) {
+			float acc = 0.0;
+			int lim = %[1]d - m;
+			for (i = 0; i < lim; i++) {
+				acc += s[i] * s[i + m];
+			}
+			R[m] = acc;
+		}
+		// Levinson-Durbin recursion.
+		for (i = 0; i <= %[2]d; i++) {
+			a[i] = 0.0;
+		}
+		float E = R[0];
+		for (i = 1; i <= %[2]d; i++) {
+			float acc = R[i];
+			for (j = 1; j < i; j++) {
+				acc -= a[j] * R[i - j];
+			}
+			float k = acc / E;
+			for (j = 1; j < i; j++) {
+				an[j] = a[j] - k * a[i - j];
+			}
+			for (j = 1; j < i; j++) {
+				a[j] = an[j];
+			}
+			a[i] = k;
+			E = E * (1.0 - k * k);
+		}
+		for (i = 0; i <= %[2]d; i++) {
+			coeff[f][i] = a[i];
+			corr[f][i] = R[i];
+		}
+	}
+}
+`, frame, order, nfrm)
+
+	return Program{
+		Name:   "lpc",
+		Desc:   "Linear-predictive-coding speech encoder (framing, preemphasis, windowing, autocorrelation, Levinson-Durbin)",
+		Kind:   Application,
+		Source: sb.String(),
+		Check: func(r Reader) error {
+			if err := checkF32s(r, "corr", wantR, 1e-3); err != nil {
+				return err
+			}
+			return checkF32s(r, "coeff", wantA, 1e-2)
+		},
+	}
+}
+
+// Spectral builds the spectral-analysis application: periodogram
+// averaging over overlapping windowed segments, with an in-place
+// radix-2 FFT per segment.
+func Spectral() Program {
+	const (
+		frame = 128
+		logF  = 7
+		hop   = 64
+		nseg  = 7
+		nsig  = hop*(nseg-1) + frame // 512
+	)
+	rng := newPRNG(99)
+	sig := randFloats(rng, nsig)
+	win := make([]float32, frame)
+	for i := range win {
+		win[i] = float32(0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(frame-1)))
+	}
+	wr := make([]float32, frame/2)
+	wi := make([]float32, frame/2)
+	for i := 0; i < frame/2; i++ {
+		ang := -2 * math.Pi * float64(i) / float64(frame)
+		wr[i] = float32(math.Cos(ang))
+		wi[i] = float32(math.Sin(ang))
+	}
+
+	// Go reference.
+	psd := make([]float32, frame/2)
+	fr := make([]float32, frame)
+	fi := make([]float32, frame)
+	for seg := 0; seg < nseg; seg++ {
+		for i := 0; i < frame; i++ {
+			fr[i] = sig[seg*hop+i] * win[i]
+			fi[i] = 0
+		}
+		fftRef(fr, fi, wr, wi, frame, logF)
+		for b := 0; b < frame/2; b++ {
+			psd[b] += fr[b]*fr[b] + fi[b]*fi[b]
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(floatsDecl("sig", sig))
+	sb.WriteString(floatsDecl("win", win))
+	sb.WriteString(floatsDecl("wr", wr))
+	sb.WriteString(floatsDecl("wi", wi))
+	fmt.Fprintf(&sb, "float fr[%d];\nfloat fi[%d];\nfloat psd[%d];\n", frame, frame, frame/2)
+	fmt.Fprintf(&sb, `
+void fft() {
+	int i;
+	int s;
+	for (i = 0; i < %[1]d; i++) {
+		int r = 0;
+		int v = i;
+		for (s = 0; s < %[2]d; s++) {
+			r = (r << 1) | (v & 1);
+			v = v >> 1;
+		}
+		if (r > i) {
+			float tr = fr[i];
+			float ti = fi[i];
+			fr[i] = fr[r];
+			fi[i] = fi[r];
+			fr[r] = tr;
+			fi[r] = ti;
+		}
+	}
+	int le = 1;
+	for (s = 0; s < %[2]d; s++) {
+		int le2 = le * 2;
+		int step = %[1]d / le2;
+		int j;
+		for (j = 0; j < le; j++) {
+			float ur = wr[j * step];
+			float ui = wi[j * step];
+			int c;
+			int nb = %[1]d / le2;
+			int idx = j;
+			for (c = 0; c < nb; c++) {
+				int ip = idx + le;
+				float tr = fr[ip] * ur - fi[ip] * ui;
+				float ti = fr[ip] * ui + fi[ip] * ur;
+				fr[ip] = fr[idx] - tr;
+				fi[ip] = fi[idx] - ti;
+				fr[idx] = fr[idx] + tr;
+				fi[idx] = fi[idx] + ti;
+				idx = idx + le2;
+			}
+		}
+		le = le2;
+	}
+}
+
+void main() {
+	int seg;
+	int i;
+	int b;
+	for (seg = 0; seg < %[3]d; seg++) {
+		int off = seg * %[4]d;
+		for (i = 0; i < %[1]d; i++) {
+			fr[i] = sig[off + i] * win[i];
+			fi[i] = 0.0;
+		}
+		fft();
+		for (b = 0; b < %[5]d; b++) {
+			psd[b] += fr[b] * fr[b] + fi[b] * fi[b];
+		}
+	}
+}
+`, frame, logF, nseg, hop, frame/2)
+
+	return Program{
+		Name:   "spectral",
+		Desc:   "Spectral analysis using periodogram averaging with an in-place FFT",
+		Kind:   Application,
+		Source: sb.String(),
+		Check:  func(r Reader) error { return checkF32s(r, "psd", psd, 5e-3) },
+	}
+}

@@ -1,0 +1,155 @@
+// Package bench contains the paper's benchmark suite — the twelve DSP
+// kernels of Table 1 and the eleven applications of Table 2 —
+// re-implemented in MiniC with deterministic embedded input data, plus
+// the experiment harness that regenerates Figure 7, Figure 8, and
+// Table 3.
+//
+// Every benchmark carries a Check function that validates the
+// program's outputs against a Go reference implementation, so each
+// harness run doubles as a correctness test of the whole compiler and
+// simulator.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/compact"
+	"dualbank/internal/cost"
+	"dualbank/internal/pipeline"
+)
+
+// Kind distinguishes kernels (Table 1) from applications (Table 2).
+type Kind int8
+
+const (
+	Kernel Kind = iota
+	Application
+)
+
+func (k Kind) String() string {
+	if k == Application {
+		return "application"
+	}
+	return "kernel"
+}
+
+// Reader reads one word of program output by global symbol name.
+type Reader func(name string, idx int) (uint32, error)
+
+// F32 reads a float word through a Reader.
+func F32(r Reader, name string, idx int) (float32, error) {
+	w, err := r(name, idx)
+	return math.Float32frombits(w), err
+}
+
+// I32 reads an integer word through a Reader.
+func I32(r Reader, name string, idx int) (int32, error) {
+	w, err := r(name, idx)
+	return int32(w), err
+}
+
+// Program is one benchmark: source plus output validation.
+type Program struct {
+	Name   string
+	Desc   string // the Table 1/2 description
+	Kind   Kind
+	Source string
+	Check  func(r Reader) error
+}
+
+// Kernels returns the Table 1 suite in figure order (k1..k12).
+func Kernels() []Program {
+	return []Program{
+		FFT(1024), FFT(256),
+		FIR(256, 64), FIR(32, 1),
+		IIR(4, 64), IIR(1, 1),
+		Latnrm(32, 64), Latnrm(8, 1),
+		LMSFIR(32, 64), LMSFIR(8, 1),
+		MatMult(10), MatMult(4),
+	}
+}
+
+// Applications returns the Table 2 suite in figure order (a1..a11).
+func Applications() []Program {
+	return []Program{
+		ADPCM(), LPC(), Spectral(), EdgeDetect(), Compress(),
+		Histogram(), V32Encode(), G721MLEncode(), G721MLDecode(),
+		G721WFEncode(), Trellis(),
+	}
+}
+
+// ByName finds a benchmark in either suite.
+func ByName(name string) (Program, bool) {
+	for _, p := range Kernels() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range Applications() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// Result is one (benchmark, mode) measurement.
+type Result struct {
+	Bench  string
+	Mode   alloc.Mode
+	Cycles int64
+	Mem    cost.Memory
+	// DupStores is the number of coherence stores the allocation pass
+	// inserted.
+	DupStores int
+	// Duplicated lists duplicated symbol names.
+	Duplicated []string
+}
+
+// Run compiles and executes one benchmark under one allocation mode,
+// validates the schedule and the program outputs, and returns the
+// measurement.
+func Run(p Program, mode alloc.Mode) (Result, error) {
+	c, err := pipeline.Compile(p.Source, p.Name, pipeline.Options{Mode: mode})
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
+	}
+	if err := compact.Validate(c.Sched); err != nil {
+		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
+	}
+	m, err := c.Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
+	}
+	if p.Check != nil {
+		read := func(name string, idx int) (uint32, error) {
+			g := c.Global(name)
+			if g == nil {
+				return 0, fmt.Errorf("no global %q", name)
+			}
+			return m.Word(g, idx)
+		}
+		if err := p.Check(read); err != nil {
+			return Result{}, fmt.Errorf("%s/%v: output check: %w", p.Name, mode, err)
+		}
+	}
+	res := Result{
+		Bench:     p.Name,
+		Mode:      mode,
+		Cycles:    m.Cycles,
+		Mem:       cost.Of(c.Alloc, c.Sched),
+		DupStores: c.Alloc.DupStores,
+	}
+	for _, s := range c.Alloc.Duplicated {
+		res.Duplicated = append(res.Duplicated, s.Name)
+	}
+	return res, nil
+}
+
+// Gain returns the percentage cycle-count improvement of res over the
+// baseline: (base/res - 1) * 100.
+func Gain(base, res Result) float64 {
+	return (float64(base.Cycles)/float64(res.Cycles) - 1) * 100
+}

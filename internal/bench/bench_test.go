@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/pipeline"
+	"dualbank/internal/sim"
+)
+
+// TestAllBenchmarksAllModes compiles and runs every benchmark under
+// every allocation mode and validates its outputs against the Go
+// reference — the broadest integration test in the repository.
+func TestAllBenchmarksAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	modes := []alloc.Mode{
+		alloc.SingleBank, alloc.CB, alloc.CBProfiled,
+		alloc.CBDup, alloc.FullDup, alloc.Ideal, alloc.LowOrder,
+	}
+	all := append(Kernels(), Applications()...)
+	for _, p := range all {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			var base Result
+			for _, mode := range modes {
+				res, err := Run(p, mode)
+				if err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				if mode == alloc.SingleBank {
+					base = res
+				} else {
+					t.Logf("%-12v cycles=%-10d gain=%+6.1f%% dupStores=%d",
+						mode, res.Cycles, Gain(base, res), res.DupStores)
+				}
+			}
+			t.Logf("%-12v cycles=%-10d cost=%d", alloc.SingleBank, base.Cycles, base.Mem.Total())
+		})
+	}
+}
+
+// TestBenchmarkSourcesCompile is the fast variant: single-bank compile
+// and run with validation only.
+func TestBenchmarkSourcesCompile(t *testing.T) {
+	for _, p := range append(Kernels(), Applications()...) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := Run(p, alloc.CB); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestInterpMatchesMachineOnSuite runs a slice of the suite on both
+// execution engines and requires identical output images — the two
+// independently-written semantics must agree on real programs.
+func TestInterpMatchesMachineOnSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite in short mode")
+	}
+	names := []string{"fir_32_1", "iir_4_64", "latnrm_8_1", "adpcm", "histogram", "trellis", "lpc"}
+	for _, name := range names {
+		p, _ := ByName(name)
+		c, err := pipeline.Compile(p.Source, name, pipeline.Options{Mode: alloc.CBDup})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		in := sim.NewInterp(c.IR)
+		if err := in.Run(); err != nil {
+			t.Fatalf("%s: interp: %v", name, err)
+		}
+		m, err := c.Run()
+		if err != nil {
+			t.Fatalf("%s: machine: %v", name, err)
+		}
+		for _, g := range c.IR.Globals {
+			for i := 0; i < g.Size; i++ {
+				mw, err := m.Word(g, i)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if iw := in.Word(g, i); iw != mw {
+					t.Fatalf("%s: %s[%d]: interp %#x, machine %#x", name, g.Name, i, iw, mw)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/cost"
+)
+
+// This file is the experiment harness: it regenerates the paper's
+// Figure 7 (kernel performance gains), Figure 8 (application gains
+// under CB, Pr, Dup and Ideal) and Table 3 (performance/cost
+// trade-offs of duplication).
+
+// FigureRow is one benchmark's gains, in percent over the single-bank
+// baseline, per mode.
+type FigureRow struct {
+	Bench      string
+	BaseCycles int64
+	Gains      map[alloc.Mode]float64
+	Cycles     map[alloc.Mode]int64
+	Duplicated []string
+}
+
+// RunFigure measures the given benchmarks under the given modes.
+func RunFigure(progs []Program, modes []alloc.Mode) ([]FigureRow, error) {
+	var rows []FigureRow
+	for _, p := range progs {
+		base, err := Run(p, alloc.SingleBank)
+		if err != nil {
+			return nil, err
+		}
+		row := FigureRow{
+			Bench:      p.Name,
+			BaseCycles: base.Cycles,
+			Gains:      make(map[alloc.Mode]float64, len(modes)),
+			Cycles:     make(map[alloc.Mode]int64, len(modes)),
+		}
+		for _, m := range modes {
+			res, err := Run(p, m)
+			if err != nil {
+				return nil, err
+			}
+			row.Gains[m] = Gain(base, res)
+			row.Cycles[m] = res.Cycles
+			if m == alloc.CBDup {
+				row.Duplicated = res.Duplicated
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure7Modes and Figure8Modes are the experiment arms shown in each
+// figure; OrganizationModes is the extra memory-organisation study
+// (high-order banked with CB partitioning vs low-order interleaved
+// with hardware conflict stalls vs dual-ported).
+var (
+	Figure7Modes      = []alloc.Mode{alloc.CB, alloc.Ideal}
+	Figure8Modes      = []alloc.Mode{alloc.CB, alloc.CBProfiled, alloc.CBDup, alloc.Ideal}
+	OrganizationModes = []alloc.Mode{alloc.LowOrder, alloc.CB, alloc.CBDup, alloc.Ideal}
+)
+
+// Figure7 reproduces the kernel experiment.
+func Figure7() ([]FigureRow, error) { return RunFigure(Kernels(), Figure7Modes) }
+
+// Figure8 reproduces the application experiment.
+func Figure8() ([]FigureRow, error) { return RunFigure(Applications(), Figure8Modes) }
+
+// Organizations runs the memory-organisation study over the whole
+// suite: it quantifies the paper's §1.2 argument for high-order
+// interleaving by pitting CB partitioning against a low-order
+// interleaved memory whose run-time bank conflicts stall the pipeline.
+func Organizations() ([]FigureRow, error) {
+	return RunFigure(append(Kernels(), Applications()...), OrganizationModes)
+}
+
+// RenderFigure formats rows as a text table.
+func RenderFigure(title string, rows []FigureRow, modes []alloc.Mode) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-14s %12s", "benchmark", "base cycles")
+	for _, m := range modes {
+		fmt.Fprintf(&sb, " %9s", m)
+	}
+	sb.WriteString("\n")
+	sums := make(map[alloc.Mode]float64)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %12d", r.Bench, r.BaseCycles)
+		for _, m := range modes {
+			fmt.Fprintf(&sb, " %8.1f%%", r.Gains[m])
+			sums[m] += r.Gains[m]
+		}
+		if len(r.Duplicated) > 0 {
+			fmt.Fprintf(&sb, "   dup: %s", strings.Join(r.Duplicated, ","))
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%-14s %12s", "average", "")
+	for _, m := range modes {
+		fmt.Fprintf(&sb, " %8.1f%%", sums[m]/float64(len(rows)))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Table3Row is one application's performance/cost metrics for the four
+// techniques of Table 3.
+type Table3Row struct {
+	Bench   string
+	Metrics map[alloc.Mode]cost.Metrics
+}
+
+// Table3Modes are the techniques compared in Table 3.
+var Table3Modes = []alloc.Mode{alloc.FullDup, alloc.CBDup, alloc.CB, alloc.Ideal}
+
+// Table3 reproduces the performance/cost trade-off table over the
+// application benchmarks.
+func Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, p := range Applications() {
+		base, err := Run(p, alloc.SingleBank)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Bench: p.Name, Metrics: make(map[alloc.Mode]cost.Metrics)}
+		for _, m := range Table3Modes {
+			res, err := Run(p, m)
+			if err != nil {
+				return nil, err
+			}
+			row.Metrics[m] = cost.Compare(base.Cycles, res.Cycles, base.Mem, res.Mem)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable3 formats the table with the paper's PG/CI/PCR columns
+// and arithmetic means.
+func RenderTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: Performance/Cost Trade-Offs of Exploiting Dual Data-Memory Banks\n")
+	fmt.Fprintf(&sb, "%-14s", "application")
+	for _, m := range Table3Modes {
+		fmt.Fprintf(&sb, " |%7s: PG    CI   PCR", m)
+	}
+	sb.WriteString("\n")
+	type acc struct{ pg, ci, pcr float64 }
+	accs := make(map[alloc.Mode]*acc)
+	for _, m := range Table3Modes {
+		accs[m] = &acc{}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s", r.Bench)
+		for _, m := range Table3Modes {
+			mt := r.Metrics[m]
+			fmt.Fprintf(&sb, " | %12.2f %5.2f %5.2f", mt.PG, mt.CI, mt.PCR)
+			accs[m].pg += mt.PG
+			accs[m].ci += mt.CI
+			accs[m].pcr += mt.PCR
+		}
+		sb.WriteString("\n")
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&sb, "%-14s", "mean")
+	for _, m := range Table3Modes {
+		a := accs[m]
+		fmt.Fprintf(&sb, " | %12.2f %5.2f %5.2f", a.pg/n, a.ci/n, a.pcr/n)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// SweepRow is one point of a kernel-size sensitivity sweep.
+type SweepRow struct {
+	Label      string
+	BaseCycles int64
+	CBGain     float64
+}
+
+// SweepFIR measures how the CB partitioning gain develops with filter
+// order: the longer the inner loop dominates, the closer the whole
+// kernel approaches the 2-cycles-per-tap dual-bank steady state. It
+// generalises the paper's fir_256_64 / fir_32_1 pairing into a curve.
+func SweepFIR(taps []int, samples int) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, n := range taps {
+		p := FIR(n, samples)
+		base, err := Run(p, alloc.SingleBank)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := Run(p, alloc.CB)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Label:      p.Name,
+			BaseCycles: base.Cycles,
+			CBGain:     Gain(base, cb),
+		})
+	}
+	return rows, nil
+}
+
+// RenderSweep formats a sweep.
+func RenderSweep(title string, rows []SweepRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%-16s %12s %9s\n", title, "kernel", "base cycles", "CB")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %12d %8.1f%%\n", r.Label, r.BaseCycles, r.CBGain)
+	}
+	return sb.String()
+}
+
+// RenderTables renders Tables 1 and 2 of the paper: the benchmark
+// inventories with their descriptions.
+func RenderTables() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: DSP Kernel Benchmarks\n")
+	for _, p := range Kernels() {
+		fmt.Fprintf(&sb, "  %-14s %s\n", p.Name, p.Desc)
+	}
+	sb.WriteString("\nTable 2: DSP Application Benchmarks\n")
+	for _, p := range Applications() {
+		fmt.Fprintf(&sb, "  %-14s %s\n", p.Name, p.Desc)
+	}
+	return sb.String()
+}
+
+// Names lists the benchmark names of a suite, sorted, for CLI help.
+func Names() []string {
+	var out []string
+	for _, p := range Kernels() {
+		out = append(out, p.Name)
+	}
+	for _, p := range Applications() {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// prng is a small deterministic generator (xorshift32) used to build
+// benchmark input data. It is self-contained so the data embedded in
+// the MiniC sources is stable across Go releases.
+type prng struct{ s uint32 }
+
+func newPRNG(seed uint32) *prng {
+	if seed == 0 {
+		seed = 0x9e3779b9
+	}
+	return &prng{s: seed}
+}
+
+func (p *prng) next() uint32 {
+	p.s ^= p.s << 13
+	p.s ^= p.s >> 17
+	p.s ^= p.s << 5
+	return p.s
+}
+
+// f32 returns a float in [-1, 1).
+func (p *prng) f32() float32 {
+	return float32(int32(p.next())) / float32(math.MaxInt32)
+}
+
+// i32n returns an integer in [0, n).
+func (p *prng) i32n(n int32) int32 {
+	return int32(p.next() % uint32(n))
+}
+
+// fmtF renders a float32 as a MiniC literal that round-trips exactly.
+func fmtF(v float32) string {
+	s := fmt.Sprintf("%g", v)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// floatsDecl renders `float name[n] = {...};`.
+func floatsDecl(name string, vals []float32) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "float %s[%d] = {", name, len(vals))
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(fmtF(v))
+	}
+	sb.WriteString("};\n")
+	return sb.String()
+}
+
+// floats2Decl renders `float name[r][c] = {...};` from row-major data.
+func floats2Decl(name string, vals []float32, rows, cols int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "float %s[%d][%d] = {", name, rows, cols)
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(fmtF(v))
+	}
+	sb.WriteString("};\n")
+	return sb.String()
+}
+
+// intsDecl renders `int name[n] = {...};`.
+func intsDecl(name string, vals []int32) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "int %s[%d] = {", name, len(vals))
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteString("};\n")
+	return sb.String()
+}
+
+// ints2Decl renders `int name[r][c] = {...};` from row-major data.
+func ints2Decl(name string, vals []int32, rows, cols int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "int %s[%d][%d] = {", name, rows, cols)
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteString("};\n")
+	return sb.String()
+}
+
+// randFloats returns n floats in [-1, 1).
+func randFloats(p *prng, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = p.f32()
+	}
+	return out
+}
+
+// randInts returns n integers in [0, max).
+func randInts(p *prng, n int, max int32) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = p.i32n(max)
+	}
+	return out
+}
+
+// checkF32s compares a float output array against expected values with
+// a mixed absolute/relative tolerance.
+func checkF32s(r Reader, name string, want []float32, tol float64) error {
+	for i, w := range want {
+		got, err := F32(r, name, i)
+		if err != nil {
+			return err
+		}
+		diff := math.Abs(float64(got - w))
+		scale := math.Max(1, math.Abs(float64(w)))
+		if diff > tol*scale {
+			return fmt.Errorf("%s[%d] = %g, want %g (diff %g)", name, i, got, w, diff)
+		}
+	}
+	return nil
+}
+
+// checkI32s compares an integer output array exactly.
+func checkI32s(r Reader, name string, want []int32) error {
+	return checkI32sTol(r, name, want, 0)
+}
+
+// checkI32sTol compares an integer output array within an absolute
+// tolerance (for values derived from float computations, where the
+// final truncation may straddle an integer boundary).
+func checkI32sTol(r Reader, name string, want []int32, tol int32) error {
+	for i, w := range want {
+		got, err := I32(r, name, i)
+		if err != nil {
+			return err
+		}
+		d := got - w
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return fmt.Errorf("%s[%d] = %d, want %d", name, i, got, w)
+		}
+	}
+	return nil
+}

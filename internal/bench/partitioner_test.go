@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/compact"
+	"dualbank/internal/core"
+	"dualbank/internal/pipeline"
+)
+
+// TestPartitionerComparison reproduces the Princeton finding the
+// paper's related-work section leans on: a computationally expensive
+// partitioner (simulated annealing) buys essentially nothing over the
+// simple greedy heuristic — which is the paper's justification for
+// using the greedy algorithm. Kernighan-Lin refinement likewise only
+// marginally moves the needle.
+func TestPartitionerComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison study in short mode")
+	}
+	suite := []string{
+		"fir_256_64", "iir_4_64", "latnrm_32_64", "mult_10_10",
+		"fft_256", "lpc", "edge_detect", "V32encode", "trellis",
+	}
+	methods := []core.Method{core.MethodGreedy, core.MethodKL, core.MethodAnneal}
+	for _, name := range suite {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("no benchmark %q", name)
+		}
+		cycles := map[core.Method]int64{}
+		for _, m := range methods {
+			c, err := pipeline.Compile(p.Source, name, pipeline.Options{
+				Mode: alloc.CB, Partitioner: m,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			if err := compact.Validate(c.Sched); err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			mach, err := c.Run()
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			if p.Check != nil {
+				read := func(gn string, idx int) (uint32, error) {
+					return mach.Word(c.Global(gn), idx)
+				}
+				if err := p.Check(read); err != nil {
+					t.Fatalf("%s/%v: wrong output: %v", name, m, err)
+				}
+			}
+			cycles[m] = mach.Cycles
+		}
+		greedy := float64(cycles[core.MethodGreedy])
+		for _, m := range methods[1:] {
+			ratio := float64(cycles[m]) / greedy
+			// Comparable means within ~15% either way; typically they
+			// are identical.
+			if ratio > 1.15 || ratio < 0.70 {
+				t.Errorf("%s: %v gives %d cycles vs greedy %d (ratio %.2f) — not comparable",
+					name, m, cycles[m], cycles[core.MethodGreedy], ratio)
+			}
+		}
+		t.Logf("%-14s greedy=%-8d kl=%-8d anneal=%-8d",
+			name, cycles[core.MethodGreedy], cycles[core.MethodKL], cycles[core.MethodAnneal])
+	}
+}

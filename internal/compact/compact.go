@@ -1,0 +1,295 @@
+// Package compact implements the operation-compaction pass: the
+// list-scheduling algorithm (based on local microcode compaction) that
+// packs independent machine operations into VLIW long instructions,
+// honouring functional-unit capacities and the memory-unit/bank binding
+// established by the data allocation pass. It is the same algorithm the
+// interference-graph builder dry-runs (Figure 3), now with both memory
+// units usable because every memory operation carries a bank tag.
+package compact
+
+import (
+	"fmt"
+
+	"dualbank/internal/ddg"
+	"dualbank/internal/ir"
+	"dualbank/internal/machine"
+)
+
+// Instr is one VLIW long instruction: at most one operation per
+// functional unit, all executing in a single cycle with operands read
+// before results are written.
+type Instr struct {
+	Slots [machine.NumUnits]*ir.Op
+}
+
+// Ops returns the instruction's operations in unit order.
+func (in *Instr) Ops() []*ir.Op {
+	var out []*ir.Op
+	for _, op := range in.Slots {
+		if op != nil {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Count returns the number of occupied slots.
+func (in *Instr) Count() int {
+	n := 0
+	for _, op := range in.Slots {
+		if op != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Block is a scheduled basic block.
+type Block struct {
+	Src    *ir.Block
+	Instrs []*Instr
+}
+
+// Func is a scheduled function.
+type Func struct {
+	Src    *ir.Func
+	Blocks []*Block // indexed by ir block ID
+}
+
+// Program is a fully scheduled program, the input to the simulator and
+// the assembly printer.
+type Program struct {
+	Src   *ir.Program
+	Funcs map[string]*Func
+	Ports machine.PortModel
+}
+
+// StaticInstrs returns the total number of long instructions in the
+// program — the instruction-memory size I in the cost model (the paper
+// assumes one word per instruction).
+func (p *Program) StaticInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// Config parameterises scheduling.
+type Config struct {
+	// Ports is the memory port model: banked (MU0=X, MU1=Y) or
+	// dual-ported (Ideal).
+	Ports machine.PortModel
+}
+
+// Schedule compacts every block of every function.
+func Schedule(p *ir.Program, cfg Config) (*Program, error) {
+	out := &Program{Src: p, Funcs: make(map[string]*Func, len(p.Funcs)), Ports: cfg.Ports}
+	for _, f := range p.Funcs {
+		sf := &Func{Src: f}
+		for _, b := range f.Blocks {
+			sb, err := scheduleBlock(b, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("compact %s %s: %w", f.Name, b, err)
+			}
+			sf.Blocks = append(sf.Blocks, sb)
+		}
+		out.Funcs[f.Name] = sf
+	}
+	return out, nil
+}
+
+// unitsFor lists the functional units that may execute op, most
+// preferred first.
+func unitsFor(op *ir.Op, ports machine.PortModel) []machine.Unit {
+	cls := op.Kind.Class()
+	if cls != machine.ClassMemory {
+		return machine.UnitsOf(cls)
+	}
+	return ports.UnitsForBank(op.Bank)
+}
+
+func scheduleBlock(b *ir.Block, cfg Config) (*Block, error) {
+	g := ddg.Build(b)
+	n := len(g.Ops)
+	sb := &Block{Src: b}
+	if n == 0 {
+		return sb, nil
+	}
+	scheduled := make([]bool, n)
+	cycleOf := make([]int, n)
+	for i := range cycleOf {
+		cycleOf[i] = -1
+	}
+	pairIndex := make(map[*ir.Op]int, n)
+	for i, op := range g.Ops {
+		pairIndex[op] = i
+	}
+	remaining := n
+
+	drs := make([]int, 0, n)
+	for cycle := 0; remaining > 0; cycle++ {
+		instr := &Instr{}
+		remBefore := remaining
+
+		compatible := func(i int) bool {
+			for _, e := range g.Pred[i] {
+				if e.Strict && cycleOf[e.To] == cycle {
+					return false
+				}
+			}
+			return true
+		}
+		place := func(i int) bool {
+			for _, u := range unitsFor(g.Ops[i], cfg.Ports) {
+				if instr.Slots[u] == nil {
+					instr.Slots[u] = g.Ops[i]
+					scheduled[i] = true
+					cycleOf[i] = cycle
+					remaining--
+					return true
+				}
+			}
+			return false
+		}
+
+		// Fill the instruction to a fixed point: scheduling an
+		// operation can make its anti-dependent successors data-ready
+		// within the same cycle (operands are read before results are
+		// written), so the data-ready set is recalculated until the
+		// instruction stops growing.
+		for {
+			drs = drs[:0]
+			for i := 0; i < n; i++ {
+				if scheduled[i] {
+					continue
+				}
+				ready := true
+				for _, e := range g.Pred[i] {
+					if !scheduled[e.To] {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					drs = append(drs, i)
+				}
+			}
+			insertionSortByPriority(drs, g.Priority)
+			inDRS := make(map[int]bool, len(drs))
+			for _, i := range drs {
+				inDRS[i] = true
+			}
+
+			placed := false
+			for _, i := range drs {
+				if scheduled[i] || !compatible(i) {
+					continue
+				}
+				op := g.Ops[i]
+				// Atomic duplicated-store pairs must commit in the same
+				// instruction: schedule both or neither.
+				if op.Atomic && op.DupPair != nil {
+					j, ok := pairIndex[op.DupPair]
+					if !ok || scheduled[j] || !inDRS[j] || !compatible(j) {
+						continue
+					}
+					if place(i) {
+						if place(j) {
+							placed = true
+						} else {
+							// Undo: both halves wait for the next cycle.
+							for u := range instr.Slots {
+								if instr.Slots[u] == op {
+									instr.Slots[u] = nil
+								}
+							}
+							scheduled[i] = false
+							cycleOf[i] = -1
+							remaining++
+						}
+					}
+					continue
+				}
+				if place(i) {
+					placed = true
+				}
+			}
+			if !placed {
+				break
+			}
+		}
+		if remaining == remBefore {
+			return nil, fmt.Errorf("scheduler made no progress at cycle %d", cycle)
+		}
+		sb.Instrs = append(sb.Instrs, instr)
+	}
+	return sb, nil
+}
+
+// insertionSortByPriority sorts indices by descending priority, ties by
+// ascending index (stable program order).
+func insertionSortByPriority(idx []int, prio []int) {
+	for i := 1; i < len(idx); i++ {
+		v := idx[i]
+		j := i - 1
+		for j >= 0 && (prio[idx[j]] < prio[v] || (prio[idx[j]] == prio[v] && idx[j] > v)) {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = v
+	}
+}
+
+// Validate checks that the schedule respects all dependences and unit
+// constraints; tests run it over every compiled benchmark.
+func Validate(p *Program) error {
+	for name, f := range p.Funcs {
+		for _, sb := range f.Blocks {
+			cycle := make(map[*ir.Op]int)
+			for c, in := range sb.Instrs {
+				for u, op := range in.Slots {
+					if op == nil {
+						continue
+					}
+					cycle[op] = c
+					cls := op.Kind.Class()
+					okUnit := false
+					for _, au := range unitsFor(op, p.Ports) {
+						if machine.Unit(u) == au {
+							okUnit = true
+						}
+					}
+					if !okUnit {
+						return fmt.Errorf("%s: op %s of class %s on unit %s", name, op, cls, machine.Unit(u))
+					}
+				}
+			}
+			// Every op scheduled exactly once.
+			if len(cycle) != len(sb.Src.Ops) {
+				return fmt.Errorf("%s %s: %d ops scheduled, want %d", name, sb.Src, len(cycle), len(sb.Src.Ops))
+			}
+			g := ddg.Build(sb.Src)
+			for i, op := range g.Ops {
+				for _, e := range g.Succ[i] {
+					to := g.Ops[e.To]
+					if e.Strict && cycle[to] <= cycle[op] {
+						return fmt.Errorf("%s: strict dependence violated: %s -> %s", name, op, to)
+					}
+					if !e.Strict && cycle[to] < cycle[op] {
+						return fmt.Errorf("%s: anti dependence violated: %s -> %s", name, op, to)
+					}
+				}
+			}
+			// Atomic pairs share an instruction.
+			for op, c := range cycle {
+				if op.Atomic && op.DupPair != nil && cycle[op.DupPair] != c {
+					return fmt.Errorf("%s: atomic pair split across instructions", name)
+				}
+			}
+		}
+	}
+	return nil
+}

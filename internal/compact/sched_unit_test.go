@@ -1,0 +1,158 @@
+package compact_test
+
+import (
+	"testing"
+
+	"dualbank/internal/compact"
+	"dualbank/internal/ir"
+	"dualbank/internal/machine"
+)
+
+// buildBlock assembles a one-block physical-form function from ops.
+func buildBlock(ops ...*ir.Op) (*ir.Program, *ir.Func) {
+	f := ir.NewFunc("main", ir.TVoid)
+	f.SetPhysRegTable()
+	b := f.NewBlock()
+	b.Ops = ops
+	p := &ir.Program{Name: "unit"}
+	p.AddFunc(f)
+	return p, f
+}
+
+func scheduleOne(t *testing.T, p *ir.Program, ports machine.PortModel) *compact.Block {
+	t.Helper()
+	sched, err := compact.Schedule(p, compact.Config{Ports: ports})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compact.Validate(sched); err != nil {
+		t.Fatal(err)
+	}
+	return sched.Funcs["main"].Blocks[0]
+}
+
+func cycleOf(b *compact.Block, op *ir.Op) int {
+	for c, in := range b.Instrs {
+		for _, o := range in.Slots {
+			if o == op {
+				return c
+			}
+		}
+	}
+	return -1
+}
+
+// TestIndependentOpsPack: four independent integer ops fit one
+// instruction (four scalar units).
+func TestIndependentOpsPack(t *testing.T) {
+	r := func(n int) ir.Reg { return ir.PhysInt(n) }
+	ops := []*ir.Op{
+		{Kind: ir.OpConst, Type: ir.TInt, Dst: r(2), Imm: 1},
+		{Kind: ir.OpConst, Type: ir.TInt, Dst: r(3), Imm: 2},
+		{Kind: ir.OpConst, Type: ir.TInt, Dst: r(4), Imm: 3},
+		{Kind: ir.OpConst, Type: ir.TInt, Dst: r(5), Imm: 4},
+		{Kind: ir.OpRet},
+	}
+	p, _ := buildBlock(ops...)
+	b := scheduleOne(t, p, machine.PortsBanked)
+	if len(b.Instrs) != 1 {
+		t.Fatalf("got %d instructions, want 1 (4 scalar units + PCU)", len(b.Instrs))
+	}
+}
+
+// TestFifthIntegerOpSpills: a fifth independent integer op overflows
+// the four scalar units into a second instruction.
+func TestFifthIntegerOpSpillsToNextCycle(t *testing.T) {
+	r := func(n int) ir.Reg { return ir.PhysInt(n) }
+	var ops []*ir.Op
+	for i := 0; i < 5; i++ {
+		ops = append(ops, &ir.Op{Kind: ir.OpConst, Type: ir.TInt, Dst: r(2 + i), Imm: int64(i)})
+	}
+	ops = append(ops, &ir.Op{Kind: ir.OpRet})
+	p, _ := buildBlock(ops...)
+	b := scheduleOne(t, p, machine.PortsBanked)
+	if len(b.Instrs) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(b.Instrs))
+	}
+}
+
+// TestAntiDependentSharesCycle: a read and a subsequent redefinition of
+// the same register may share an instruction (read-before-write).
+func TestAntiDependentSharesCycle(t *testing.T) {
+	r := func(n int) ir.Reg { return ir.PhysInt(n) }
+	def := &ir.Op{Kind: ir.OpConst, Type: ir.TInt, Dst: r(2), Imm: 1}
+	use := &ir.Op{Kind: ir.OpAdd, Type: ir.TInt, Dst: r(3), Args: [2]ir.Reg{r(2), r(2)}}
+	redef := &ir.Op{Kind: ir.OpConst, Type: ir.TInt, Dst: r(2), Imm: 9}
+	p, _ := buildBlock(def, use, redef, &ir.Op{Kind: ir.OpRet})
+	b := scheduleOne(t, p, machine.PortsBanked)
+	if cycleOf(b, use) != cycleOf(b, redef) {
+		t.Fatalf("anti-dependent ops in cycles %d and %d, want shared",
+			cycleOf(b, use), cycleOf(b, redef))
+	}
+	if cycleOf(b, def) >= cycleOf(b, use) {
+		t.Fatal("flow dependence violated")
+	}
+}
+
+// TestPriorityPicksLongChainFirst: with one free slot, the op heading
+// the longer dependence chain schedules first.
+func TestPriorityPicksLongChainFirst(t *testing.T) {
+	r := func(n int) ir.Reg { return ir.PhysInt(n) }
+	sym := &ir.Symbol{Name: "a", Elem: ir.TInt, Size: 4, Bank: machine.BankX}
+	// Chain A: load -> add -> add (3 long). Chain B: lone load.
+	idx := &ir.Op{Kind: ir.OpConst, Type: ir.TInt, Dst: r(9)}
+	la := &ir.Op{Kind: ir.OpLoad, Type: ir.TInt, Dst: r(2), Sym: sym, Idx: r(9), Bank: machine.BankX}
+	a1 := &ir.Op{Kind: ir.OpAdd, Type: ir.TInt, Dst: r(3), Args: [2]ir.Reg{r(2), r(2)}}
+	a2 := &ir.Op{Kind: ir.OpAdd, Type: ir.TInt, Dst: r(4), Args: [2]ir.Reg{r(3), r(3)}}
+	lb := &ir.Op{Kind: ir.OpLoad, Type: ir.TInt, Dst: r(5), Sym: sym, Idx: r(9), Bank: machine.BankX}
+	p, _ := buildBlock(idx, lb, la, a1, a2, &ir.Op{Kind: ir.OpRet})
+	b := scheduleOne(t, p, machine.PortsBanked)
+	// Both loads target bank X (one port): the chain-heading load must
+	// win the first memory slot despite appearing second in program
+	// order.
+	if cycleOf(b, la) >= cycleOf(b, lb) {
+		t.Fatalf("high-priority load in cycle %d, low-priority in %d",
+			cycleOf(b, la), cycleOf(b, lb))
+	}
+}
+
+// TestTerminatorPacksWithFinalOps: the return shares the final
+// instruction (weak dependence only).
+func TestTerminatorPacksWithFinalOps(t *testing.T) {
+	r := func(n int) ir.Reg { return ir.PhysInt(n) }
+	c1 := &ir.Op{Kind: ir.OpConst, Type: ir.TInt, Dst: r(2), Imm: 1}
+	ret := &ir.Op{Kind: ir.OpRet}
+	p, _ := buildBlock(c1, ret)
+	b := scheduleOne(t, p, machine.PortsBanked)
+	if len(b.Instrs) != 1 {
+		t.Fatalf("got %d instructions, want 1 (ret packs with the const)", len(b.Instrs))
+	}
+}
+
+// TestBankBoundLoadWaits: two X-bank loads serialise on MU0 under the
+// banked model but share a cycle when dual-ported.
+func TestBankBoundLoadWaits(t *testing.T) {
+	r := func(n int) ir.Reg { return ir.PhysInt(n) }
+	sym := &ir.Symbol{Name: "a", Elem: ir.TInt, Size: 4, Bank: machine.BankX}
+	idx := &ir.Op{Kind: ir.OpConst, Type: ir.TInt, Dst: r(9)}
+	l1 := &ir.Op{Kind: ir.OpLoad, Type: ir.TInt, Dst: r(2), Sym: sym, Idx: r(9), Bank: machine.BankX}
+	l2 := &ir.Op{Kind: ir.OpLoad, Type: ir.TInt, Dst: r(3), Sym: sym, Idx: r(9), Bank: machine.BankX}
+
+	p, _ := buildBlock(idx, l1, l2, &ir.Op{Kind: ir.OpRet})
+	banked := scheduleOne(t, p, machine.PortsBanked)
+	if cycleOf(banked, l1) == cycleOf(banked, l2) {
+		t.Fatal("two X-bank loads shared MU0")
+	}
+
+	p2, _ := buildBlock(
+		&ir.Op{Kind: ir.OpConst, Type: ir.TInt, Dst: r(9)},
+		&ir.Op{Kind: ir.OpLoad, Type: ir.TInt, Dst: r(2), Sym: sym, Idx: r(9), Bank: machine.BankX},
+		&ir.Op{Kind: ir.OpLoad, Type: ir.TInt, Dst: r(3), Sym: sym, Idx: r(9), Bank: machine.BankX},
+		&ir.Op{Kind: ir.OpRet},
+	)
+	dual := scheduleOne(t, p2, machine.PortsDualPorted)
+	if dual.Instrs[0] == nil || len(dual.Instrs) >= len(banked.Instrs) {
+		t.Fatalf("dual-ported (%d instrs) not tighter than banked (%d)",
+			len(dual.Instrs), len(banked.Instrs))
+	}
+}

@@ -1,0 +1,86 @@
+package compact
+
+import (
+	"fmt"
+	"strings"
+
+	"dualbank/internal/machine"
+)
+
+// Stats summarises a schedule's static resource utilization: how full
+// the long instructions are, how busy each functional unit is, and —
+// the figure of merit for this paper — how often the two memory units
+// issue together.
+type Stats struct {
+	Instrs int // long instructions
+	Ops    int // operations scheduled
+
+	// UnitOps[u] is the number of instructions using unit u.
+	UnitOps [machine.NumUnits]int
+
+	// MemInstrs counts instructions with at least one memory access;
+	// DualMemInstrs those with two (the exploited parallelism).
+	MemInstrs, DualMemInstrs int
+}
+
+// OpsPerInstr is the mean occupancy of a long instruction.
+func (s Stats) OpsPerInstr() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.Ops) / float64(s.Instrs)
+}
+
+// DualMemRatio is the fraction of memory-carrying instructions that
+// issue two accesses at once.
+func (s Stats) DualMemRatio() float64 {
+	if s.MemInstrs == 0 {
+		return 0
+	}
+	return float64(s.DualMemInstrs) / float64(s.MemInstrs)
+}
+
+// StaticStats computes schedule statistics over the whole program.
+func (p *Program) StaticStats() Stats {
+	var s Stats
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				s.Instrs++
+				mem := 0
+				for u, op := range in.Slots {
+					if op == nil {
+						continue
+					}
+					s.Ops++
+					s.UnitOps[u]++
+					if op.IsMem() {
+						mem++
+					}
+				}
+				if mem >= 1 {
+					s.MemInstrs++
+				}
+				if mem >= 2 {
+					s.DualMemInstrs++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// String renders the statistics as a small report.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "instructions: %d, operations: %d (%.2f ops/instr)\n",
+		s.Instrs, s.Ops, s.OpsPerInstr())
+	fmt.Fprintf(&sb, "memory instructions: %d, dual-access: %d (%.0f%%)\n",
+		s.MemInstrs, s.DualMemInstrs, 100*s.DualMemRatio())
+	sb.WriteString("unit occupancy:")
+	for u := 0; u < machine.NumUnits; u++ {
+		fmt.Fprintf(&sb, " %s=%d", machine.Unit(u), s.UnitOps[u])
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,345 @@
+// Package core implements the paper's primary contribution: the
+// compaction-based (CB) data-partitioning algorithm and the analysis
+// side of partial data duplication.
+//
+// The algorithm has three parts (§3.1–§3.2 of the paper):
+//
+//  1. An interference graph over the program's variables and arrays.
+//     An edge (a, b) means a memory operation on a and one on b could
+//     issue in the same long instruction if the two symbols lived in
+//     different banks. Edges are discovered by running the operation
+//     compaction (list-scheduling) algorithm over every basic block
+//     with a single usable memory slot: whenever a second data-ready
+//     memory operation is blocked only by the memory unit, the pair of
+//     symbols interferes (Figure 3).
+//  2. Edge weights. The static policy weighs an edge by the loop
+//     nesting depth of the access (depth+1, so a pair inside one loop
+//     outweighs a pair in straight-line code — Figure 4); the profiled
+//     policy weighs it by the executed frequency of the block.
+//  3. A greedy min-cost bipartition of the graph (Figure 5) assigning
+//     each symbol to bank X or bank Y.
+//
+// When the two blocked memory operations access the *same* symbol, no
+// partition can help; the symbol is marked for duplication instead, the
+// trigger for partial data duplication (§3.2, Figure 6).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dualbank/internal/ddg"
+	"dualbank/internal/ir"
+	"dualbank/internal/machine"
+)
+
+// WeightPolicy selects how interference-edge weights are derived.
+type WeightPolicy int8
+
+const (
+	// WeightStatic uses the loop-nesting-depth heuristic: an edge
+	// discovered at nesting depth d gets weight max(existing, d+1).
+	WeightStatic WeightPolicy = iota
+	// WeightProfiled accumulates the profiled execution count of the
+	// block in which each pairing is discovered (the Pr configuration
+	// in Figure 8). Blocks must carry ExecCount from a profiling run.
+	WeightProfiled
+)
+
+func (w WeightPolicy) String() string {
+	if w == WeightProfiled {
+		return "profiled"
+	}
+	return "static"
+}
+
+// Graph is the interference graph: nodes are data symbols, weighted
+// edges are potential parallel accesses.
+type Graph struct {
+	Nodes []*ir.Symbol
+
+	index   map[*ir.Symbol]int
+	weights map[[2]int]int64
+
+	// DupMarks holds symbols flagged for duplication: two simultaneous
+	// data-ready accesses hit the same symbol.
+	DupMarks map[*ir.Symbol]bool
+
+	// Pairs counts distinct discovery events per edge; exposed for
+	// diagnostics and tests.
+	Pairs map[[2]int]int
+}
+
+// NewGraph returns an empty interference graph over the given symbols.
+func NewGraph(nodes []*ir.Symbol) *Graph {
+	g := &Graph{
+		Nodes:    nodes,
+		index:    make(map[*ir.Symbol]int, len(nodes)),
+		weights:  make(map[[2]int]int64),
+		DupMarks: make(map[*ir.Symbol]bool),
+		Pairs:    make(map[[2]int]int),
+	}
+	for i, s := range nodes {
+		g.index[s] = i
+	}
+	return g
+}
+
+func (g *Graph) key(a, b *ir.Symbol) [2]int {
+	i, j := g.index[a], g.index[b]
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+// Weight returns the weight of edge (a, b), or 0 if absent.
+func (g *Graph) Weight(a, b *ir.Symbol) int64 {
+	return g.weights[g.key(a, b)]
+}
+
+// Edges returns the number of edges in the graph.
+func (g *Graph) Edges() int { return len(g.weights) }
+
+// addEvent records one discovery of the pair (a, b) in block blk.
+func (g *Graph) addEvent(a, b *ir.Symbol, blk *ir.Block, policy WeightPolicy) {
+	if a == b {
+		g.DupMarks[a] = true
+		return
+	}
+	k := g.key(a, b)
+	g.Pairs[k]++
+	switch policy {
+	case WeightStatic:
+		w := int64(blk.LoopDepth + 1)
+		if w > g.weights[k] {
+			g.weights[k] = w
+		}
+	case WeightProfiled:
+		g.weights[k] += blk.ExecCount
+	}
+}
+
+// String renders the graph's edges, sorted, for tests and the explorer
+// example.
+func (g *Graph) String() string {
+	type edge struct {
+		a, b string
+		w    int64
+	}
+	var edges []edge
+	for k, w := range g.weights {
+		edges = append(edges, edge{g.Nodes[k[0]].Name, g.Nodes[k[1]].Name, w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	var sb strings.Builder
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "(%s, %s) w=%d\n", e.a, e.b, e.w)
+	}
+	var dups []string
+	for s, ok := range g.DupMarks {
+		if ok {
+			dups = append(dups, s.Name)
+		}
+	}
+	sort.Strings(dups)
+	if len(dups) > 0 {
+		fmt.Fprintf(&sb, "dup: %s\n", strings.Join(dups, ", "))
+	}
+	return sb.String()
+}
+
+// Dot renders the interference graph in Graphviz format, with the
+// partition (if given) as node colours and duplication marks as
+// doubled outlines — the visual counterpart of the paper's Figure 4.
+func (g *Graph) Dot(part *Partition) string {
+	var sb strings.Builder
+	sb.WriteString("graph interference {\n  node [shape=ellipse, style=filled, fillcolor=white];\n")
+	side := map[*ir.Symbol]string{}
+	if part != nil {
+		for _, s := range part.SetX {
+			side[s] = "lightblue"
+		}
+		for _, s := range part.SetY {
+			side[s] = "lightsalmon"
+		}
+	}
+	// Only nodes that participate in an edge or a mark are drawn;
+	// whole-program graphs contain many untouched symbols.
+	used := map[int]bool{}
+	for k := range g.weights {
+		used[k[0]] = true
+		used[k[1]] = true
+	}
+	for i, s := range g.Nodes {
+		if !used[i] && !g.DupMarks[s] {
+			continue
+		}
+		attrs := ""
+		if c, ok := side[s]; ok {
+			attrs = ", fillcolor=" + c
+		}
+		if g.DupMarks[s] {
+			attrs += ", peripheries=2"
+		}
+		fmt.Fprintf(&sb, "  %q [label=%q%s];\n", s.Name, s.Name, attrs)
+	}
+	type edge struct {
+		a, b string
+		w    int64
+	}
+	var edges []edge
+	for k, w := range g.weights {
+		edges = append(edges, edge{g.Nodes[k[0]].Name, g.Nodes[k[1]].Name, w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "  %q -- %q [label=\"%d\"];\n", e.a, e.b, e.w)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// BuildGraph runs the Figure-3 algorithm over every basic block of the
+// program and returns the completed interference graph.
+func BuildGraph(p *ir.Program, policy WeightPolicy) *Graph {
+	g := NewGraph(p.Symbols())
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			g.ScanBlock(b, policy)
+		}
+	}
+	return g
+}
+
+// classSlots is the per-instruction functional-unit budget during graph
+// construction. The memory budget is 1: data is not yet partitioned, so
+// the pass cannot know that two accesses would use different units —
+// precisely the situation the interference edge records.
+func classSlots() [machine.NumClasses]int {
+	var s [machine.NumClasses]int
+	s[machine.ClassControl] = 1
+	s[machine.ClassMemory] = 1
+	s[machine.ClassInteger] = 4
+	s[machine.ClassFloat] = 2
+	return s
+}
+
+// ScanBlock applies the augmented compaction algorithm of Figure 3 to
+// one basic block, adding interference edges and duplication marks.
+// Operations are not actually packed into instructions here; that
+// happens later, in the compaction pass proper.
+func (g *Graph) ScanBlock(b *ir.Block, policy WeightPolicy) {
+	dg := ddg.Build(b)
+	n := len(dg.Ops)
+	if n == 0 {
+		return
+	}
+	scheduled := make([]bool, n)
+	cycleOf := make([]int, n)
+	for i := range cycleOf {
+		cycleOf[i] = -1
+	}
+	remaining := n
+
+	drs := make([]int, 0, n)
+	for cycle := 0; remaining > 0; cycle++ {
+		// Form a new long instruction.
+		slots := classSlots()
+		firstMem := -1
+		remBefore := remaining
+		// recorded[i] notes a pairing event already emitted for op i in
+		// this cycle, so the in-cycle fixed point below does not count
+		// the same blocked pair twice.
+		recorded := make(map[int]bool)
+
+		// Fill the instruction to a fixed point, mirroring the real
+		// scheduler: newly anti-dependence-ready operations may join
+		// the current instruction.
+		for {
+			// Calculate the data-ready set: unscheduled ops whose
+			// predecessors are all scheduled.
+			drs = drs[:0]
+			for i := 0; i < n; i++ {
+				if scheduled[i] {
+					continue
+				}
+				ready := true
+				for _, e := range dg.Pred[i] {
+					if !scheduled[e.To] {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					drs = append(drs, i)
+				}
+			}
+			// Sort the DRS by priority (descendant count), ties by
+			// program order for determinism.
+			sort.SliceStable(drs, func(x, y int) bool {
+				return dg.Priority[drs[x]] > dg.Priority[drs[y]]
+			})
+
+			progress := false
+			for _, i := range drs {
+				// Data-compatibility: an op may join the current
+				// instruction unless a strict predecessor was scheduled
+				// in this same cycle (anti-dependences are fine: reads
+				// precede writes).
+				compatible := true
+				for _, e := range dg.Pred[i] {
+					if e.Strict && cycleOf[e.To] == cycle {
+						compatible = false
+						break
+					}
+				}
+				if !compatible {
+					continue
+				}
+				cls := dg.Ops[i].Kind.Class()
+				if slots[cls] > 0 {
+					slots[cls]--
+					scheduled[i] = true
+					cycleOf[i] = cycle
+					remaining--
+					progress = true
+					if dg.Ops[i].IsMem() {
+						firstMem = i
+					}
+					continue
+				}
+				// Function-unit incompatible. For memory operations this
+				// is the interesting case: the op is independent of
+				// everything scheduled (including the first memory op)
+				// but competes for the memory unit. Record the
+				// interference, or mark the symbol for duplication when
+				// both ops touch the same one. The op stays unscheduled
+				// so it re-enters the next DRS.
+				if dg.Ops[i].IsMem() && firstMem >= 0 && !recorded[i] {
+					recorded[i] = true
+					g.addEvent(dg.Ops[firstMem].Sym, dg.Ops[i].Sym, b, policy)
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		if remaining == remBefore {
+			// Defensive: cannot happen with per-class budgets >= 1, but
+			// guarantees termination regardless.
+			break
+		}
+	}
+}

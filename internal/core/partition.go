@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dualbank/internal/ir"
+)
+
+// Partition is the result of bipartitioning the interference graph:
+// SetX holds the symbols assigned to bank X, SetY those assigned to
+// bank Y. Cost is the residual cost — the summed weight of edges whose
+// endpoints ended up in the same set, i.e. the parallel-access
+// opportunities the partition could not satisfy.
+type Partition struct {
+	SetX, SetY []*ir.Symbol
+	Cost       int64
+	// Trace records the cost after each greedy move, starting with the
+	// initial all-in-one-set cost; exposed so tests can check the
+	// Figure 5 walk (7 -> 3 -> 2).
+	Trace []int64
+}
+
+// Partition bipartitions the graph's nodes with the paper's greedy
+// algorithm (Figure 5):
+//
+//	Start with every node in set 1 and set 2 empty; the cost is the
+//	total weight of edges inside set 1. Repeatedly move the node whose
+//	transfer to set 2 yields the greatest net decrease in cost — the
+//	weight of its edges into set 1 minus the weight of its edges into
+//	set 2 — stopping as soon as no move decreases the cost.
+//
+// Ties are broken in favour of the later node, which reproduces the
+// published walk on the Figure 5 example. The greedy method is O(v²)
+// and, as the paper reports, achieves near-ideal partitions in
+// practice.
+func (g *Graph) Partition() *Partition {
+	n := len(g.Nodes)
+	inY := make([]bool, n)
+
+	// Adjacency lists for O(deg) delta updates.
+	type adj struct {
+		to int
+		w  int64
+	}
+	adjs := make([][]adj, n)
+	var total int64
+	for k, w := range g.weights {
+		adjs[k[0]] = append(adjs[k[0]], adj{k[1], w})
+		adjs[k[1]] = append(adjs[k[1]], adj{k[0], w})
+		total += w
+	}
+
+	cost := total
+	trace := []int64{cost}
+	for {
+		best, bestDelta := -1, int64(0)
+		for i := 0; i < n; i++ {
+			if inY[i] {
+				continue
+			}
+			// Net decrease: edges into set 1 minus edges into set 2.
+			var delta int64
+			for _, a := range adjs[i] {
+				if inY[a.to] {
+					delta -= a.w
+				} else {
+					delta += a.w
+				}
+			}
+			if delta > 0 && delta >= bestDelta {
+				best, bestDelta = i, delta
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inY[best] = true
+		cost -= bestDelta
+		trace = append(trace, cost)
+	}
+
+	part := &Partition{Cost: cost, Trace: trace}
+	for i, s := range g.Nodes {
+		if inY[i] {
+			part.SetY = append(part.SetY, s)
+		} else {
+			part.SetX = append(part.SetX, s)
+		}
+	}
+	return part
+}
+
+// String renders the partition for diagnostics.
+func (p *Partition) String() string {
+	names := func(ss []*ir.Symbol) string {
+		var ns []string
+		for _, s := range ss {
+			ns = append(ns, s.Name)
+		}
+		return strings.Join(ns, ", ")
+	}
+	return fmt.Sprintf("X: {%s}\nY: {%s}\ncost: %d", names(p.SetX), names(p.SetY), p.Cost)
+}

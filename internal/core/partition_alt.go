@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"dualbank/internal/ir"
+)
+
+// This file provides two alternative graph partitioners used to
+// validate the paper's choice of the simple greedy algorithm:
+//
+//   - PartitionKL refines the greedy result with Kernighan–Lin-style
+//     passes (the paper notes "other algorithms, such as graph
+//     colouring, will probably work just as well").
+//   - PartitionAnneal is a simulated-annealing partitioner in the
+//     spirit of Sudarsanam & Malik's constraint-graph labelling, which
+//     the paper's related-work section discusses; the Princeton study
+//     found annealing performed no better than a greedy heuristic, a
+//     result this reproduction's tests confirm on the benchmark suite.
+//
+// Both are deterministic (the annealer takes an explicit seed).
+
+// Method selects a partitioning algorithm.
+type Method int8
+
+const (
+	// MethodGreedy is the paper's Figure 5 algorithm.
+	MethodGreedy Method = iota
+	// MethodKL is greedy followed by Kernighan–Lin refinement.
+	MethodKL
+	// MethodAnneal is simulated annealing.
+	MethodAnneal
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodKL:
+		return "kl"
+	case MethodAnneal:
+		return "anneal"
+	}
+	return "greedy"
+}
+
+// PartitionWith partitions the graph with the chosen method.
+func (g *Graph) PartitionWith(m Method) *Partition {
+	switch m {
+	case MethodKL:
+		return g.PartitionKL()
+	case MethodAnneal:
+		return g.PartitionAnneal(1)
+	default:
+		return g.Partition()
+	}
+}
+
+type adjEntry struct {
+	to int
+	w  int64
+}
+
+func (g *Graph) adjacency() ([][]adjEntry, int64) {
+	n := len(g.Nodes)
+	adj := make([][]adjEntry, n)
+	var total int64
+	for k, w := range g.weights {
+		adj[k[0]] = append(adj[k[0]], adjEntry{k[1], w})
+		adj[k[1]] = append(adj[k[1]], adjEntry{k[0], w})
+		total += w
+	}
+	return adj, total
+}
+
+// cutCost returns the weight of edges whose endpoints share a side.
+func cutCost(adj [][]adjEntry, inY []bool) int64 {
+	var cost int64
+	for i := range adj {
+		for _, a := range adj[i] {
+			if a.to > i && inY[a.to] == inY[i] {
+				cost += a.w
+			}
+		}
+	}
+	return cost
+}
+
+func (g *Graph) partitionFrom(inY []bool, adj [][]adjEntry) *Partition {
+	p := &Partition{Cost: cutCost(adj, inY)}
+	for i, s := range g.Nodes {
+		if inY[i] {
+			p.SetY = append(p.SetY, s)
+		} else {
+			p.SetX = append(p.SetX, s)
+		}
+	}
+	return p
+}
+
+// moveGain is the cost decrease from flipping node i.
+func moveGain(adj [][]adjEntry, inY []bool, i int) int64 {
+	var same, cross int64
+	for _, a := range adj[i] {
+		if inY[a.to] == inY[i] {
+			same += a.w
+		} else {
+			cross += a.w
+		}
+	}
+	return same - cross
+}
+
+// PartitionKL runs the greedy algorithm and then Kernighan–Lin
+// refinement: repeated passes that tentatively flip every node in
+// best-gain order (allowing temporarily negative gains), keep the best
+// prefix, and stop when a pass yields no improvement.
+func (g *Graph) PartitionKL() *Partition {
+	greedy := g.Partition()
+	n := len(g.Nodes)
+	adj, _ := g.adjacency()
+	inY := make([]bool, n)
+	idx := make(map[*ir.Symbol]int, n)
+	for i, s := range g.Nodes {
+		idx[s] = i
+	}
+	for _, s := range greedy.SetY {
+		inY[idx[s]] = true
+	}
+	cost := greedy.Cost
+
+	for pass := 0; pass < 8; pass++ {
+		locked := make([]bool, n)
+		cur := cost
+		best := cost
+		bestPrefix := 0
+		var flips []int
+		state := append([]bool(nil), inY...)
+		for step := 0; step < n; step++ {
+			bi, bg := -1, int64(math.MinInt64)
+			for i := 0; i < n; i++ {
+				if locked[i] {
+					continue
+				}
+				if gn := moveGain(adj, state, i); gn > bg {
+					bi, bg = i, gn
+				}
+			}
+			if bi < 0 {
+				break
+			}
+			state[bi] = !state[bi]
+			locked[bi] = true
+			cur -= bg
+			flips = append(flips, bi)
+			if cur < best {
+				best = cur
+				bestPrefix = len(flips)
+			}
+		}
+		if best >= cost {
+			break
+		}
+		for _, i := range flips[:bestPrefix] {
+			inY[i] = !inY[i]
+		}
+		cost = best
+	}
+	p := g.partitionFrom(inY, adj)
+	p.Trace = []int64{greedy.Cost, p.Cost}
+	return p
+}
+
+// PartitionAnneal partitions by simulated annealing with a geometric
+// cooling schedule. The seed makes it deterministic.
+func (g *Graph) PartitionAnneal(seed int64) *Partition {
+	n := len(g.Nodes)
+	adj, total := g.adjacency()
+	rng := rand.New(rand.NewSource(seed))
+	inY := make([]bool, n)
+	cost := cutCost(adj, inY)
+	bestY := append([]bool(nil), inY...)
+	best := cost
+
+	if n > 0 && total > 0 {
+		temp := float64(total)
+		const cooling = 0.95
+		for ; temp > 0.01; temp *= cooling {
+			for step := 0; step < 4*n; step++ {
+				i := rng.Intn(n)
+				gain := moveGain(adj, inY, i)
+				if gain >= 0 || rng.Float64() < math.Exp(float64(gain)/temp) {
+					inY[i] = !inY[i]
+					cost -= gain
+					if cost < best {
+						best = cost
+						copy(bestY, inY)
+					}
+				}
+			}
+		}
+	}
+	p := g.partitionFrom(bestY, adj)
+	p.Trace = []int64{total, p.Cost}
+	return p
+}

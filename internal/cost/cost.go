@@ -1,0 +1,62 @@
+// Package cost implements the paper's first-order memory cost model
+// (§4.2):
+//
+//	Cost = X + Y + 2·S + I
+//
+// where X and Y are the data sizes of the two memory banks in words, S
+// is the stack size (reserved symmetrically in both banks, hence the
+// factor of two), and I is the instruction-memory size — the paper
+// assumes one word per long instruction. From two cost figures the
+// package derives the Cost Increase (CI) and, combined with cycle
+// counts, the Performance Gain (PG) and Performance/Cost Ratio (PCR)
+// reported in Table 3.
+package cost
+
+import (
+	"dualbank/internal/alloc"
+	"dualbank/internal/compact"
+)
+
+// Memory is the word-level memory footprint of a compiled program.
+type Memory struct {
+	// XData and YData are each bank's data size: the duplicated region
+	// (present in both banks) plus the bank's private globals.
+	XData, YData int
+	// Stack is the static stack reservation S; both banks reserve it.
+	Stack int
+	// Instr is the instruction-memory size in words (one per long
+	// instruction).
+	Instr int
+}
+
+// Of computes the footprint from an allocation result and a schedule.
+func Of(a *alloc.Result, sched *compact.Program) Memory {
+	s := a.StackX
+	if a.StackY > s {
+		s = a.StackY
+	}
+	return Memory{
+		XData: a.DupWords + a.GlobalX,
+		YData: a.DupWords + a.GlobalY,
+		Stack: s,
+		Instr: sched.StaticInstrs(),
+	}
+}
+
+// Total evaluates the cost model.
+func (m Memory) Total() int { return m.XData + m.YData + 2*m.Stack + m.Instr }
+
+// Metrics bundles the Table 3 quantities for one technique relative to
+// the unoptimized (single-bank) reference.
+type Metrics struct {
+	PG  float64 // performance gain: baseCycles / cycles
+	CI  float64 // cost increase: cost / baseCost
+	PCR float64 // performance/cost ratio: PG / CI
+}
+
+// Compare derives PG/CI/PCR for a technique against the baseline.
+func Compare(baseCycles, cycles int64, base, mem Memory) Metrics {
+	pg := float64(baseCycles) / float64(cycles)
+	ci := float64(mem.Total()) / float64(base.Total())
+	return Metrics{PG: pg, CI: ci, PCR: pg / ci}
+}

@@ -1,0 +1,54 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTotalFormula(t *testing.T) {
+	// Cost = X + Y + 2S + I (the paper's first-order model).
+	m := Memory{XData: 100, YData: 80, Stack: 16, Instr: 50}
+	if got := m.Total(); got != 100+80+2*16+50 {
+		t.Fatalf("Total = %d", got)
+	}
+}
+
+func TestCompareMetrics(t *testing.T) {
+	base := Memory{XData: 100, YData: 0, Stack: 10, Instr: 80}
+	opt := Memory{XData: 60, YData: 40, Stack: 10, Instr: 70}
+	m := Compare(1000, 800, base, opt)
+	if math.Abs(m.PG-1.25) > 1e-9 {
+		t.Errorf("PG = %v, want 1.25", m.PG)
+	}
+	wantCI := float64(opt.Total()) / float64(base.Total())
+	if math.Abs(m.CI-wantCI) > 1e-9 {
+		t.Errorf("CI = %v, want %v", m.CI, wantCI)
+	}
+	if math.Abs(m.PCR-m.PG/m.CI) > 1e-9 {
+		t.Errorf("PCR = %v, want PG/CI = %v", m.PCR, m.PG/m.CI)
+	}
+}
+
+// TestCompareProperties: PG/CI/PCR relationships hold for arbitrary
+// positive inputs.
+func TestCompareProperties(t *testing.T) {
+	f := func(baseCycles, cycles uint16, bx, by, bs, bi, ox, oy, os, oi uint8) bool {
+		bc := int64(baseCycles) + 1
+		cc := int64(cycles) + 1
+		base := Memory{int(bx) + 1, int(by), int(bs), int(bi) + 1}
+		opt := Memory{int(ox) + 1, int(oy), int(os), int(oi) + 1}
+		m := Compare(bc, cc, base, opt)
+		if m.PG <= 0 || m.CI <= 0 {
+			return false
+		}
+		// A faster program has PG > 1; equal cycle counts give PG = 1.
+		if cc == bc && math.Abs(m.PG-1) > 1e-12 {
+			return false
+		}
+		return math.Abs(m.PCR*m.CI-m.PG) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

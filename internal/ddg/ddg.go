@@ -1,0 +1,204 @@
+// Package ddg builds the per-basic-block data-dependence graph used by
+// the interference-graph construction pass (Figure 3 of the paper) and
+// by the operation-compaction pass. Edges are typed: a *strict* edge
+// forces the successor into a strictly later long instruction, while a
+// *weak* edge (an anti-dependence) allows both operations to share one
+// long instruction, because within an instruction all operands are read
+// before any result is written. This is exactly the "data-compatible"
+// distinction the paper's scheduler makes.
+package ddg
+
+import (
+	"math/bits"
+
+	"dualbank/internal/ir"
+	"dualbank/internal/machine"
+)
+
+// Edge is a dependence from one operation to another within a block.
+type Edge struct {
+	// To is the index of the dependent operation in Graph.Ops.
+	To int
+	// Strict reports whether the dependent operation must issue in a
+	// strictly later instruction (flow and output dependences). A
+	// non-strict edge is an anti-dependence: same instruction is fine.
+	Strict bool
+}
+
+// Graph is the data-dependence graph of one basic block.
+type Graph struct {
+	Ops  []*ir.Op
+	Succ [][]Edge
+	Pred [][]Edge
+	// Priority[i] is the number of descendants of op i in the graph,
+	// the heuristic the paper uses to order the data-ready set.
+	Priority []int
+}
+
+// Build constructs the dependence graph for block b.
+func Build(b *ir.Block) *Graph {
+	n := len(b.Ops)
+	g := &Graph{
+		Ops:      b.Ops,
+		Succ:     make([][]Edge, n),
+		Pred:     make([][]Edge, n),
+		Priority: make([]int, n),
+	}
+
+	addEdge := func(from, to int, strict bool) {
+		if from == to {
+			return
+		}
+		// Keep the strictest variant of a duplicate edge.
+		for k := range g.Succ[from] {
+			if g.Succ[from][k].To == to {
+				if strict && !g.Succ[from][k].Strict {
+					g.Succ[from][k].Strict = true
+					for j := range g.Pred[to] {
+						if edgeFrom(g.Pred[to][j], from) {
+							g.Pred[to][j].Strict = true
+						}
+					}
+				}
+				return
+			}
+		}
+		g.Succ[from] = append(g.Succ[from], Edge{To: to, Strict: strict})
+		g.Pred[to] = append(g.Pred[to], Edge{To: from, Strict: strict})
+	}
+
+	lastDef := make(map[ir.Reg]int)     // reg -> op index of latest def
+	usesSince := make(map[ir.Reg][]int) // reads since that def
+	type memEvent struct {
+		idx     int
+		isStore bool
+		bank    machine.Bank
+	}
+	memHist := make(map[*ir.Symbol][]memEvent)
+	lastCall := -1
+	var memOps []int // memory ops since the last call
+
+	var useBuf []ir.Reg
+	for i, op := range b.Ops {
+		// Register flow dependences.
+		useBuf = op.Uses(useBuf[:0])
+		for _, u := range useBuf {
+			if d, ok := lastDef[u]; ok {
+				addEdge(d, i, true)
+			}
+			usesSince[u] = append(usesSince[u], i)
+		}
+		// Register anti- and output dependences.
+		if d := op.Dst; d != ir.NoReg {
+			for _, u := range usesSince[d] {
+				addEdge(u, i, false)
+			}
+			if p, ok := lastDef[d]; ok {
+				addEdge(p, i, true)
+			}
+			lastDef[d] = i
+			usesSince[d] = usesSince[d][:0]
+		}
+
+		switch op.Kind {
+		case ir.OpLoad:
+			for _, ev := range memHist[op.Sym] {
+				if ev.isStore && banksConflict(ev.bank, op.Bank) {
+					addEdge(ev.idx, i, true) // memory flow
+				}
+			}
+			if lastCall >= 0 {
+				addEdge(lastCall, i, true)
+			}
+			memHist[op.Sym] = append(memHist[op.Sym], memEvent{i, false, op.Bank})
+			memOps = append(memOps, i)
+		case ir.OpStore:
+			for _, ev := range memHist[op.Sym] {
+				if !banksConflict(ev.bank, op.Bank) {
+					continue
+				}
+				if ev.isStore {
+					addEdge(ev.idx, i, true) // memory output
+				} else {
+					addEdge(ev.idx, i, false) // memory anti
+				}
+			}
+			if lastCall >= 0 {
+				addEdge(lastCall, i, true)
+			}
+			memHist[op.Sym] = append(memHist[op.Sym], memEvent{i, true, op.Bank})
+			memOps = append(memOps, i)
+		case ir.OpCall:
+			// Calls are memory barriers: every earlier memory op must
+			// complete no later than the call (weak: a store may share
+			// the call's instruction because memory writes commit before
+			// control transfers), and later memory ops wait for the
+			// return.
+			for _, m := range memOps {
+				addEdge(m, i, false)
+			}
+			if lastCall >= 0 {
+				addEdge(lastCall, i, true)
+			}
+			lastCall = i
+			memOps = memOps[:0]
+		}
+
+		// The terminator must issue in the block's final instruction:
+		// give it a weak edge from every other operation.
+		if op.Kind.IsTerminator() {
+			for j := 0; j < i; j++ {
+				addEdge(j, i, false)
+			}
+		}
+	}
+
+	g.computePriorities()
+	return g
+}
+
+func edgeFrom(e Edge, from int) bool { return e.To == from }
+
+// banksConflict reports whether two accesses to the same symbol may
+// touch the same memory location. After the allocation pass, the two
+// halves of a duplicated-store pair carry distinct single-bank tags and
+// so do not conflict — this is what lets the coherence store issue in
+// parallel with the original. Untagged accesses (before allocation, or
+// duplicated loads tagged BankBoth) conflict conservatively.
+func banksConflict(a, b machine.Bank) bool {
+	if a == machine.BankX && b == machine.BankY {
+		return false
+	}
+	if a == machine.BankY && b == machine.BankX {
+		return false
+	}
+	return true
+}
+
+// computePriorities sets Priority[i] to the number of distinct
+// descendants of i, the paper's scheduling priority.
+func (g *Graph) computePriorities() {
+	n := len(g.Ops)
+	// Process in reverse topological order (ops are in program order,
+	// and all edges point forward), accumulating descendant bitsets.
+	words := (n + 63) / 64
+	sets := make([][]uint64, n)
+	buf := make([]uint64, n*words)
+	for i := range sets {
+		sets[i] = buf[i*words : (i+1)*words]
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := sets[i]
+		for _, e := range g.Succ[i] {
+			s[e.To/64] |= 1 << (uint(e.To) % 64)
+			for w, v := range sets[e.To] {
+				s[w] |= v
+			}
+		}
+		count := 0
+		for _, v := range s {
+			count += bits.OnesCount64(v)
+		}
+		g.Priority[i] = count
+	}
+}

@@ -1,0 +1,282 @@
+package ddg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dualbank/internal/ir"
+	"dualbank/internal/machine"
+)
+
+func sym(name string) *ir.Symbol {
+	return &ir.Symbol{Name: name, Elem: ir.TInt, Size: 8, Dims: []int{8}}
+}
+
+// edge looks up the dependence from op index a to b.
+func edge(g *Graph, a, b int) (Edge, bool) {
+	for _, e := range g.Succ[a] {
+		if e.To == b {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+func block(f *ir.Func, ops ...*ir.Op) *ir.Block {
+	b := f.NewBlock()
+	b.Ops = ops
+	return b
+}
+
+func TestFlowDependence(t *testing.T) {
+	f := ir.NewFunc("t", ir.TVoid)
+	r1, r2 := f.NewReg(ir.TInt), f.NewReg(ir.TInt)
+	b := block(f,
+		&ir.Op{Kind: ir.OpConst, Dst: r1, Imm: 1},
+		&ir.Op{Kind: ir.OpAdd, Dst: r2, Args: [2]ir.Reg{r1, r1}},
+		&ir.Op{Kind: ir.OpRet},
+	)
+	g := Build(b)
+	e, ok := edge(g, 0, 1)
+	if !ok || !e.Strict {
+		t.Fatalf("const->add should be a strict flow dependence, got %v %v", e, ok)
+	}
+}
+
+func TestAntiDependenceIsWeak(t *testing.T) {
+	f := ir.NewFunc("t", ir.TVoid)
+	r1, r2 := f.NewReg(ir.TInt), f.NewReg(ir.TInt)
+	b := block(f,
+		&ir.Op{Kind: ir.OpConst, Dst: r1, Imm: 1},
+		&ir.Op{Kind: ir.OpAdd, Dst: r2, Args: [2]ir.Reg{r1, r1}}, // reads r1
+		&ir.Op{Kind: ir.OpConst, Dst: r1, Imm: 2},                // redefines r1
+		&ir.Op{Kind: ir.OpRet},
+	)
+	g := Build(b)
+	e, ok := edge(g, 1, 2)
+	if !ok {
+		t.Fatal("missing anti edge from reader to redefinition")
+	}
+	if e.Strict {
+		t.Fatal("anti dependence must be weak (same-instruction legal)")
+	}
+	// Output dependence const->const is strict.
+	e, ok = edge(g, 0, 2)
+	if !ok || !e.Strict {
+		t.Fatal("output dependence must be strict")
+	}
+}
+
+func TestMemoryDependences(t *testing.T) {
+	a := sym("a")
+	f := ir.NewFunc("t", ir.TVoid)
+	v := f.NewReg(ir.TInt)
+	w := f.NewReg(ir.TInt)
+	b := block(f,
+		&ir.Op{Kind: ir.OpConst, Dst: v, Imm: 5},
+		&ir.Op{Kind: ir.OpStore, Sym: a, Args: [2]ir.Reg{v}}, // 1
+		&ir.Op{Kind: ir.OpLoad, Dst: w, Sym: a},              // 2: flow (strict)
+		&ir.Op{Kind: ir.OpStore, Sym: a, Args: [2]ir.Reg{v}}, // 3: anti from 2 (weak), output from 1 (strict)
+		&ir.Op{Kind: ir.OpRet},
+	)
+	g := Build(b)
+	if e, ok := edge(g, 1, 2); !ok || !e.Strict {
+		t.Error("store->load must be strict")
+	}
+	if e, ok := edge(g, 2, 3); !ok || e.Strict {
+		t.Error("load->store must be a weak anti dependence")
+	}
+	if e, ok := edge(g, 1, 3); !ok || !e.Strict {
+		t.Error("store->store must be strict")
+	}
+}
+
+func TestDifferentSymbolsIndependent(t *testing.T) {
+	a, c := sym("a"), sym("c")
+	f := ir.NewFunc("t", ir.TVoid)
+	v := f.NewReg(ir.TInt)
+	w := f.NewReg(ir.TInt)
+	b := block(f,
+		&ir.Op{Kind: ir.OpConst, Dst: v, Imm: 5},
+		&ir.Op{Kind: ir.OpStore, Sym: a, Args: [2]ir.Reg{v}},
+		&ir.Op{Kind: ir.OpLoad, Dst: w, Sym: c},
+		&ir.Op{Kind: ir.OpRet},
+	)
+	g := Build(b)
+	if _, ok := edge(g, 1, 2); ok {
+		t.Fatal("accesses to different symbols must not conflict")
+	}
+}
+
+// TestDuplicatedStorePairIndependent: the X and Y halves of a
+// duplicated store carry different bank tags and must not depend on
+// each other — that is what lets them issue in one instruction.
+func TestDuplicatedStorePairIndependent(t *testing.T) {
+	d := sym("dup")
+	f := ir.NewFunc("t", ir.TVoid)
+	v := f.NewReg(ir.TInt)
+	w := f.NewReg(ir.TInt)
+	b := block(f,
+		&ir.Op{Kind: ir.OpConst, Dst: v, Imm: 5},
+		&ir.Op{Kind: ir.OpStore, Sym: d, Args: [2]ir.Reg{v}, Bank: machine.BankX},
+		&ir.Op{Kind: ir.OpStore, Sym: d, Args: [2]ir.Reg{v}, Bank: machine.BankY},
+		// A duplicated load (BankBoth) conflicts with both copies.
+		&ir.Op{Kind: ir.OpLoad, Dst: w, Sym: d, Bank: machine.BankBoth},
+		&ir.Op{Kind: ir.OpRet},
+	)
+	g := Build(b)
+	if _, ok := edge(g, 1, 2); ok {
+		t.Fatal("X and Y halves must be independent")
+	}
+	if e, ok := edge(g, 1, 3); !ok || !e.Strict {
+		t.Error("load from duplicated symbol must see the X store")
+	}
+	if e, ok := edge(g, 2, 3); !ok || !e.Strict {
+		t.Error("load from duplicated symbol must see the Y store")
+	}
+}
+
+func TestCallIsMemoryBarrier(t *testing.T) {
+	a := sym("a")
+	f := ir.NewFunc("t", ir.TVoid)
+	v := f.NewReg(ir.TInt)
+	w := f.NewReg(ir.TInt)
+	b := block(f,
+		&ir.Op{Kind: ir.OpConst, Dst: v, Imm: 5},
+		&ir.Op{Kind: ir.OpStore, Sym: a, Args: [2]ir.Reg{v}}, // 1
+		&ir.Op{Kind: ir.OpCall, Callee: "g"},                 // 2
+		&ir.Op{Kind: ir.OpLoad, Dst: w, Sym: a},              // 3
+		&ir.Op{Kind: ir.OpRet},
+	)
+	g := Build(b)
+	if e, ok := edge(g, 1, 2); !ok || e.Strict {
+		t.Error("store before call: weak edge (store may share the call's instruction)")
+	}
+	if e, ok := edge(g, 2, 3); !ok || !e.Strict {
+		t.Error("load after call must wait for the return")
+	}
+}
+
+func TestTerminatorLast(t *testing.T) {
+	a := sym("a")
+	f := ir.NewFunc("t", ir.TVoid)
+	v := f.NewReg(ir.TInt)
+	b := block(f,
+		&ir.Op{Kind: ir.OpConst, Dst: v, Imm: 5},
+		&ir.Op{Kind: ir.OpStore, Sym: a, Args: [2]ir.Reg{v}},
+		&ir.Op{Kind: ir.OpRet},
+	)
+	g := Build(b)
+	for i := 0; i < 2; i++ {
+		e, ok := edge(g, i, 2)
+		if !ok {
+			t.Fatalf("terminator must depend on op %d", i)
+		}
+		if e.Strict {
+			t.Fatalf("terminator edge from op %d should be weak", i)
+		}
+	}
+}
+
+func TestPriorityIsDescendantCount(t *testing.T) {
+	// Chain: 0 -> 1 -> 2 (ret). Priorities: 2, 1, 0.
+	f := ir.NewFunc("t", ir.TVoid)
+	r1, r2 := f.NewReg(ir.TInt), f.NewReg(ir.TInt)
+	b := block(f,
+		&ir.Op{Kind: ir.OpConst, Dst: r1, Imm: 1},
+		&ir.Op{Kind: ir.OpAdd, Dst: r2, Args: [2]ir.Reg{r1, r1}},
+		&ir.Op{Kind: ir.OpRet},
+	)
+	g := Build(b)
+	want := []int{2, 1, 0}
+	for i, w := range want {
+		if g.Priority[i] != w {
+			t.Errorf("priority[%d] = %d, want %d", i, g.Priority[i], w)
+		}
+	}
+}
+
+// TestGraphStructuralProperties: on randomly generated blocks, all
+// edges point forward (program order), Succ and Pred mirror each
+// other, no self or duplicate edges exist, and priorities are
+// consistent with edge direction (a predecessor's descendant count
+// strictly exceeds its successor's when the successor's descendants
+// are a subset).
+func TestGraphStructuralProperties(t *testing.T) {
+	syms := []*ir.Symbol{sym("a"), sym("b"), sym("c")}
+	check := func(seedBytes []byte) bool {
+		f := ir.NewFunc("t", ir.TVoid)
+		regs := make([]ir.Reg, 6)
+		for i := range regs {
+			regs[i] = f.NewReg(ir.TInt)
+		}
+		b := f.NewBlock()
+		// Build a pseudo-random block from the seed bytes.
+		for _, x := range seedBytes {
+			r := regs[int(x)%len(regs)]
+			r2 := regs[int(x>>3)%len(regs)]
+			s := syms[int(x>>6)%len(syms)]
+			switch x % 4 {
+			case 0:
+				b.Ops = append(b.Ops, &ir.Op{Kind: ir.OpConst, Dst: r, Imm: int64(x)})
+			case 1:
+				b.Ops = append(b.Ops, &ir.Op{Kind: ir.OpAdd, Dst: r, Args: [2]ir.Reg{r2, r2}})
+			case 2:
+				b.Ops = append(b.Ops, &ir.Op{Kind: ir.OpLoad, Dst: r, Sym: s})
+			case 3:
+				b.Ops = append(b.Ops, &ir.Op{Kind: ir.OpStore, Args: [2]ir.Reg{r}, Sym: s})
+			}
+		}
+		b.Ops = append(b.Ops, &ir.Op{Kind: ir.OpRet})
+		g := Build(b)
+		for i := range g.Succ {
+			seen := map[int]bool{}
+			for _, e := range g.Succ[i] {
+				if e.To <= i {
+					return false // backward or self edge
+				}
+				if seen[e.To] {
+					return false // duplicate
+				}
+				seen[e.To] = true
+				// Mirrored in Pred with the same strictness.
+				found := false
+				for _, p := range g.Pred[e.To] {
+					if p.To == i && p.Strict == e.Strict {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+				// Priority is a descendant count: predecessor counts at
+				// least successor's descendants plus the successor.
+				if g.Priority[i] < g.Priority[e.To]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMacReadsAccumulator: mac has a flow dependence on the previous
+// definition of its destination.
+func TestMacReadsAccumulator(t *testing.T) {
+	f := ir.NewFunc("t", ir.TVoid)
+	acc := f.NewReg(ir.TInt)
+	x := f.NewReg(ir.TInt)
+	b := block(f,
+		&ir.Op{Kind: ir.OpConst, Dst: acc, Imm: 0},
+		&ir.Op{Kind: ir.OpConst, Dst: x, Imm: 3},
+		&ir.Op{Kind: ir.OpMac, Dst: acc, Args: [2]ir.Reg{x, x}},
+		&ir.Op{Kind: ir.OpRet},
+	)
+	g := Build(b)
+	if e, ok := edge(g, 0, 2); !ok || !e.Strict {
+		t.Fatal("mac must have a strict flow edge from its accumulator's def")
+	}
+}

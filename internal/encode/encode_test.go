@@ -1,0 +1,182 @@
+package encode_test
+
+import (
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+	"dualbank/internal/encode"
+	"dualbank/internal/pipeline"
+	"dualbank/internal/sim"
+)
+
+// roundTrip compiles a benchmark, encodes it, decodes the image, runs
+// BOTH programs on the VLIW simulator, and compares cycle counts and
+// every output word.
+func roundTrip(t *testing.T, name string, mode alloc.Mode) {
+	t.Helper()
+	p, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("no benchmark %q", name)
+	}
+	c, err := pipeline.Compile(p.Source, name, pipeline.Options{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := encode.Encode(c.Sched)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := encode.Decode(img)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	m1 := sim.NewMachine(c.Sched)
+	if err := m1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := sim.NewMachine(dec)
+	if err := m2.Run(); err != nil {
+		t.Fatalf("decoded image run: %v", err)
+	}
+	if m1.Cycles != m2.Cycles {
+		t.Fatalf("cycle mismatch: original %d, decoded %d", m1.Cycles, m2.Cycles)
+	}
+	// Compare every global, word for word, matching symbols by name.
+	decSyms := map[string]int{}
+	for i, s := range dec.Src.Globals {
+		decSyms[s.Name] = i
+	}
+	for _, g := range c.IR.Globals {
+		di, ok := decSyms[g.Name]
+		if !ok {
+			t.Fatalf("decoded image lost global %s", g.Name)
+		}
+		dg := dec.Src.Globals[di]
+		if dg.Size != g.Size || dg.Bank != g.Bank || dg.Addr != g.Addr {
+			t.Fatalf("global %s metadata mismatch: %+v vs %+v", g.Name, g, dg)
+		}
+		for i := 0; i < g.Size; i++ {
+			w1, err := m1.Word(g, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := m2.Word(dg, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w1 != w2 {
+				t.Fatalf("%s[%d]: original %#x, decoded %#x", g.Name, i, w1, w2)
+			}
+		}
+	}
+}
+
+func TestRoundTripKernels(t *testing.T) {
+	for _, name := range []string{"fir_32_1", "iir_4_64", "mult_4_4", "fft_256"} {
+		for _, mode := range []alloc.Mode{alloc.SingleBank, alloc.CB, alloc.Ideal} {
+			roundTrip(t, name, mode)
+		}
+	}
+}
+
+func TestRoundTripApplications(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Exercise duplication (lpc), calls (spectral's fft), heavy integer
+	// code (adpcm) and the low-order organisation.
+	roundTrip(t, "lpc", alloc.CBDup)
+	roundTrip(t, "spectral", alloc.CB)
+	roundTrip(t, "adpcm", alloc.CB)
+	roundTrip(t, "trellis", alloc.LowOrder)
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := encode.Decode([]byte("not an image")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := encode.Decode(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	p, _ := bench.ByName("fir_32_1")
+	c, err := pipeline.Compile(p.Source, "fir", pipeline.Options{Mode: alloc.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := encode.Encode(c.Sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point must produce an error, never a panic or a
+	// silently wrong program.
+	for cut := 0; cut < len(img)-1; cut += 7 {
+		if _, err := encode.Decode(img[:cut]); err == nil {
+			t.Fatalf("truncated image (%d of %d bytes) accepted", cut, len(img))
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p, _ := bench.ByName("fir_32_1")
+	c, err := pipeline.Compile(p.Source, "fir", pipeline.Options{Mode: alloc.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := encode.Encode(c.Sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes across the image; decoding must either fail or
+	// produce a program that still passes the IR verifier (corruption
+	// may land in data words, which are arbitrary). It must never
+	// panic.
+	for pos := 5; pos < len(img); pos += 13 {
+		mut := append([]byte(nil), img...)
+		mut[pos] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked at corrupt byte %d: %v", pos, r)
+				}
+			}()
+			_, _ = encode.Decode(mut)
+		}()
+	}
+}
+
+func TestImageDensity(t *testing.T) {
+	p, _ := bench.ByName("fft_256")
+	c, err := pipeline.Compile(p.Source, "fft", pipeline.Options{Mode: alloc.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := encode.Encode(c.Sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := c.Sched.StaticInstrs()
+	if instrs == 0 {
+		t.Fatal("no instructions")
+	}
+	// Separate the embedded data tables (twiddle factors, input
+	// samples) from the code stream.
+	dataBytes := 0
+	for _, s := range c.IR.Symbols() {
+		dataBytes += 4 * len(s.Init)
+	}
+	codeBytes := len(img) - dataBytes
+	perInstr := float64(codeBytes) / float64(instrs)
+	// Tightly-encoded instructions are a DSP hallmark; the variable
+	// encoding should stay far below a naive 9-slot fixed layout
+	// (9 slots x ~8 bytes = 72 bytes per instruction).
+	if perInstr > 40 {
+		t.Errorf("code density %.1f bytes/instr — encoding is not tight", perInstr)
+	}
+	t.Logf("image: %d bytes total, %d data, %d code over %d instructions (%.1f bytes/instr)",
+		len(img), dataBytes, codeBytes, instrs, perInstr)
+}

@@ -1,0 +1,200 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFunc constructs a minimal valid function: one block returning a
+// constant.
+func buildFunc(name string) *Func {
+	f := NewFunc(name, TInt)
+	b := f.NewBlock()
+	r := f.NewReg(TInt)
+	b.Ops = append(b.Ops,
+		&Op{Kind: OpConst, Type: TInt, Dst: r, Imm: 7},
+		&Op{Kind: OpRet, Args: [2]Reg{r}},
+	)
+	return f
+}
+
+func TestVerifyValid(t *testing.T) {
+	p := &Program{Name: "t"}
+	p.AddFunc(buildFunc("main"))
+	if err := Verify(p); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	p := &Program{Name: "t"}
+	f := NewFunc("main", TVoid)
+	b := f.NewBlock()
+	r := f.NewReg(TInt)
+	b.Ops = append(b.Ops, &Op{Kind: OpConst, Type: TInt, Dst: r})
+	p.AddFunc(f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Fatalf("Verify = %v, want missing-terminator error", err)
+	}
+}
+
+func TestVerifyCatchesMidBlockTerminator(t *testing.T) {
+	p := &Program{Name: "t"}
+	f := NewFunc("main", TVoid)
+	b := f.NewBlock()
+	b.Ops = append(b.Ops,
+		&Op{Kind: OpRet},
+		&Op{Kind: OpRet},
+	)
+	p.AddFunc(f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "mid-block") {
+		t.Fatalf("Verify = %v, want mid-block error", err)
+	}
+}
+
+func TestVerifyCatchesBadEdges(t *testing.T) {
+	p := &Program{Name: "t"}
+	f := NewFunc("main", TVoid)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b0.Ops = append(b0.Ops, &Op{Kind: OpBr})
+	b0.Succs = []*Block{b1} // missing back-edge in b1.Preds
+	b1.Ops = append(b1.Ops, &Op{Kind: OpRet})
+	p.AddFunc(f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "back-edge") {
+		t.Fatalf("Verify = %v, want back-edge error", err)
+	}
+}
+
+func TestVerifyCatchesUnknownCallee(t *testing.T) {
+	p := &Program{Name: "t"}
+	f := NewFunc("main", TVoid)
+	b := f.NewBlock()
+	b.Ops = append(b.Ops,
+		&Op{Kind: OpCall, Callee: "missing"},
+		&Op{Kind: OpRet},
+	)
+	p.AddFunc(f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "unknown function") {
+		t.Fatalf("Verify = %v, want unknown-function error", err)
+	}
+}
+
+func TestVerifyCatchesRegisterOutOfRange(t *testing.T) {
+	p := &Program{Name: "t"}
+	f := NewFunc("main", TVoid)
+	b := f.NewBlock()
+	b.Ops = append(b.Ops,
+		&Op{Kind: OpConst, Type: TInt, Dst: Reg(99)},
+		&Op{Kind: OpRet},
+	)
+	p.AddFunc(f)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Verify = %v, want out-of-range error", err)
+	}
+}
+
+func TestOpUses(t *testing.T) {
+	var buf []Reg
+	add := &Op{Kind: OpAdd, Dst: 3, Args: [2]Reg{1, 2}}
+	if got := add.Uses(buf[:0]); len(got) != 2 {
+		t.Errorf("add uses %v", got)
+	}
+	// A multiply-accumulate also reads its destination.
+	mac := &Op{Kind: OpMac, Dst: 3, Args: [2]Reg{1, 2}}
+	got := mac.Uses(buf[:0])
+	found := false
+	for _, r := range got {
+		if r == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mac uses %v, should include its accumulator", got)
+	}
+	// A load with an index register reads it.
+	sym := &Symbol{Name: "a", Size: 4}
+	ld := &Op{Kind: OpLoad, Dst: 5, Sym: sym, Idx: 4}
+	got = ld.Uses(buf[:0])
+	if len(got) != 1 || got[0] != 4 {
+		t.Errorf("load uses %v, want [v4]", got)
+	}
+}
+
+func TestPhysRegisterConvention(t *testing.T) {
+	f := NewFunc("f", TVoid)
+	if f.Phys() {
+		t.Fatal("new func should be virtual")
+	}
+	f.SetPhysRegTable()
+	if !f.Phys() {
+		t.Fatal("SetPhysRegTable should mark the function physical")
+	}
+	if f.RegType(PhysInt(1)) != TInt || f.RegType(PhysInt(32)) != TInt {
+		t.Error("integer file misclassified")
+	}
+	if f.RegType(PhysFloat(1)) != TFloat || f.RegType(PhysFloat(32)) != TFloat {
+		t.Error("float file misclassified")
+	}
+	if RetInt != PhysInt(1) || RetFloat != PhysFloat(1) {
+		t.Error("return register convention changed")
+	}
+}
+
+func TestSymbolHelpers(t *testing.T) {
+	s := &Symbol{Name: "m", Dims: []int{3, 4}, Size: 12}
+	if !s.IsArray() {
+		t.Error("m should be an array")
+	}
+	sc := &Symbol{Name: "x", Size: 1}
+	if sc.IsArray() {
+		t.Error("x should be scalar")
+	}
+}
+
+func TestProgramSymbolsAndFuncLookup(t *testing.T) {
+	p := &Program{Name: "t"}
+	g := &Symbol{Name: "g", Size: 1}
+	p.Globals = append(p.Globals, g)
+	f := buildFunc("main")
+	f.Locals = append(f.Locals, &Symbol{Name: "main.tmp", Kind: SymLocal, Size: 2})
+	p.AddFunc(f)
+	syms := p.Symbols()
+	if len(syms) != 2 {
+		t.Fatalf("Symbols() = %d, want 2", len(syms))
+	}
+	if p.Func("main") != f || p.Func("nope") != nil {
+		t.Fatal("Func lookup broken")
+	}
+}
+
+func TestPrintSmoke(t *testing.T) {
+	p := &Program{Name: "t"}
+	p.Globals = append(p.Globals, &Symbol{Name: "g", Elem: TFloat, Size: 8, Dims: []int{8}})
+	p.AddFunc(buildFunc("main"))
+	out := p.String()
+	for _, want := range []string{"g[8]", "func main", "const 7", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpStringForms(t *testing.T) {
+	sym := &Symbol{Name: "buf", Size: 8}
+	cases := []struct {
+		op   *Op
+		want string
+	}{
+		{&Op{Kind: OpConst, Dst: 1, Imm: 42}, "v1 = const 42"},
+		{&Op{Kind: OpFAdd, Dst: 3, Args: [2]Reg{1, 2}}, "v3 = fadd v1, v2"},
+		{&Op{Kind: OpLoad, Dst: 2, Sym: sym, Idx: 1}, "v2 = load buf[v1]"},
+		{&Op{Kind: OpStore, Args: [2]Reg{4}, Sym: sym}, "store buf, v4"},
+		{&Op{Kind: OpCall, Callee: "f", CallArgs: []Reg{1, 2}}, "call f(v1, v2)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

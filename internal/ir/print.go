@@ -1,0 +1,57 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function as readable text, one op per line.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.Elem, p.Name)
+	}
+	fmt.Fprintf(&b, ") %s {\n", f.RetType)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:", blk)
+		if blk.LoopDepth > 0 {
+			fmt.Fprintf(&b, "  ; depth=%d", blk.LoopDepth)
+		}
+		if len(blk.Preds) > 0 {
+			fmt.Fprintf(&b, "  ; preds=%v", blk.Preds)
+		}
+		b.WriteByte('\n')
+		for _, op := range blk.Ops {
+			fmt.Fprintf(&b, "\t%s", op)
+			switch op.Kind {
+			case OpBr, OpDo:
+				fmt.Fprintf(&b, " %s", blk.Succs[0])
+			case OpCondBr, OpEndDo:
+				fmt.Fprintf(&b, " %s, %s", blk.Succs[0], blk.Succs[1])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "%s %s", g.Elem, g.Name)
+		for _, d := range g.Dims {
+			fmt.Fprintf(&b, "[%d]", d)
+		}
+		fmt.Fprintf(&b, "  ; size=%d bank=%s addr=%d\n", g.Size, g.Bank, g.Addr)
+	}
+	for _, f := range p.Funcs {
+		b.WriteString(f.String())
+	}
+	return b.String()
+}

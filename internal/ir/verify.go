@@ -1,0 +1,136 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of the program's IR and returns
+// the first violation found, or nil. It is run after lowering and after
+// every transforming pass in tests.
+func Verify(p *Program) error {
+	for _, f := range p.Funcs {
+		if err := verifyFunc(p, f); err != nil {
+			return fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(p *Program, f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	for i, blk := range f.Blocks {
+		if blk.ID != i {
+			return fmt.Errorf("%s: ID %d at index %d", blk, blk.ID, i)
+		}
+		term := blk.Terminator()
+		if term == nil || !term.Kind.IsTerminator() {
+			return fmt.Errorf("%s: missing terminator", blk)
+		}
+		for j, op := range blk.Ops {
+			if op.Kind.IsTerminator() && j != len(blk.Ops)-1 {
+				return fmt.Errorf("%s: terminator %s mid-block", blk, op)
+			}
+			if err := verifyOp(p, f, blk, op); err != nil {
+				return fmt.Errorf("%s: %s: %w", blk, op, err)
+			}
+		}
+		switch term.Kind {
+		case OpBr:
+			if len(blk.Succs) != 1 {
+				return fmt.Errorf("%s: br with %d succs", blk, len(blk.Succs))
+			}
+		case OpDo:
+			if len(blk.Succs) != 1 {
+				return fmt.Errorf("%s: do with %d succs", blk, len(blk.Succs))
+			}
+			if term.Args[0] == NoReg {
+				return fmt.Errorf("%s: do without count register", blk)
+			}
+		case OpCondBr, OpEndDo:
+			if len(blk.Succs) != 2 {
+				return fmt.Errorf("%s: %s with %d succs", blk, term.Kind, len(blk.Succs))
+			}
+		case OpRet:
+			if len(blk.Succs) != 0 {
+				return fmt.Errorf("%s: ret with succs", blk)
+			}
+		}
+		for _, s := range blk.Succs {
+			if !hasBlock(s.Preds, blk) {
+				return fmt.Errorf("%s: succ %s missing back-edge", blk, s)
+			}
+		}
+		for _, pr := range blk.Preds {
+			if !hasBlock(pr.Succs, blk) {
+				return fmt.Errorf("%s: pred %s missing forward edge", blk, pr)
+			}
+		}
+	}
+	return nil
+}
+
+func verifyOp(p *Program, f *Func, blk *Block, op *Op) error {
+	checkReg := func(r Reg, what string) error {
+		if r == NoReg {
+			return nil
+		}
+		if int(r) >= f.NumRegs() {
+			return fmt.Errorf("%s register %s out of range", what, r)
+		}
+		return nil
+	}
+	if err := checkReg(op.Dst, "dst"); err != nil {
+		return err
+	}
+	for _, a := range op.Args {
+		if err := checkReg(a, "arg"); err != nil {
+			return err
+		}
+	}
+	if err := checkReg(op.Idx, "idx"); err != nil {
+		return err
+	}
+	switch op.Kind {
+	case OpInvalid:
+		return fmt.Errorf("invalid op")
+	case OpLoad:
+		if op.Sym == nil {
+			return fmt.Errorf("load without symbol")
+		}
+		if op.Dst == NoReg {
+			return fmt.Errorf("load without dst")
+		}
+	case OpStore:
+		if op.Sym == nil {
+			return fmt.Errorf("store without symbol")
+		}
+		if op.Args[0] == NoReg {
+			return fmt.Errorf("store without value")
+		}
+	case OpCall:
+		if p.Func(op.Callee) == nil {
+			return fmt.Errorf("call to unknown function %q", op.Callee)
+		}
+	case OpCondBr:
+		if op.Args[0] == NoReg {
+			return fmt.Errorf("condbr without condition")
+		}
+	case OpMac, OpFMac:
+		if op.Dst == NoReg || op.Args[0] == NoReg || op.Args[1] == NoReg {
+			return fmt.Errorf("mac needs dst and two args")
+		}
+	}
+	if op.Idx != NoReg && !op.IsMem() {
+		return fmt.Errorf("index register on non-memory op")
+	}
+	return nil
+}
+
+func hasBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

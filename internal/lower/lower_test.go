@@ -1,0 +1,558 @@
+package lower
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dualbank/internal/ir"
+	"dualbank/internal/minic"
+	"dualbank/internal/sim"
+)
+
+// compile lowers source without optimization.
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := minic.Analyze(file); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	p, err := Program(file, "test")
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+// run lowers and interprets, returning the interpreter for inspection.
+func run(t *testing.T, src string) *sim.Interp {
+	t.Helper()
+	p := compile(t, src)
+	in := sim.NewInterp(p)
+	if err := in.Run(); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return in
+}
+
+func globalInt(t *testing.T, in *sim.Interp, name string, idx int) int32 {
+	t.Helper()
+	g := in.GlobalByName(name)
+	if g == nil {
+		t.Fatalf("no global %q", name)
+	}
+	return in.Int32(g, idx)
+}
+
+func globalFloat(t *testing.T, in *sim.Interp, name string, idx int) float32 {
+	t.Helper()
+	g := in.GlobalByName(name)
+	if g == nil {
+		t.Fatalf("no global %q", name)
+	}
+	return in.Float32(g, idx)
+}
+
+func TestLowerArithmetic(t *testing.T) {
+	in := run(t, `
+int r[12];
+void main() {
+	r[0] = 7 + 3;
+	r[1] = 7 - 3;
+	r[2] = 7 * 3;
+	r[3] = 7 / 3;
+	r[4] = 7 % 3;
+	r[5] = -7;
+	r[6] = 7 & 3;
+	r[7] = 7 | 3;
+	r[8] = 7 ^ 3;
+	r[9] = ~7;
+	r[10] = 7 << 2;
+	r[11] = -8 >> 1;
+}
+`)
+	want := []int32{10, 4, 21, 2, 1, -7, 3, 7, 4, -8, 28, -4}
+	for i, w := range want {
+		if got := globalInt(t, in, "r", i); got != w {
+			t.Errorf("r[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLowerFloatAndConversions(t *testing.T) {
+	in := run(t, `
+float f[4];
+int i[2];
+void main() {
+	f[0] = 1.5 + 2.25;
+	f[1] = 3;            // int -> float
+	f[2] = 10.0 / 4.0;
+	i[0] = (int)2.9;     // truncation
+	i[1] = (int)-2.9;
+	f[3] = (float)(7 / 2);
+}
+`)
+	wantF := []float32{3.75, 3, 2.5, 3}
+	for idx, w := range wantF {
+		if got := globalFloat(t, in, "f", idx); got != w {
+			t.Errorf("f[%d] = %g, want %g", idx, got, w)
+		}
+	}
+	if got := globalInt(t, in, "i", 0); got != 2 {
+		t.Errorf("i[0] = %d, want 2", got)
+	}
+	if got := globalInt(t, in, "i", 1); got != -2 {
+		t.Errorf("i[1] = %d, want -2", got)
+	}
+}
+
+func TestLowerControlFlow(t *testing.T) {
+	in := run(t, `
+int r[6];
+void main() {
+	int i;
+	int sum = 0;
+	for (i = 0; i < 10; i++) {
+		if (i == 3) continue;
+		if (i == 7) break;
+		sum += i;
+	}
+	r[0] = sum; // 0+1+2+4+5+6 = 18
+
+	int n = 0;
+	while (n < 5) n++;
+	r[1] = n;
+
+	r[2] = 1 ? 10 : 20;
+	r[3] = 0 ? 10 : 20;
+	int a = 2;
+	r[4] = (a > 1 && a < 3) ? 1 : 0;
+	r[5] = (a < 1 || a == 2) ? 1 : 0;
+}
+`)
+	want := []int32{18, 5, 10, 20, 1, 1}
+	for i, w := range want {
+		if got := globalInt(t, in, "r", i); got != w {
+			t.Errorf("r[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLowerShortCircuitSideEffects(t *testing.T) {
+	in := run(t, `
+int calls;
+int bump() { calls += 1; return 1; }
+void main() {
+	int a = 0;
+	if (a && bump()) {}
+	if (a || bump()) {}
+	if (1 || bump()) {}
+	if (1 && bump()) {}
+}
+`)
+	// bump must run exactly twice: once for `a || bump()` and once for
+	// `1 && bump()`.
+	if got := globalInt(t, in, "calls", 0); got != 2 {
+		t.Errorf("calls = %d, want 2", got)
+	}
+}
+
+func TestLowerIncDecSemantics(t *testing.T) {
+	in := run(t, `
+int r[4];
+int a[2] = {10, 20};
+void main() {
+	int i = 5;
+	r[0] = i++;  // 5, i becomes 6
+	r[1] = ++i;  // 7
+	r[2] = a[0]--; // 10, a[0] -> 9
+	r[3] = --a[1]; // 19
+}
+`)
+	want := []int32{5, 7, 10, 19}
+	for i, w := range want {
+		if got := globalInt(t, in, "r", i); got != w {
+			t.Errorf("r[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if got := globalInt(t, in, "a", 0); got != 9 {
+		t.Errorf("a[0] = %d, want 9", got)
+	}
+}
+
+func TestLowerCompoundAssignOnArrayElement(t *testing.T) {
+	// The index of a compound assignment must be evaluated once.
+	in := run(t, `
+int a[4] = {1, 1, 1, 1};
+int evals;
+int idx() { evals += 1; return 2; }
+void main() {
+	a[idx()] += 5;
+}
+`)
+	if got := globalInt(t, in, "a", 2); got != 6 {
+		t.Errorf("a[2] = %d, want 6", got)
+	}
+	if got := globalInt(t, in, "evals", 0); got != 1 {
+		t.Errorf("index evaluated %d times, want 1", got)
+	}
+}
+
+func TestLowerCallsAndParams(t *testing.T) {
+	in := run(t, `
+int r[3];
+int add3(int a, int b, int c) { return a + b + c; }
+float scale(float x, float k) { return x * k; }
+int fib5() {
+	int a = 0;
+	int b = 1;
+	int i;
+	for (i = 0; i < 5; i++) {
+		int t = a + b;
+		a = b;
+		b = t;
+	}
+	return a;
+}
+void main() {
+	r[0] = add3(1, 2, 3);
+	r[1] = (int)scale(4.0, 2.5);
+	r[2] = fib5();
+}
+`)
+	want := []int32{6, 10, 5}
+	for i, w := range want {
+		if got := globalInt(t, in, "r", i); got != w {
+			t.Errorf("r[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLower2DArrays(t *testing.T) {
+	in := run(t, `
+int m[3][4] = {{1, 2, 3, 4}, {5, 6, 7, 8}};
+int r[3];
+void main() {
+	r[0] = m[1][2];         // 7
+	m[2][3] = m[0][1] + 10; // 12
+	r[1] = m[2][3];
+	int i = 2;
+	int j = 3;
+	r[2] = m[i][j];
+}
+`)
+	want := []int32{7, 12, 12}
+	for i, w := range want {
+		if got := globalInt(t, in, "r", i); got != w {
+			t.Errorf("r[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLowerLocalArrayInit(t *testing.T) {
+	in := run(t, `
+int out[3];
+void fill() {
+	int tmp[3] = {4, 5, 6};
+	int i;
+	for (i = 0; i < 3; i++) {
+		out[i] = out[i] + tmp[i];
+	}
+}
+void main() {
+	fill();
+	fill(); // locals re-initialize on every entry
+}
+`)
+	want := []int32{8, 10, 12}
+	for i, w := range want {
+		if got := globalInt(t, in, "out", i); got != w {
+			t.Errorf("out[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLowerGlobalInitFlattening(t *testing.T) {
+	p := compile(t, `
+float w[4] = {1.5, -2.5};
+int m[2][3] = {{1, 2}, {4}};
+void main() {}
+`)
+	var w, m *ir.Symbol
+	for _, g := range p.Globals {
+		switch g.Name {
+		case "w":
+			w = g
+		case "m":
+			m = g
+		}
+	}
+	if w == nil || len(w.Init) != 2 {
+		t.Fatalf("w init = %v", w.Init)
+	}
+	if math.Float32frombits(w.Init[1]) != -2.5 {
+		t.Errorf("w[1] init = %v", math.Float32frombits(w.Init[1]))
+	}
+	// Row initializers are padded to the row length.
+	if m == nil || len(m.Init) != 6 {
+		t.Fatalf("m init = %v", m.Init)
+	}
+	wantM := []int32{1, 2, 0, 4, 0, 0}
+	for i, v := range wantM {
+		if int32(m.Init[i]) != v {
+			t.Errorf("m init[%d] = %d, want %d", i, int32(m.Init[i]), v)
+		}
+	}
+}
+
+func TestLowerReadOnlyMarking(t *testing.T) {
+	p := compile(t, `
+int ro[4] = {1, 2, 3, 4};
+int rw[4];
+void main() {
+	rw[0] = ro[0];
+}
+`)
+	for _, g := range p.Globals {
+		switch g.Name {
+		case "ro":
+			if !g.ReadOnly {
+				t.Error("ro should be read-only")
+			}
+		case "rw":
+			if g.ReadOnly {
+				t.Error("rw should not be read-only")
+			}
+		}
+	}
+}
+
+func TestLowerLoopDepths(t *testing.T) {
+	p := compile(t, `
+int a[4];
+void main() {
+	int i;
+	int j;
+	a[0] = 1;              // depth 0
+	for (i = 0; i < 2; i++) {
+		a[1] = 2;          // depth 1
+		for (j = 0; j < 2; j++) {
+			a[2] = 3;      // depth 2
+		}
+	}
+}
+`)
+	f := p.Func("main")
+	maxDepth := 0
+	for _, b := range f.Blocks {
+		if b.LoopDepth > maxDepth {
+			maxDepth = b.LoopDepth
+		}
+		for _, op := range b.Ops {
+			if op.Kind == ir.OpStore && op.Sym.Name == "a" {
+				// Identify which store by its constant source is hard
+				// here; just check the entry block is depth 0.
+			}
+		}
+	}
+	if f.Entry().LoopDepth != 0 {
+		t.Errorf("entry depth = %d, want 0", f.Entry().LoopDepth)
+	}
+	if maxDepth != 2 {
+		t.Errorf("max loop depth = %d, want 2", maxDepth)
+	}
+}
+
+func TestLowerRejectsRecursion(t *testing.T) {
+	file, err := minic.Parse(`
+int fact(int n) {
+	if (n <= 1) return 1;
+	return n * fact(n - 1);
+}
+void main() { int x = fact(5); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Analyze(file); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Program(file, "rec")
+	if err == nil || !strings.Contains(err.Error(), "recursion") {
+		t.Fatalf("lower = %v, want recursion error", err)
+	}
+}
+
+func TestLowerRejectsMutualRecursion(t *testing.T) {
+	file, err := minic.Parse(`
+int g(int n);
+`)
+	_ = file
+	_ = err
+	// MiniC has no forward declarations, so mutual recursion cannot be
+	// written; self-recursion coverage above suffices. This test
+	// documents the restriction.
+}
+
+func TestLowerDoWhile(t *testing.T) {
+	in := run(t, `
+int r[3];
+void main() {
+	int i = 0;
+	int s = 0;
+	do {
+		s += i;
+		i++;
+	} while (i < 5);
+	r[0] = s; // 0+1+2+3+4 = 10
+
+	// A do-while body always runs at least once.
+	int n = 0;
+	do {
+		n = 99;
+	} while (0);
+	r[1] = n;
+
+	// break and continue inside do-while.
+	int k = 0;
+	int c = 0;
+	do {
+		k++;
+		if (k == 2) continue;
+		if (k == 4) break;
+		c += k;
+	} while (k < 10);
+	r[2] = c; // 1 + 3 = 4
+}
+`)
+	want := []int32{10, 99, 4}
+	for i, w := range want {
+		if got := globalInt(t, in, "r", i); got != w {
+			t.Errorf("r[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLowerSwitch(t *testing.T) {
+	in := run(t, `
+int r[5];
+int classify(int x) {
+	int tag;
+	switch (x) {
+	case 0:
+		tag = 100;
+		break;
+	case 1:
+	case 2:
+		tag = 200;       // 1 falls through to 2
+		break;
+	case -3:
+		tag = 300;       // falls through into default
+	default:
+		tag = tag + 7;
+	}
+	return tag;
+}
+void main() {
+	r[0] = classify(0);   // 100
+	r[1] = classify(1);   // 200
+	r[2] = classify(2);   // 200
+	r[3] = classify(-3);  // 307
+	r[4] = classify(99);  // default only: garbage + 7; use a defined path
+	r[4] = classify(-3) - classify(2); // 107
+}
+`)
+	want := []int32{100, 200, 200, 307, 107}
+	for i, w := range want {
+		if got := globalInt(t, in, "r", i); got != w {
+			t.Errorf("r[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLowerSwitchInsideLoop(t *testing.T) {
+	in := run(t, `
+int r;
+void main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 6; i++) {
+		switch (i % 3) {
+		case 0:
+			s += 1;
+			break;
+		case 1:
+			s += 10;
+			break;
+		default:
+			s += 100;
+		}
+	}
+	r = s; // 2*(1+10+100) = 222
+}
+`)
+	if got := globalInt(t, in, "r", 0); got != 222 {
+		t.Errorf("r = %d, want 222", got)
+	}
+}
+
+func TestLowerContinueInSwitchTargetsLoop(t *testing.T) {
+	in := run(t, `
+int r;
+void main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 6; i++) {
+		switch (i) {
+		case 1:
+		case 3:
+			continue; // skip the accumulate below
+		case 4:
+			break;    // exits the switch, not the loop
+		}
+		s += i;
+	}
+	r = s; // 0 + 2 + 4 + 5 = 11
+}
+`)
+	if got := globalInt(t, in, "r", 0); got != 11 {
+		t.Errorf("r = %d, want 11", got)
+	}
+}
+
+func TestLowerBackwardLoop(t *testing.T) {
+	in := run(t, `
+int r;
+void main() {
+	int i;
+	int sum = 0;
+	for (i = 10; i > 0; i--) {
+		sum += i;
+	}
+	r = sum;
+}
+`)
+	if got := globalInt(t, in, "r", 0); got != 55 {
+		t.Errorf("r = %d, want 55", got)
+	}
+}
+
+func TestLowerParamSlotsAreLocals(t *testing.T) {
+	p := compile(t, `
+int f(int a, float b) { return a + (int)b; }
+void main() { int x = f(1, 2.0); }
+`)
+	f := p.Func("f")
+	if len(f.Params) != 2 {
+		t.Fatalf("f has %d param slots", len(f.Params))
+	}
+	if f.Params[0].Kind != ir.SymLocal || f.Params[0].Elem != ir.TInt {
+		t.Errorf("param 0 = %+v", f.Params[0])
+	}
+	if f.Params[1].Elem != ir.TFloat {
+		t.Errorf("param 1 = %+v", f.Params[1])
+	}
+}

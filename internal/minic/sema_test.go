@@ -1,0 +1,169 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, src string) (*File, error) {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f, Analyze(f)
+}
+
+func mustAnalyze(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := analyze(t, src)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return f
+}
+
+func semaErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := analyze(t, src)
+	if err == nil {
+		t.Fatalf("expected semantic error containing %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestSemaValidProgram(t *testing.T) {
+	f := mustAnalyze(t, `
+int g;
+float arr[8];
+int helper(int x) { return x * 2; }
+void main() {
+	int i;
+	for (i = 0; i < 8; i++) {
+		arr[i] = (float)helper(i) * 0.5;
+	}
+	g = helper(3);
+}
+`)
+	// Every identifier must be resolved.
+	if f.Decls[0].Sym == nil || !f.Decls[0].Sym.Global {
+		t.Fatal("global g not resolved")
+	}
+}
+
+func TestSemaTypeAnnotation(t *testing.T) {
+	f := mustAnalyze(t, `float x; void main() { x = 1 + 2.5; }`)
+	asg := f.Funcs[0].Body.Stmts[0].(*ExprStmt).X.(*AssignExpr)
+	if asg.Rhs.TypeOf() != TypeFloat {
+		t.Fatalf("1 + 2.5 typed %v, want float", asg.Rhs.TypeOf())
+	}
+	cmpSrc := mustAnalyze(t, `void main() { int b = 1.5 < 2.5; }`)
+	d := cmpSrc.Funcs[0].Body.Stmts[0].(*DeclStmt)
+	if d.Decl.Init.TypeOf() != TypeInt {
+		t.Fatal("comparison should produce int")
+	}
+}
+
+func TestSemaScoping(t *testing.T) {
+	mustAnalyze(t, `
+void main() {
+	int x = 1;
+	{
+		int x = 2; // shadows
+		x = 3;
+	}
+	x = 4;
+}
+`)
+	semaErr(t, `void main() { int x; int x; }`, "redeclared")
+	semaErr(t, `void main() { { int y; } y = 1; }`, "undeclared")
+	// A for-init declaration is scoped to the loop.
+	semaErr(t, `void main() { for (int i = 0; i < 3; i++) {} i = 1; }`, "undeclared")
+}
+
+func TestSemaErrors(t *testing.T) {
+	semaErr(t, `void main() { x = 1; }`, "undeclared")
+	semaErr(t, `int a[4]; void main() { a = 1; }`, "without subscript")
+	semaErr(t, `int a; void main() { a[0] = 1; }`, "non-array")
+	semaErr(t, `int a[4]; void main() { a[1][2] = 1; }`, "rank")
+	semaErr(t, `int a[4]; void main() { a[1.5] = 1; }`, "subscript must be int")
+	semaErr(t, `void main() { break; }`, "break outside loop")
+	semaErr(t, `void main() { continue; }`, "continue outside loop")
+	semaErr(t, `int f() { return; } void main() {}`, "without value")
+	semaErr(t, `void f() { return 1; } void main() {}`, "void function")
+	semaErr(t, `void main() { undefined(); }`, "undefined function")
+	semaErr(t, `int f(int a) { return a; } void main() { f(); }`, "takes 1 arguments")
+	semaErr(t, `void main() { float x = 1.0 % 2.0; }`, "requires int")
+	semaErr(t, `void main() { float x = ~1.5; }`, "requires int")
+	semaErr(t, `int g; int g; void main() {}`, "redeclared")
+	semaErr(t, `int f() { return 0; } int f() { return 1; } void main() {}`, "redefined")
+	semaErr(t, `int main; void main() {}`, "redeclared as function")
+	semaErr(t, `int x = y; void main() {}`, "must be constant")
+	semaErr(t, `int a[2] = {1, 2, 3}; void main() {}`, "too many initializers")
+	semaErr(t, `int a[2] = 5; void main() {}`, "brace initializer")
+	semaErr(t, `int a = {1}; void main() {}`, "brace initializer for scalar")
+	semaErr(t, `void f() {} void main() { int x = f(); }`, "no value")
+	semaErr(t, `void f() {} void main() { if (f()) {} }`, "no value")
+	semaErr(t, `int x;`, "no main function")
+}
+
+func TestSemaVoidCallStatement(t *testing.T) {
+	// Calling a void function as a statement is fine.
+	mustAnalyze(t, `void f() {} void main() { f(); }`)
+}
+
+func TestSemaImplicitConversions(t *testing.T) {
+	mustAnalyze(t, `
+float f(float x) { return x; }
+void main() {
+	int i = 3;
+	float y = f(i);   // int argument to float parameter
+	i = y;            // float assigned to int
+	if (i < y) {}     // mixed comparison
+}
+`)
+}
+
+func TestSemaSwitch(t *testing.T) {
+	mustAnalyze(t, `
+void main() {
+	int x = 2;
+	switch (x) {
+	case 1:
+		x = 10;
+		break;
+	case -2:
+	default:
+		x = 20;
+	}
+}
+`)
+	semaErr(t, `void main() { float f = 1.0; switch (f) {} }`, "must be int")
+	semaErr(t, `void main() { int x; switch (x) { case 1: break; case 1: break; } }`, "duplicate case")
+	semaErr(t, `void main() { int x; switch (x) { default: break; default: break; } }`, "multiple default")
+	semaErr(t, `void main() { int x; switch (x) { case x: break; } }`, "constant")
+	semaErr(t, `void main() { int x; switch (x) { case 1.5: break; } }`, "integer constant")
+	// break is legal inside a switch, continue is not (outside a loop).
+	semaErr(t, `void main() { int x; switch (x) { case 1: continue; } }`, "continue outside loop")
+	// continue inside a loop containing a switch targets the loop.
+	mustAnalyze(t, `
+void main() {
+	int i;
+	for (i = 0; i < 4; i++) {
+		switch (i) {
+		case 2:
+			continue;
+		default:
+			break;
+		}
+	}
+}
+`)
+}
+
+func TestSemaNestedInitializer(t *testing.T) {
+	semaErr(t, `int a[4] = {{1}, 2}; void main() {}`, "nested initializer")
+	semaErr(t, `int m[2][2] = {{1,2,3}}; void main() {}`, "row initializer too long")
+}

@@ -1,0 +1,164 @@
+// Package minic implements the front-end for MiniC, the C subset in
+// which the benchmark suite is written. It stands in for the paper's
+// GNU-C front-end: it produces a typed AST that internal/lower turns
+// into the unpacked machine operations the optimizing back-end
+// consumes.
+//
+// MiniC supports: int/float/void, global and local scalars, 1-D and
+// 2-D arrays with initializers, functions with scalar value parameters,
+// full C expression syntax (including ?:, short-circuit && and ||,
+// compound assignment, ++/--, casts), if/else, while, for, break,
+// continue, and return. Pointers, structs, and array parameters are
+// deliberately absent: the paper's algorithms require symbol-level
+// alias information, and the benchmarks use globals for shared arrays
+// (the idiomatic style for embedded DSP code of the era).
+package minic
+
+import "fmt"
+
+// Kind is a lexical token kind.
+type Kind int8
+
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// Keywords.
+	KwInt
+	KwFloat
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwDo
+	KwSwitch
+	KwCase
+	KwDefault
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Comma
+	Semi
+	Question
+	Colon
+
+	Assign
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	AmpAssign
+	PipeAssign
+	CaretAssign
+	ShlAssign
+	ShrAssign
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Bang
+	Shl
+	Shr
+	AndAnd
+	OrOr
+	Inc
+	Dec
+
+	EQ
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INTLIT: "integer literal",
+	FLOATLIT: "float literal",
+	KwInt:    "int", KwFloat: "float", KwVoid: "void", KwIf: "if",
+	KwElse: "else", KwWhile: "while", KwFor: "for", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwDo: "do",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBrack: "[", RBrack: "]", Comma: ",", Semi: ";",
+	Question: "?", Colon: ":",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=", AmpAssign: "&=",
+	PipeAssign: "|=", CaretAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Bang: "!",
+	Shl: "<<", Shr: ">>", AndAnd: "&&", OrOr: "||", Inc: "++", Dec: "--",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int8(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "float": KwFloat, "void": KwVoid,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"do": KwDo, "switch": KwSwitch, "case": KwCase, "default": KwDefault,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string  // IDENT spelling
+	Int  int64   // INTLIT value
+	Flt  float64 // FLOATLIT value
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return t.Text
+	case INTLIT:
+		return fmt.Sprintf("%d", t.Int)
+	case FLOATLIT:
+		return fmt.Sprintf("%g", t.Flt)
+	}
+	return t.Kind.String()
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

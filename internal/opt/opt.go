@@ -1,0 +1,575 @@
+// Package opt implements the machine-independent optimizations the
+// paper's back-end applies before data allocation and compaction:
+// local constant folding and propagation, copy propagation, move
+// coalescing, multiply-accumulate fusion, loop-invariant constant
+// hoisting, dead-code elimination, and unreachable-block removal.
+//
+// The passes are deliberately local (basic-block scoped) where the
+// paper's compaction machinery is local; the global passes (DCE,
+// unreachable-block removal, constant hoisting) are conservative.
+package opt
+
+import (
+	"dualbank/internal/ir"
+)
+
+// Options selects which optimizations run.
+type Options struct {
+	// NoMACFusion disables multiply-accumulate fusion; used by ablation
+	// benchmarks.
+	NoMACFusion bool
+	// NoConstHoist disables loop-invariant constant hoisting.
+	NoConstHoist bool
+	// NoLoopShaping disables block merging, loop rotation and
+	// hardware-loop conversion; used by ablation benchmarks.
+	NoLoopShaping bool
+	// NoStrengthReduce disables derived-induction-variable rewriting
+	// (the software analogue of post-increment addressing).
+	NoStrengthReduce bool
+}
+
+// Run applies the optimization pipeline to every function in p.
+func Run(p *ir.Program, o Options) {
+	for _, f := range p.Funcs {
+		removeUnreachable(f)
+		for i := 0; i < 2; i++ {
+			for _, b := range f.Blocks {
+				localConstAndCopy(f, b)
+				redundantLoadElim(f, b)
+			}
+			coalesceMoves(f)
+			deadCodeElim(f)
+		}
+		if !o.NoMACFusion {
+			fuseMAC(f)
+		}
+		if !o.NoConstHoist {
+			hoistLoopConstants(f)
+		}
+		deadCodeElim(f)
+		if !o.NoLoopShaping {
+			ShapeLoops(f)
+			if !o.NoStrengthReduce {
+				strengthReduce(f)
+			}
+			for _, b := range f.Blocks {
+				localConstAndCopy(f, b)
+				redundantLoadElim(f, b)
+			}
+			coalesceMoves(f)
+			deadCodeElim(f)
+			// Constant propagation may just have turned a loop entry
+			// guard into a constant branch (constant trip counts);
+			// another shaping round folds it and merges the remnants.
+			ShapeLoops(f)
+			deadCodeElim(f)
+		}
+		removeUnreachable(f)
+	}
+}
+
+// removeUnreachable deletes blocks not reachable from the entry and
+// renumbers the remainder.
+func removeUnreachable(f *ir.Func) {
+	reach := make(map[*ir.Block]bool)
+	var stack []*ir.Block
+	stack = append(stack, f.Entry())
+	reach[f.Entry()] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	if len(kept) == len(f.Blocks) {
+		return
+	}
+	for i, b := range kept {
+		b.ID = i
+		var preds []*ir.Block
+		for _, p := range b.Preds {
+			if reach[p] {
+				preds = append(preds, p)
+			}
+		}
+		b.Preds = preds
+	}
+	f.Blocks = kept
+}
+
+// useCounts returns, for each register, how many times it is read
+// anywhere in the function.
+func useCounts(f *ir.Func) []int {
+	counts := make([]int, f.NumRegs())
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			buf = op.Uses(buf[:0])
+			for _, r := range buf {
+				counts[r]++
+			}
+		}
+	}
+	return counts
+}
+
+type constVal struct {
+	isFloat bool
+	i       int64
+	fl      float64
+}
+
+// localConstAndCopy performs block-local constant and copy propagation
+// plus integer constant folding.
+func localConstAndCopy(f *ir.Func, b *ir.Block) {
+	consts := make(map[ir.Reg]constVal)
+	copies := make(map[ir.Reg]ir.Reg) // dst -> src (src still valid)
+
+	resolve := func(r ir.Reg) ir.Reg {
+		for {
+			s, ok := copies[r]
+			if !ok {
+				return r
+			}
+			r = s
+		}
+	}
+	invalidate := func(d ir.Reg) {
+		delete(consts, d)
+		delete(copies, d)
+		for k, v := range copies {
+			if v == d {
+				delete(copies, k)
+			}
+		}
+	}
+
+	for _, op := range b.Ops {
+		// Rewrite uses through the copy map.
+		for i, a := range op.Args {
+			if a != ir.NoReg {
+				op.Args[i] = resolve(a)
+			}
+		}
+		if op.Idx != ir.NoReg {
+			op.Idx = resolve(op.Idx)
+		}
+		for i, a := range op.CallArgs {
+			op.CallArgs[i] = resolve(a)
+		}
+
+		// Integer constant folding.
+		if folded, ok := foldInt(op, consts); ok {
+			invalidate(op.Dst)
+			op.Kind = ir.OpConst
+			op.Args = [2]ir.Reg{}
+			op.Imm = folded
+			consts[op.Dst] = constVal{i: folded}
+			continue
+		}
+
+		if op.Dst != ir.NoReg {
+			invalidate(op.Dst)
+		}
+		switch op.Kind {
+		case ir.OpConst:
+			consts[op.Dst] = constVal{i: op.Imm}
+		case ir.OpFConst:
+			consts[op.Dst] = constVal{isFloat: true, fl: op.FImm}
+		case ir.OpMov:
+			if op.Args[0] != op.Dst {
+				copies[op.Dst] = op.Args[0]
+			}
+			if c, ok := consts[op.Args[0]]; ok {
+				consts[op.Dst] = c
+			}
+		case ir.OpCall:
+			// Calls clobber nothing in the caller's register file under
+			// the callee-save-everything convention, so constants and
+			// copies survive.
+		}
+	}
+}
+
+// foldInt folds an integer operation whose operands are known
+// constants. It returns the folded value and true on success.
+func foldInt(op *ir.Op, consts map[ir.Reg]constVal) (int64, bool) {
+	bin := func() (int32, int32, bool) {
+		a, okA := consts[op.Args[0]]
+		b, okB := consts[op.Args[1]]
+		if !okA || !okB || a.isFloat || b.isFloat {
+			return 0, 0, false
+		}
+		return int32(a.i), int32(b.i), true
+	}
+	switch op.Kind {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr, ir.OpSetEQ, ir.OpSetNE, ir.OpSetLT,
+		ir.OpSetLE, ir.OpSetGT, ir.OpSetGE:
+		a, b, ok := bin()
+		if !ok {
+			return 0, false
+		}
+		return int64(evalIntBin(op.Kind, a, b)), true
+	case ir.OpDiv, ir.OpRem:
+		a, b, ok := bin()
+		if !ok || b == 0 {
+			return 0, false
+		}
+		return int64(evalIntBin(op.Kind, a, b)), true
+	case ir.OpNeg:
+		if a, ok := consts[op.Args[0]]; ok && !a.isFloat {
+			return int64(-int32(a.i)), true
+		}
+	case ir.OpNot:
+		if a, ok := consts[op.Args[0]]; ok && !a.isFloat {
+			return int64(^int32(a.i)), true
+		}
+	}
+	return 0, false
+}
+
+// evalIntBin defines the integer semantics of the model architecture:
+// 32-bit two's-complement wraparound, arithmetic right shift, shift
+// counts masked to 5 bits. The simulator uses the same function, so
+// folding can never change program behaviour.
+func evalIntBin(k ir.OpKind, a, b int32) int32 {
+	switch k {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpDiv:
+		return a / b
+	case ir.OpRem:
+		return a % b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return a << (uint32(b) & 31)
+	case ir.OpShr:
+		return a >> (uint32(b) & 31)
+	case ir.OpSetEQ:
+		return b2i(a == b)
+	case ir.OpSetNE:
+		return b2i(a != b)
+	case ir.OpSetLT:
+		return b2i(a < b)
+	case ir.OpSetLE:
+		return b2i(a <= b)
+	case ir.OpSetGT:
+		return b2i(a > b)
+	case ir.OpSetGE:
+		return b2i(a >= b)
+	}
+	panic("opt: evalIntBin on " + k.String())
+}
+
+// EvalIntBin exposes the architecture's integer semantics to the
+// simulator.
+func EvalIntBin(k ir.OpKind, a, b int32) int32 { return evalIntBin(k, a, b) }
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// redundantLoadElim removes block-local redundant memory accesses: a
+// load of the same symbol through the same (un-redefined) index
+// register as an earlier load or store is replaced by a register copy.
+// Besides being a standard optimization, this keeps a pair of loads of
+// the *same address* from being mistaken for a simultaneous same-array
+// access and triggering a needless duplication mark.
+func redundantLoadElim(f *ir.Func, b *ir.Block) {
+	type key struct {
+		sym *ir.Symbol
+		idx ir.Reg
+	}
+	avail := make(map[key]ir.Reg)
+	invalidateReg := func(r ir.Reg) {
+		for k, v := range avail {
+			if v == r || k.idx == r {
+				delete(avail, k)
+			}
+		}
+	}
+	invalidateSym := func(s *ir.Symbol) {
+		for k := range avail {
+			if k.sym == s {
+				delete(avail, k)
+			}
+		}
+	}
+	for _, op := range b.Ops {
+		switch op.Kind {
+		case ir.OpLoad:
+			k := key{op.Sym, op.Idx}
+			v, hit := avail[k]
+			if hit {
+				op.Kind = ir.OpMov
+				op.Args[0] = v
+				op.Sym = nil
+				op.Idx = ir.NoReg
+			}
+			invalidateReg(op.Dst)
+			// If the destination doubles as the index register, the
+			// index value is gone and the address can no longer be
+			// named.
+			if k.idx != op.Dst {
+				avail[k] = op.Dst
+			}
+			continue
+		case ir.OpStore:
+			invalidateSym(op.Sym)
+			avail[key{op.Sym, op.Idx}] = op.Args[0] // store-to-load forwarding
+			continue
+		case ir.OpCall:
+			avail = make(map[key]ir.Reg)
+			continue
+		}
+		if op.Dst != ir.NoReg {
+			invalidateReg(op.Dst)
+		}
+	}
+}
+
+// coalesceMoves fuses `d = op ...; s = mov d` pairs where d has exactly
+// one use, rewriting the defining op to target s directly. This removes
+// the copies that compound assignments and accumulators introduce.
+func coalesceMoves(f *ir.Func) {
+	counts := useCounts(f)
+	for _, b := range f.Blocks {
+		for i := 0; i+1 < len(b.Ops); i++ {
+			op, nxt := b.Ops[i], b.Ops[i+1]
+			if nxt.Kind != ir.OpMov || op.Dst == ir.NoReg || nxt.Args[0] != op.Dst {
+				continue
+			}
+			if counts[op.Dst] != 1 {
+				continue
+			}
+			// A multiply-accumulate implicitly reads its destination, so
+			// retargeting would change which accumulator is read.
+			if op.Kind == ir.OpMac || op.Kind == ir.OpFMac {
+				continue
+			}
+			if op.Kind == ir.OpCall {
+				continue
+			}
+			op.Dst = nxt.Dst
+			nxt.Kind = ir.OpMov
+			nxt.Args[0] = nxt.Dst // becomes a self-move; DCE removes it
+		}
+	}
+	// Delete self-moves.
+	for _, b := range f.Blocks {
+		out := b.Ops[:0]
+		for _, op := range b.Ops {
+			if op.Kind == ir.OpMov && op.Args[0] == op.Dst {
+				continue
+			}
+			out = append(out, op)
+		}
+		b.Ops = out
+	}
+}
+
+// fuseMAC rewrites  t = mul a,b ; s = add s,t  (or add t,s) into a
+// single multiply-accumulate when t has no other use and a, b, s are
+// not redefined in between. This is the accumulator idiom at the heart
+// of the FIR example in Figure 1.
+func fuseMAC(f *ir.Func) {
+	counts := useCounts(f)
+	for _, b := range f.Blocks {
+		defsBetween := func(from, to int, r ir.Reg) bool {
+			for j := from + 1; j < to; j++ {
+				if b.Ops[j].Dst == r {
+					return true
+				}
+			}
+			return false
+		}
+		for i, op := range b.Ops {
+			var addK, macK ir.OpKind
+			switch op.Kind {
+			case ir.OpMul:
+				addK, macK = ir.OpAdd, ir.OpMac
+			case ir.OpFMul:
+				addK, macK = ir.OpFAdd, ir.OpFMac
+			default:
+				continue
+			}
+			t := op.Dst
+			if counts[t] != 1 {
+				continue
+			}
+			for j := i + 1; j < len(b.Ops); j++ {
+				cand := b.Ops[j]
+				if cand.Kind != addK {
+					// Stop the search if t's operands or t itself are
+					// redefined before we find the add.
+					if cand.Dst == t || cand.Dst == op.Args[0] || cand.Dst == op.Args[1] {
+						break
+					}
+					continue
+				}
+				var acc ir.Reg
+				switch {
+				case cand.Args[0] == t && cand.Args[1] != t:
+					acc = cand.Args[1]
+				case cand.Args[1] == t && cand.Args[0] != t:
+					acc = cand.Args[0]
+				default:
+					continue
+				}
+				if cand.Dst != acc {
+					continue // not an accumulator update
+				}
+				if defsBetween(i, j, op.Args[0]) || defsBetween(i, j, op.Args[1]) || defsBetween(i, j, acc) {
+					break
+				}
+				// Fuse: cand becomes mac acc += a*b; the mul becomes a
+				// self-move that DCE removes.
+				cand.Kind = macK
+				cand.Args = op.Args
+				op.Kind = ir.OpMov
+				op.Args = [2]ir.Reg{t}
+				break
+			}
+		}
+	}
+	// Remove the self-moves left behind.
+	for _, b := range f.Blocks {
+		out := b.Ops[:0]
+		for _, op := range b.Ops {
+			if op.Kind == ir.OpMov && op.Args[0] == op.Dst {
+				continue
+			}
+			out = append(out, op)
+		}
+		b.Ops = out
+	}
+}
+
+// hoistLoopConstants moves constant definitions whose block is inside a
+// loop to the function entry, deduplicating by value. Constants are
+// pure and their registers are single-assignment after the hoist, so
+// this is always safe; it frees loop instruction slots at the price of
+// register pressure (spills land on the partitioned stacks).
+func hoistLoopConstants(f *ir.Func) {
+	redef := make(map[ir.Reg]int) // defs per register
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			if op.Dst != ir.NoReg {
+				redef[op.Dst]++
+			}
+		}
+	}
+	type key struct {
+		kind ir.OpKind
+		imm  int64
+		fimm float64
+	}
+	pooled := make(map[key]ir.Reg)
+	var hoisted []*ir.Op
+	replace := make(map[ir.Reg]ir.Reg)
+
+	for _, b := range f.Blocks {
+		if b.LoopDepth == 0 {
+			continue
+		}
+		out := b.Ops[:0]
+		for _, op := range b.Ops {
+			if (op.Kind == ir.OpConst || op.Kind == ir.OpFConst) && redef[op.Dst] == 1 {
+				k := key{kind: op.Kind, imm: op.Imm, fimm: op.FImm}
+				if r, ok := pooled[k]; ok {
+					replace[op.Dst] = r
+				} else {
+					pooled[k] = op.Dst
+					hoisted = append(hoisted, op)
+				}
+				continue
+			}
+			out = append(out, op)
+		}
+		b.Ops = out
+	}
+	if len(hoisted) == 0 && len(replace) == 0 {
+		return
+	}
+	entry := f.Entry()
+	entry.Ops = append(hoisted, entry.Ops...)
+	if len(replace) == 0 {
+		return
+	}
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			for i, a := range op.Args {
+				if r, ok := replace[a]; ok {
+					op.Args[i] = r
+				}
+			}
+			if r, ok := replace[op.Idx]; ok {
+				op.Idx = r
+			}
+			for i, a := range op.CallArgs {
+				if r, ok := replace[a]; ok {
+					op.CallArgs[i] = r
+				}
+			}
+		}
+	}
+}
+
+// deadCodeElim removes pure operations whose results are never used.
+// It iterates to a fixed point because removing one op can make
+// another's result dead.
+func deadCodeElim(f *ir.Func) {
+	for {
+		counts := useCounts(f)
+		changed := false
+		for _, b := range f.Blocks {
+			out := b.Ops[:0]
+			for _, op := range b.Ops {
+				if isPure(op) && op.Dst != ir.NoReg && counts[op.Dst] == 0 {
+					changed = true
+					continue
+				}
+				out = append(out, op)
+			}
+			b.Ops = out
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func isPure(op *ir.Op) bool {
+	switch op.Kind {
+	case ir.OpStore, ir.OpCall, ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpLoad:
+		// Loads are pure in effect, but removing one never helps after
+		// lowering and keeping them makes memory-traffic accounting
+		// honest; still, an unused load's result is dead weight, so
+		// allow elimination.
+		return op.Kind == ir.OpLoad
+	}
+	return true
+}

@@ -1,0 +1,249 @@
+package opt
+
+import "dualbank/internal/ir"
+
+// strengthReduce rewrites derived induction variables in single-block
+// loops. An address computation like `a = n + k` (or `a = i*cols`)
+// inside a loop over k keeps every dependent memory access one cycle
+// behind its address arithmetic; rewriting it to an initial value in
+// the preheader plus a step update at the bottom of the loop body
+// turns the dependence into an anti-dependence, which costs nothing on
+// a VLIW (the update shares the access's instruction). This is the
+// compiler analogue of the post-increment address registers that DSPs
+// like the DSP56001 use (Figure 1's `X:(R0)+,X0`), executed here by
+// the AU units, and it is what lets two array accesses become
+// simultaneously data-ready — the precondition for both interference
+// edges and duplication marks.
+func strengthReduce(f *ir.Func) bool {
+	changed := false
+	for _, l := range f.Blocks {
+		t := l.Terminator()
+		if t == nil {
+			continue
+		}
+		selfLoop := false
+		switch t.Kind {
+		case ir.OpEndDo, ir.OpCondBr:
+			selfLoop = len(l.Succs) == 2 && l.Succs[0] == l
+		}
+		if !selfLoop {
+			continue
+		}
+		// Single outside predecessor = the preheader.
+		var pre *ir.Block
+		ok := true
+		for _, p := range l.Preds {
+			if p == l {
+				continue
+			}
+			if pre != nil {
+				ok = false
+			}
+			pre = p
+		}
+		if !ok || pre == nil || len(pre.Ops) == 0 {
+			continue
+		}
+		if reduceLoop(f, pre, l) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// reduceLoop performs derived-induction rewriting for one self-loop
+// block with its preheader.
+func reduceLoop(f *ir.Func, pre, l *ir.Block) bool {
+	// Global def/use census to establish invariance and locality.
+	defsIn := make(map[ir.Reg]int)  // defs inside l
+	defsOut := make(map[ir.Reg]int) // defs outside l
+	usesOut := make(map[ir.Reg]int) // uses outside l
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			if op.Dst != ir.NoReg {
+				if b == l {
+					defsIn[op.Dst]++
+				} else {
+					defsOut[op.Dst]++
+				}
+			}
+			if b != l {
+				buf = op.Uses(buf[:0])
+				for _, u := range buf {
+					usesOut[u]++
+				}
+			}
+		}
+	}
+	invariant := func(r ir.Reg) bool { return defsIn[r] == 0 }
+
+	// Loop-invariant code motion: hoist pure scalar operations whose
+	// operands are all invariant (the rotation guard guarantees at
+	// least one execution, so the hoisted op would have run anyway).
+	// This exposes computations like i*n to the derivation below.
+	usedBeforeDef := func(v ir.Reg, defIdx int) bool {
+		for i := 0; i < defIdx; i++ {
+			buf = l.Ops[i].Uses(buf[:0])
+			for _, u := range buf {
+				if u == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	changedLICM := true
+	for changedLICM {
+		changedLICM = false
+		for oi, op := range l.Ops {
+			if op.Dst == ir.NoReg || defsIn[op.Dst] != 1 || op.IsMem() ||
+				op.Kind.IsTerminator() || op.Kind == ir.OpCall ||
+				op.Kind == ir.OpDiv || op.Kind == ir.OpRem {
+				continue
+			}
+			allInv := true
+			buf = op.Uses(buf[:0])
+			for _, u := range buf {
+				if !invariant(u) {
+					allInv = false
+					break
+				}
+			}
+			// A multiply-accumulate reads its own destination.
+			if op.Kind == ir.OpMac || op.Kind == ir.OpFMac {
+				allInv = false
+			}
+			if !allInv || usedBeforeDef(op.Dst, oi) {
+				continue
+			}
+			l.Ops = append(l.Ops[:oi], l.Ops[oi+1:]...)
+			insertBeforeTerm(pre, op)
+			defsIn[op.Dst] = 0
+			defsOut[op.Dst]++
+			changedLICM = true
+			break
+		}
+	}
+
+	// Base induction variables: r = add r, s with s invariant, single
+	// in-loop def.
+	type induction struct {
+		step ir.Reg // per-iteration step (an invariant register)
+		mul  ir.Reg // optional invariant factor: effective step = step*mul
+	}
+	ind := make(map[ir.Reg]induction)
+	for _, op := range l.Ops {
+		if op.Kind == ir.OpAdd && op.Dst == op.Args[0] && defsIn[op.Dst] == 1 && invariant(op.Args[1]) {
+			ind[op.Dst] = induction{step: op.Args[1]}
+		}
+	}
+	if len(ind) == 0 {
+		return false
+	}
+
+	changed := false
+	// One rewrite per round, rescanning after each; the bound covers
+	// bodies with many derived addresses (e.g. several d[2s], d[2s+1]
+	// computations per iteration).
+	for round := 0; round < 24; round++ {
+		progressed := false
+		for oi, op := range l.Ops {
+			if op.Dst == ir.NoReg || defsIn[op.Dst] != 1 || usesOut[op.Dst] != 0 {
+				continue
+			}
+			if op.Kind != ir.OpAdd && op.Kind != ir.OpMul {
+				continue
+			}
+			v := op.Dst
+			if _, isInd := ind[v]; isInd {
+				continue
+			}
+			var base ir.Reg
+			var other ir.Reg
+			if bi, ok := ind[op.Args[0]]; ok && invariant(op.Args[1]) {
+				base, other = op.Args[0], op.Args[1]
+				_ = bi
+			} else if _, ok := ind[op.Args[1]]; ok && invariant(op.Args[0]) {
+				base, other = op.Args[1], op.Args[0]
+			} else {
+				continue
+			}
+			bind := ind[base]
+			// The base induction's update must come after this op (the
+			// op must read the pre-increment value) and every use of v
+			// must be inside the loop after this def.
+			updIdx, defIdx := -1, oi
+			for i, o := range l.Ops {
+				if o.Dst == base && o.Kind == ir.OpAdd && o.Args[0] == base {
+					updIdx = i
+				}
+			}
+			if updIdx < defIdx {
+				continue
+			}
+			usedBefore := false
+			for i := 0; i < defIdx; i++ {
+				buf = l.Ops[i].Uses(buf[:0])
+				for _, u := range buf {
+					if u == v {
+						usedBefore = true
+					}
+				}
+			}
+			if usedBefore {
+				continue
+			}
+			// A mul-derived induction needs a step multiplied by the
+			// invariant factor; chain factors if the base already has
+			// one.
+			step := bind.step
+			mulBy := bind.mul
+			if op.Kind == ir.OpMul {
+				if mulBy != ir.NoReg {
+					// Fold the two factors in the preheader.
+					m := f.NewReg(ir.TInt)
+					insertBeforeTerm(pre, &ir.Op{Kind: ir.OpMul, Type: ir.TInt, Dst: m,
+						Args: [2]ir.Reg{mulBy, other}})
+					mulBy = m
+				} else {
+					mulBy = other
+				}
+			}
+			// Effective step register, computed in the preheader.
+			effStep := step
+			if mulBy != ir.NoReg {
+				es := f.NewReg(ir.TInt)
+				insertBeforeTerm(pre, &ir.Op{Kind: ir.OpMul, Type: ir.TInt, Dst: es,
+					Args: [2]ir.Reg{step, mulBy}})
+				effStep = es
+			}
+			// Initial value in the preheader: same computation on the
+			// entry values.
+			init := *op
+			insertBeforeTerm(pre, &init)
+			// Replace the in-loop def with a step update at the bottom
+			// of the body (before the terminator), so every use this
+			// iteration sees the pre-step value.
+			l.Ops = append(l.Ops[:oi], l.Ops[oi+1:]...)
+			insertBeforeTerm(l, &ir.Op{Kind: ir.OpAdd, Type: ir.TInt, Dst: v,
+				Args: [2]ir.Reg{v, effStep}})
+			ind[v] = induction{step: effStep}
+			defsIn[v] = 1
+			progressed = true
+			changed = true
+			break // op indices shifted; rescan
+		}
+		if !progressed {
+			break
+		}
+	}
+	return changed
+}
+
+func insertBeforeTerm(b *ir.Block, op *ir.Op) {
+	n := len(b.Ops)
+	b.Ops = append(b.Ops, nil)
+	copy(b.Ops[n:], b.Ops[n-1:n])
+	b.Ops[n-1] = op
+}

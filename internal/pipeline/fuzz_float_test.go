@@ -1,0 +1,192 @@
+package pipeline
+
+// Float-typed pipeline fuzzing. Because the Go evaluator mirrors the
+// MiniC operation order exactly and both sides round every operation
+// to float32, results must match bit-for-bit (NaNs compare by bit
+// pattern class).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dualbank/internal/alloc"
+)
+
+type fexpr struct {
+	src  string
+	eval func(env map[string]float32) float32
+}
+
+type fgen struct {
+	rng  *rand.Rand
+	vars []string
+}
+
+func flit(v float32) fexpr {
+	s := strconv.FormatFloat(float64(v), 'g', -1, 32)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	if v < 0 {
+		s = "(" + s + ")"
+	}
+	return fexpr{src: s, eval: func(map[string]float32) float32 { return v }}
+}
+
+func (g *fgen) leaf() fexpr {
+	if g.rng.Intn(2) == 0 {
+		name := g.vars[g.rng.Intn(len(g.vars))]
+		return fexpr{src: name, eval: func(e map[string]float32) float32 { return e[name] }}
+	}
+	return flit(float32(g.rng.Intn(41)-20) * 0.25)
+}
+
+func (g *fgen) gen(depth int) fexpr {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(7) {
+	case 0:
+		x := g.gen(depth - 1)
+		return fexpr{
+			src:  "(-" + x.src + ")",
+			eval: func(e map[string]float32) float32 { return -x.eval(e) },
+		}
+	case 1: // comparison-driven ternary
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		x, y := g.gen(depth-1), g.gen(depth-1)
+		ops := []string{"<", "<=", ">", ">=", "==", "!="}
+		op := ops[g.rng.Intn(len(ops))]
+		return fexpr{
+			src: fmt.Sprintf("((%s %s %s) ? %s : %s)", a.src, op, b.src, x.src, y.src),
+			eval: func(e map[string]float32) float32 {
+				av, bv := a.eval(e), b.eval(e)
+				var c bool
+				switch op {
+				case "<":
+					c = av < bv
+				case "<=":
+					c = av <= bv
+				case ">":
+					c = av > bv
+				case ">=":
+					c = av >= bv
+				case "==":
+					c = av == bv
+				default:
+					c = av != bv
+				}
+				if c {
+					return x.eval(e)
+				}
+				return y.eval(e)
+			},
+		}
+	default:
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		ops := []string{"+", "-", "*", "/"}
+		op := ops[g.rng.Intn(len(ops))]
+		return fexpr{
+			src: fmt.Sprintf("(%s %s %s)", a.src, op, b.src),
+			eval: func(e map[string]float32) float32 {
+				x, y := a.eval(e), b.eval(e)
+				switch op {
+				case "+":
+					return x + y
+				case "-":
+					return x - y
+				case "*":
+					return x * y
+				}
+				return x / y // IEEE semantics: /0 gives an infinity or NaN
+			},
+		}
+	}
+}
+
+func genFloatProgram(rng *rand.Rand) (string, []float32) {
+	g := &fgen{rng: rng}
+	nVars := 2 + rng.Intn(3)
+	trips := 1 + rng.Intn(8)
+
+	env := map[string]float32{}
+	var sb strings.Builder
+	for i := 0; i < nVars; i++ {
+		name := fmt.Sprintf("f%d", i)
+		init := float32(rng.Intn(17)-8) * 0.5
+		env[name] = init
+		fmt.Fprintf(&sb, "float %s = %s;\n", name, flit(init).src)
+		g.vars = append(g.vars, name)
+	}
+	fmt.Fprintf(&sb, "float out[%d];\n", nVars)
+	fmt.Fprintf(&sb, "void main() {\n\tint i;\n\tfor (i = 0; i < %d; i++) {\n", trips)
+
+	type stmt struct {
+		target string
+		e      fexpr
+	}
+	var stmts []stmt
+	nStmts := 1 + rng.Intn(3)
+	for s := 0; s < nStmts; s++ {
+		target := fmt.Sprintf("f%d", rng.Intn(nVars))
+		e := g.gen(3)
+		stmts = append(stmts, stmt{target, e})
+		fmt.Fprintf(&sb, "\t\t%s = %s;\n", target, e.src)
+	}
+	sb.WriteString("\t}\n")
+	for i := 0; i < nVars; i++ {
+		fmt.Fprintf(&sb, "\tout[%d] = f%d;\n", i, i)
+	}
+	sb.WriteString("}\n")
+
+	for it := 0; it < trips; it++ {
+		for _, s := range stmts {
+			env[s.target] = s.e.eval(env)
+		}
+	}
+	want := make([]float32, nVars)
+	for i := range want {
+		want[i] = env[fmt.Sprintf("f%d", i)]
+	}
+	return sb.String(), want
+}
+
+// TestRandomFloatPrograms checks bit-exact float behaviour through the
+// whole pipeline under several allocation modes.
+func TestRandomFloatPrograms(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	for seed := 0; seed < n; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		src, want := genFloatProgram(rng)
+		for _, mode := range []alloc.Mode{alloc.SingleBank, alloc.CB, alloc.Ideal} {
+			c, err := Compile(src, fmt.Sprintf("ffuzz%d", seed), Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("seed %d: compile: %v\nsource:\n%s", seed, err, src)
+			}
+			m, err := c.Run()
+			if err != nil {
+				t.Fatalf("seed %d: run: %v\nsource:\n%s", seed, err, src)
+			}
+			out := c.Global("out")
+			for i, w := range want {
+				got, err := m.Float32(out, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				same := math.Float32bits(got) == math.Float32bits(w) ||
+					(got != got && w != w) // both NaN
+				if !same {
+					t.Fatalf("seed %d mode %v: out[%d] = %v (%#x), want %v (%#x)\nsource:\n%s",
+						seed, mode, i, got, math.Float32bits(got), w, math.Float32bits(w), src)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package pipeline
+
+// Property-based whole-compiler testing: random MiniC programs are
+// generated together with a Go-side evaluator that mirrors the
+// architecture's 32-bit semantics exactly. Each program is compiled
+// under several allocation modes, executed on the VLIW machine
+// simulator, and its outputs compared word-for-word with the
+// evaluator. Any divergence indicts some stage of the pipeline —
+// front-end, optimizer, register allocator, data allocator, scheduler,
+// or simulator.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/compact"
+
+	"dualbank/internal/opt"
+)
+
+// exprNode is a generated expression: its MiniC spelling plus an
+// evaluator over the current variable environment.
+type exprNode struct {
+	src  string
+	eval func(env map[string]int32) int32
+}
+
+type exprGen struct {
+	rng  *rand.Rand
+	vars []string // readable scalar variables
+}
+
+func lit(v int32) exprNode {
+	s := fmt.Sprintf("%d", v)
+	if v < 0 {
+		s = fmt.Sprintf("(%d)", v)
+	}
+	return exprNode{src: s, eval: func(map[string]int32) int32 { return v }}
+}
+
+func (g *exprGen) leaf() exprNode {
+	if len(g.vars) > 0 && g.rng.Intn(2) == 0 {
+		name := g.vars[g.rng.Intn(len(g.vars))]
+		return exprNode{src: name, eval: func(env map[string]int32) int32 { return env[name] }}
+	}
+	return lit(int32(g.rng.Intn(201) - 100))
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (g *exprGen) gen(depth int) exprNode {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(12) {
+	case 0: // unary minus
+		x := g.gen(depth - 1)
+		return exprNode{
+			src:  "(-" + x.src + ")",
+			eval: func(e map[string]int32) int32 { return -x.eval(e) },
+		}
+	case 1: // bitwise not
+		x := g.gen(depth - 1)
+		return exprNode{
+			src:  "(~" + x.src + ")",
+			eval: func(e map[string]int32) int32 { return ^x.eval(e) },
+		}
+	case 2: // logical not
+		x := g.gen(depth - 1)
+		return exprNode{
+			src:  "(!" + x.src + ")",
+			eval: func(e map[string]int32) int32 { return b2i(x.eval(e) == 0) },
+		}
+	case 3: // shift by a literal amount
+		x := g.gen(depth - 1)
+		k := int32(g.rng.Intn(31))
+		op := ">>"
+		if g.rng.Intn(2) == 0 {
+			op = "<<"
+		}
+		return exprNode{
+			src: fmt.Sprintf("(%s %s %d)", x.src, op, k),
+			eval: func(e map[string]int32) int32 {
+				if op == "<<" {
+					return x.eval(e) << uint(k)
+				}
+				return x.eval(e) >> uint(k)
+			},
+		}
+	case 4: // ternary
+		c, a, b := g.gen(depth-1), g.gen(depth-1), g.gen(depth-1)
+		return exprNode{
+			src: fmt.Sprintf("(%s ? %s : %s)", c.src, a.src, b.src),
+			eval: func(e map[string]int32) int32 {
+				if c.eval(e) != 0 {
+					return a.eval(e)
+				}
+				return b.eval(e)
+			},
+		}
+	case 5: // short-circuit
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		if g.rng.Intn(2) == 0 {
+			return exprNode{
+				src: fmt.Sprintf("(%s && %s)", a.src, b.src),
+				eval: func(e map[string]int32) int32 {
+					if a.eval(e) == 0 {
+						return 0
+					}
+					return b2i(b.eval(e) != 0)
+				},
+			}
+		}
+		return exprNode{
+			src: fmt.Sprintf("(%s || %s)", a.src, b.src),
+			eval: func(e map[string]int32) int32 {
+				if a.eval(e) != 0 {
+					return 1
+				}
+				return b2i(b.eval(e) != 0)
+			},
+		}
+	case 6: // comparison
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		ops := []string{"==", "!=", "<", "<=", ">", ">="}
+		op := ops[g.rng.Intn(len(ops))]
+		return exprNode{
+			src: fmt.Sprintf("(%s %s %s)", a.src, op, b.src),
+			eval: func(e map[string]int32) int32 {
+				x, y := a.eval(e), b.eval(e)
+				switch op {
+				case "==":
+					return b2i(x == y)
+				case "!=":
+					return b2i(x != y)
+				case "<":
+					return b2i(x < y)
+				case "<=":
+					return b2i(x <= y)
+				case ">":
+					return b2i(x > y)
+				}
+				return b2i(x >= y)
+			},
+		}
+	default: // binary arithmetic / bitwise
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		ops := []string{"+", "-", "*", "&", "|", "^"}
+		op := ops[g.rng.Intn(len(ops))]
+		return exprNode{
+			src: fmt.Sprintf("(%s %s %s)", a.src, op, b.src),
+			eval: func(e map[string]int32) int32 {
+				x, y := a.eval(e), b.eval(e)
+				switch op {
+				case "+":
+					return x + y
+				case "-":
+					return x - y
+				case "*":
+					return x * y
+				case "&":
+					return x & y
+				case "|":
+					return x | y
+				}
+				return x ^ y
+			},
+		}
+	}
+}
+
+// genProgram builds a random program: global scalars with constant
+// initializers, a counted loop whose body reassigns them with random
+// expressions (over the globals and the loop counter), and an output
+// array capturing the final values. It returns the source and the
+// expected outputs from the mirrored evaluator.
+func genProgram(rng *rand.Rand) (src string, want []int32) {
+	g := &exprGen{rng: rng}
+	nVars := 2 + rng.Intn(4)
+	trips := 1 + rng.Intn(9)
+
+	env := map[string]int32{}
+	var sb strings.Builder
+	for i := 0; i < nVars; i++ {
+		name := fmt.Sprintf("v%d", i)
+		init := int32(rng.Intn(101) - 50)
+		env[name] = init
+		fmt.Fprintf(&sb, "int %s = %d;\n", name, init)
+		g.vars = append(g.vars, name)
+	}
+	fmt.Fprintf(&sb, "int out[%d];\n", nVars)
+	fmt.Fprintf(&sb, "void main() {\n\tint i;\n\tfor (i = 0; i < %d; i++) {\n", trips)
+
+	// The loop counter is readable inside expressions.
+	g.vars = append(g.vars, "i")
+	nStmts := 1 + rng.Intn(4)
+	type stmt struct {
+		target string
+		e      exprNode
+	}
+	var stmts []stmt
+	for s := 0; s < nStmts; s++ {
+		target := fmt.Sprintf("v%d", rng.Intn(nVars))
+		e := g.gen(3)
+		stmts = append(stmts, stmt{target, e})
+		fmt.Fprintf(&sb, "\t\t%s = %s;\n", target, e.e())
+	}
+	sb.WriteString("\t}\n")
+	for i := 0; i < nVars; i++ {
+		fmt.Fprintf(&sb, "\tout[%d] = v%d;\n", i, i)
+	}
+	sb.WriteString("}\n")
+
+	// Mirror execution.
+	for it := int32(0); it < int32(trips); it++ {
+		env["i"] = it
+		for _, s := range stmts {
+			env[s.target] = s.e.eval(env)
+		}
+	}
+	want = make([]int32, nVars)
+	for i := range want {
+		want[i] = env[fmt.Sprintf("v%d", i)]
+	}
+	return sb.String(), want
+}
+
+// e returns the expression source (helper so the struct literal above
+// stays compact).
+func (n exprNode) e() string { return n.src }
+
+var fuzzModes = []alloc.Mode{alloc.SingleBank, alloc.CB, alloc.CBDup, alloc.Ideal}
+
+// TestRandomProgramsAllStages is the whole-pipeline differential test.
+func TestRandomProgramsAllStages(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for seed := 0; seed < n; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		src, want := genProgram(rng)
+		for _, mode := range fuzzModes {
+			c, err := Compile(src, fmt.Sprintf("fuzz%d", seed), Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("seed %d mode %v: compile: %v\nsource:\n%s", seed, mode, err, src)
+			}
+			if err := compact.Validate(c.Sched); err != nil {
+				t.Fatalf("seed %d mode %v: schedule: %v\nsource:\n%s", seed, mode, err, src)
+			}
+			m, err := c.Run()
+			if err != nil {
+				t.Fatalf("seed %d mode %v: run: %v\nsource:\n%s", seed, mode, err, src)
+			}
+			out := c.Global("out")
+			for i, w := range want {
+				got, err := m.Int32(out, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != w {
+					t.Fatalf("seed %d mode %v: out[%d] = %d, want %d\nsource:\n%s",
+						seed, mode, i, got, w, src)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomProgramsOptimizerAblations re-runs a slice of the fuzz
+// corpus with each optimizer feature disabled, guarding the ablation
+// configurations against miscompilation.
+func TestRandomProgramsOptimizerAblations(t *testing.T) {
+	ablations := []opt.Options{
+		{NoMACFusion: true},
+		{NoLoopShaping: true},
+		{NoStrengthReduce: true},
+		{NoConstHoist: true},
+		{NoMACFusion: true, NoLoopShaping: true, NoStrengthReduce: true, NoConstHoist: true},
+	}
+	for seed := 100; seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		src, want := genProgram(rng)
+		for ai, ab := range ablations {
+			c, err := Compile(src, fmt.Sprintf("abl%d", seed), Options{Mode: alloc.CB, Opt: ab})
+			if err != nil {
+				t.Fatalf("seed %d ablation %d: %v\nsource:\n%s", seed, ai, err, src)
+			}
+			m, err := c.Run()
+			if err != nil {
+				t.Fatalf("seed %d ablation %d: run: %v\nsource:\n%s", seed, ai, err, src)
+			}
+			out := c.Global("out")
+			for i, w := range want {
+				got, err := m.Int32(out, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != w {
+					t.Fatalf("seed %d ablation %d: out[%d] = %d, want %d\nsource:\n%s",
+						seed, ai, i, got, w, src)
+				}
+			}
+		}
+	}
+}

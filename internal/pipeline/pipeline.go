@@ -1,0 +1,113 @@
+// Package pipeline is the compiler driver: it chains the MiniC
+// front-end, the optimizer, the register allocator, the data
+// allocation pass, and the operation-compaction pass into a single
+// Compile call, and wraps the simulator for execution. Every
+// experiment arm of the paper is one Options.Mode value.
+package pipeline
+
+import (
+	"fmt"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/compact"
+	"dualbank/internal/core"
+	"dualbank/internal/ir"
+	"dualbank/internal/lower"
+	"dualbank/internal/minic"
+	"dualbank/internal/opt"
+	"dualbank/internal/regalloc"
+	"dualbank/internal/sim"
+)
+
+// Options selects the data-allocation mode and pass configuration.
+type Options struct {
+	Mode alloc.Mode
+	// InterruptSafe turns on atomic duplicated-store pairs (§3.2).
+	InterruptSafe bool
+	// Opt configures the machine-independent optimizer.
+	Opt opt.Options
+	// DupOnly, when non-nil, restricts CBDup duplication to the named
+	// symbols; used by the selective-duplication refinement.
+	DupOnly map[string]bool
+	// Partitioner selects the graph-partitioning algorithm.
+	Partitioner core.Method
+}
+
+// Compiled is the result of compiling one program.
+type Compiled struct {
+	Name  string
+	IR    *ir.Program
+	Alloc *alloc.Result
+	Sched *compact.Program
+	Regs  map[string]regalloc.Stats
+}
+
+// Compile builds source (a MiniC translation unit) into scheduled VLIW
+// code under the given options.
+func Compile(source, name string, o Options) (*Compiled, error) {
+	file, err := minic.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if err := minic.Analyze(file); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	prog, err := lower.Program(file, name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	opt.Run(prog, o.Opt)
+	if err := ir.Verify(prog); err != nil {
+		return nil, fmt.Errorf("%s: after opt: %w", name, err)
+	}
+	regStats, err := regalloc.Run(prog)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+
+	if o.Mode == alloc.CBProfiled {
+		// Profile-driven edge weights: execute the program once at the
+		// IR level to annotate every basic block with its execution
+		// count before building the interference graph.
+		in := sim.NewInterp(prog)
+		in.Profile = true
+		if err := in.Run(); err != nil {
+			return nil, fmt.Errorf("%s: profiling run: %w", name, err)
+		}
+	}
+
+	allocOpts := alloc.Options{Mode: o.Mode, InterruptSafe: o.InterruptSafe, Method: o.Partitioner}
+	if o.DupOnly != nil {
+		filter := o.DupOnly
+		allocOpts.DupFilter = func(s *ir.Symbol) bool { return filter[s.Name] }
+	}
+	allocRes, err := alloc.Run(prog, allocOpts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	sched, err := compact.Schedule(prog, compact.Config{Ports: allocRes.Ports})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &Compiled{Name: name, IR: prog, Alloc: allocRes, Sched: sched, Regs: regStats}, nil
+}
+
+// Run executes the compiled program on a fresh machine and returns it
+// for inspection (cycle count, memory contents).
+func (c *Compiled) Run() (*sim.Machine, error) {
+	m := sim.NewMachine(c.Sched)
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("%s (%v): %w", c.Name, c.Alloc.Mode, err)
+	}
+	return m, nil
+}
+
+// Global finds a global symbol by name for result inspection.
+func (c *Compiled) Global(name string) *ir.Symbol {
+	for _, g := range c.IR.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/compact"
+	"dualbank/internal/sim"
+)
+
+// firSource builds the Figure 1 FIR benchmark with embedded data.
+func firSource(n int) (string, float32) {
+	var a, b strings.Builder
+	var as, bs []float32
+	for i := 0; i < n; i++ {
+		av := float32(i%7) * 0.25
+		bv := float32((i%5)-2) * 0.5
+		as = append(as, av)
+		bs = append(bs, bv)
+		if i > 0 {
+			a.WriteString(", ")
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&a, "%g", av)
+		fmt.Fprintf(&b, "%g", bv)
+	}
+	var want float32
+	for i := 0; i < n; i++ {
+		want += as[i] * bs[i]
+	}
+	src := fmt.Sprintf(`
+float A[%d] = {%s};
+float B[%d] = {%s};
+float sum;
+
+void main() {
+	int i;
+	float s = 0.0;
+	for (i = 0; i < %d; i++) {
+		s += A[i] * B[i];
+	}
+	sum = s;
+}
+`, n, a.String(), n, b.String(), n)
+	return src, want
+}
+
+var allModes = []alloc.Mode{
+	alloc.SingleBank, alloc.CB, alloc.CBProfiled, alloc.CBDup,
+	alloc.FullDup, alloc.Ideal,
+}
+
+func TestFIREndToEnd(t *testing.T) {
+	src, want := firSource(64)
+	cycles := make(map[alloc.Mode]int64)
+	for _, mode := range allModes {
+		c, err := Compile(src, "fir", Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: compile: %v", mode, err)
+		}
+		if err := compact.Validate(c.Sched); err != nil {
+			t.Fatalf("%v: schedule: %v", mode, err)
+		}
+		m, err := c.Run()
+		if err != nil {
+			t.Fatalf("%v: run: %v", mode, err)
+		}
+		got, err := m.Float32(c.Global("sum"), 0)
+		if err != nil {
+			t.Fatalf("%v: read sum: %v", mode, err)
+		}
+		if math.Abs(float64(got-want)) > 1e-3 {
+			t.Errorf("%v: sum = %g, want %g", mode, got, want)
+		}
+		cycles[mode] = m.Cycles
+		t.Logf("%-12v cycles=%d instrs=%d", mode, m.Cycles, c.Sched.StaticInstrs())
+	}
+	if cycles[alloc.CB] >= cycles[alloc.SingleBank] {
+		t.Errorf("CB (%d cycles) not faster than single-bank (%d)", cycles[alloc.CB], cycles[alloc.SingleBank])
+	}
+	if cycles[alloc.Ideal] > cycles[alloc.CB] {
+		t.Errorf("Ideal (%d cycles) slower than CB (%d)", cycles[alloc.Ideal], cycles[alloc.CB])
+	}
+}
+
+func TestFIRInterpMatchesMachine(t *testing.T) {
+	src, want := firSource(32)
+	c, err := Compile(src, "fir", Options{Mode: alloc.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sim.NewInterp(c.IR)
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := in.Float32(c.Global("sum"), 0)
+	if math.Abs(float64(got-want)) > 1e-3 {
+		t.Errorf("interp sum = %g, want %g", got, want)
+	}
+}

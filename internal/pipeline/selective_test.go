@@ -1,0 +1,84 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"dualbank/internal/bench"
+	"dualbank/internal/pipeline"
+)
+
+// TestSelectiveDuplicationKeepsLpcSignal: for lpc, duplicating the
+// frame buffer pays for itself, so the selective refinement keeps it
+// and matches the plain Dup result.
+func TestSelectiveDuplicationKeepsLpcSignal(t *testing.T) {
+	p, _ := bench.ByName("lpc")
+	res, err := pipeline.CompileSelective(p.Source, "lpc", pipeline.SelectiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no duplication candidates found for lpc")
+	}
+	if len(res.Chosen) != 1 || res.Chosen[0] != "s" {
+		t.Fatalf("chosen = %v, want [s]; trials: %+v", res.Chosen, res.Trials)
+	}
+	m, err := res.Compiled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles >= res.BaseCycles {
+		t.Fatalf("selective duplication did not improve lpc: %d vs %d", m.Cycles, res.BaseCycles)
+	}
+}
+
+// TestSelectiveDuplicationRejectsSpectralBuffers: for spectral,
+// duplicating the FFT frame arrays hurts performance, so the
+// refinement must decline every candidate and fall back to plain CB.
+func TestSelectiveDuplicationRejectsSpectralBuffers(t *testing.T) {
+	p, _ := bench.ByName("spectral")
+	res, err := pipeline.CompileSelective(p.Source, "spectral", pipeline.SelectiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("spectral should have duplication candidates")
+	}
+	if len(res.Chosen) != 0 {
+		t.Fatalf("chosen = %v, want none (duplication hurts spectral)", res.Chosen)
+	}
+	// The final program equals plain CB.
+	if len(res.Compiled.Alloc.Duplicated) != 0 {
+		t.Fatalf("final program still duplicates %v", res.Compiled.Alloc.Duplicated)
+	}
+}
+
+// TestSelectiveDuplicationCostBudget: a tight designer cost budget
+// vetoes even profitable duplication (§4.2's area constraint).
+func TestSelectiveDuplicationCostBudget(t *testing.T) {
+	p, _ := bench.ByName("lpc")
+	res, err := pipeline.CompileSelective(p.Source, "lpc", pipeline.SelectiveOptions{MaxCostIncrease: 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chosen) != 0 {
+		t.Fatalf("chosen = %v despite 1%% cost budget", res.Chosen)
+	}
+	for _, tr := range res.Trials {
+		if tr.Kept {
+			t.Fatalf("trial kept under budget: %+v", tr)
+		}
+	}
+}
+
+// TestSelectiveDuplicationMinGain: a high gain threshold rejects
+// marginal candidates.
+func TestSelectiveDuplicationMinGain(t *testing.T) {
+	p, _ := bench.ByName("lpc")
+	res, err := pipeline.CompileSelective(p.Source, "lpc", pipeline.SelectiveOptions{MinGain: 0.90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chosen) != 0 {
+		t.Fatalf("chosen = %v despite 90%% gain threshold", res.Chosen)
+	}
+}

@@ -1,0 +1,145 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/sim"
+)
+
+// This file tests the low-order-interleaved memory organisation — the
+// alternative the paper argues against in §1.2 and §3.2. Its §3.2
+// claim is checked literally: for the Figure 6 access pattern
+// s[n], s[n+m], low-order interleaving provides dual parallel access
+// "but only if the value of m is odd. Even values of m would cause the
+// two references to access the same memory bank."
+
+// autocorrLag builds the Figure 6 loop with a fixed lag m.
+func autocorrLag(m int) string {
+	return fmt.Sprintf(`
+float s[64] = {1.0, 2.0, 3.0, 4.0};
+float R;
+void main() {
+	int n;
+	float acc = 0.0;
+	for (n = 0; n < 48; n++) {
+		acc += s[n] * s[n + %d];
+	}
+	R = acc;
+}
+`, m)
+}
+
+func runLowOrder(t *testing.T, src string) *sim.Machine {
+	t.Helper()
+	_, sched := compileTo(t, src, alloc.LowOrder)
+	m := sim.NewMachine(sched)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLowOrderParityClaim(t *testing.T) {
+	odd := runLowOrder(t, autocorrLag(3))
+	even := runLowOrder(t, autocorrLag(4))
+
+	// Odd lag: the two loads always differ in parity — zero conflicts,
+	// full dual access.
+	if odd.BankConflicts != 0 {
+		t.Errorf("odd lag: %d bank conflicts, want 0", odd.BankConflicts)
+	}
+	if odd.DualMemCycles == 0 {
+		t.Error("odd lag: no dual accesses recorded")
+	}
+	// Even lag: the loads always collide — one stall per iteration.
+	if even.BankConflicts < 40 {
+		t.Errorf("even lag: %d conflicts, want ~48 (one per iteration)", even.BankConflicts)
+	}
+	if even.Cycles <= odd.Cycles {
+		t.Errorf("even lag (%d cycles) should be slower than odd lag (%d)",
+			even.Cycles, odd.Cycles)
+	}
+}
+
+// TestLowOrderCorrectness: results are identical to the high-order
+// banked organisation.
+func TestLowOrderCorrectness(t *testing.T) {
+	src := autocorrLag(5)
+	pBank, schedBank := compileTo(t, src, alloc.CB)
+	mb := sim.NewMachine(schedBank)
+	if err := mb.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gb := globalOf(pBank, "R")
+	wantW, err := mb.Word(gb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pLow, schedLow := compileTo(t, src, alloc.LowOrder)
+	ml := sim.NewMachine(schedLow)
+	if err := ml.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gl := globalOf(pLow, "R")
+	gotW, err := ml.Word(gl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotW != wantW {
+		t.Fatalf("low-order result %#x != banked result %#x", gotW, wantW)
+	}
+}
+
+// TestLowOrderBetweenBaselineAndIdeal: with mixed parities low-order
+// lands between the single-bank baseline and the dual-ported ideal.
+func TestLowOrderBetweenBaselineAndIdeal(t *testing.T) {
+	src := `
+float a[32] = {1.0};
+float b[32] = {2.0};
+float y[32];
+void main() {
+	int i;
+	for (i = 0; i < 32; i++) {
+		y[i] = a[i] * b[i];
+	}
+}
+`
+	cycles := map[alloc.Mode]int64{}
+	for _, mode := range []alloc.Mode{alloc.SingleBank, alloc.LowOrder, alloc.Ideal} {
+		_, sched := compileTo(t, src, mode)
+		m := sim.NewMachine(sched)
+		if err := m.Run(); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		cycles[mode] = m.Cycles
+	}
+	if cycles[alloc.LowOrder] > cycles[alloc.SingleBank]+2 {
+		t.Errorf("low-order (%d) slower than single bank (%d)",
+			cycles[alloc.LowOrder], cycles[alloc.SingleBank])
+	}
+	if cycles[alloc.LowOrder] < cycles[alloc.Ideal] {
+		t.Errorf("low-order (%d) beats dual-ported (%d)?",
+			cycles[alloc.LowOrder], cycles[alloc.Ideal])
+	}
+}
+
+// TestDynamicMemStats: the dynamic counters are self-consistent.
+func TestDynamicMemStats(t *testing.T) {
+	_, sched := compileTo(t, autocorrLag(3), alloc.CB)
+	m := sim.NewMachine(sched)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MemAccesses == 0 {
+		t.Fatal("no memory accesses counted")
+	}
+	if m.DualMemCycles*2 > m.MemAccesses {
+		t.Fatalf("dual cycles %d inconsistent with %d accesses", m.DualMemCycles, m.MemAccesses)
+	}
+	if m.BankConflicts != 0 {
+		t.Fatal("banked model cannot have run-time conflicts")
+	}
+}

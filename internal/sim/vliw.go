@@ -1,0 +1,455 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"dualbank/internal/compact"
+	"dualbank/internal/ir"
+	"dualbank/internal/machine"
+	"dualbank/internal/opt"
+)
+
+// Machine executes a scheduled VLIW program against the dual-bank
+// memory system. One long instruction retires per cycle; within an
+// instruction every operation reads its operands before any operation
+// writes a result (this is what makes anti-dependent operations safe
+// to pack together). The cycle count is the paper's performance
+// metric.
+type Machine struct {
+	Prog *compact.Program
+
+	// X and Y are the two data-memory banks.
+	X, Y []uint32
+	// Regs is the unified physical register file view: entries 1..32
+	// are the integer file, 33..64 the float file.
+	Regs [65]uint32
+
+	// Cycles counts retired long instructions (plus stall cycles under
+	// the low-order-interleaved port model).
+	Cycles int64
+	// OpsExecuted counts individual operations, for utilization stats.
+	OpsExecuted int64
+	// MemAccesses and DualMemCycles count dynamic memory traffic and
+	// the cycles that issued two accesses — the exploited bandwidth.
+	MemAccesses, DualMemCycles int64
+	// BankConflicts counts run-time same-bank conflicts (stall cycles)
+	// under the low-order-interleaved model.
+	BankConflicts int64
+	// MaxCycles bounds execution.
+	MaxCycles int64
+
+	// CheckPorts enables the per-cycle bank-port assertion: under the
+	// banked model each single-ported bank may serve at most one access
+	// per cycle. A violation is a scheduler bug.
+	CheckPorts bool
+
+	// AfterInstr, when non-nil, runs after each long instruction's
+	// write phase commits — i.e. at every boundary where an interrupt
+	// could be taken. Tests use it to probe the §3.2 hazard: an
+	// interrupt observing a duplicated variable between the two halves
+	// of its store pair. Returning an error aborts the run.
+	AfterInstr func(m *Machine) error
+
+	// Trace, when non-nil, receives one line per retired long
+	// instruction: cycle, function, block, and the operations issued
+	// per unit.
+	Trace io.Writer
+
+	loops []int32 // hardware loop-counter stack
+
+	// regStamp[r] = cycle of the last write to r, for the
+	// one-write-per-register-per-instruction assertion.
+	regStamp [65]int64
+}
+
+// maxHWLoopDepth bounds the hardware loop stack.
+const maxHWLoopDepth = 64
+
+// NewMachine loads a scheduled program into a fresh machine: memory
+// banks are zeroed and global initializers copied into their assigned
+// locations (duplicated symbols into both banks).
+func NewMachine(p *compact.Program) *Machine {
+	m := &Machine{
+		Prog:       p,
+		X:          make([]uint32, machine.BankWords),
+		Y:          make([]uint32, machine.BankWords),
+		MaxCycles:  DefaultMaxSteps,
+		CheckPorts: true,
+	}
+	for _, s := range p.Src.Symbols() {
+		for i, w := range s.Init {
+			if p.Ports == machine.PortsLowOrder {
+				m.storeFlat(s.Addr+i, w)
+				continue
+			}
+			switch s.Bank {
+			case machine.BankX:
+				m.X[s.Addr+i] = w
+			case machine.BankY:
+				m.Y[s.Addr+i] = w
+			case machine.BankBoth:
+				m.X[s.Addr+i] = w
+				m.Y[s.Addr+i] = w
+			default:
+				m.X[s.Addr+i] = w
+			}
+		}
+	}
+	return m
+}
+
+// storeFlat and loadFlat implement the low-order-interleaved address
+// map: even word addresses live in bank X, odd in bank Y.
+func (m *Machine) storeFlat(addr int, w uint32) {
+	if addr&1 == 0 {
+		m.X[addr>>1] = w
+	} else {
+		m.Y[addr>>1] = w
+	}
+}
+
+func (m *Machine) loadFlat(addr int) uint32 {
+	if addr&1 == 0 {
+		return m.X[addr>>1]
+	}
+	return m.Y[addr>>1]
+}
+
+// Run executes main() to completion.
+func (m *Machine) Run() error {
+	f := m.Prog.Funcs["main"]
+	if f == nil {
+		return fmt.Errorf("sim: no main function")
+	}
+	if !f.Src.Phys() {
+		return fmt.Errorf("sim: program must be in physical-register form (run regalloc)")
+	}
+	return m.runFunc(f)
+}
+
+// Word reads sym[idx] from the bank holding it (the X copy for
+// duplicated symbols; both copies are checked to be coherent).
+func (m *Machine) Word(sym *ir.Symbol, idx int) (uint32, error) {
+	a := sym.Addr + idx
+	if m.Prog.Ports == machine.PortsLowOrder {
+		return m.loadFlat(a), nil
+	}
+	switch sym.Bank {
+	case machine.BankY:
+		return m.Y[a], nil
+	case machine.BankBoth:
+		if m.X[a] != m.Y[a] {
+			return 0, fmt.Errorf("sim: duplicated symbol %s[%d] incoherent: X=%#x Y=%#x",
+				sym, idx, m.X[a], m.Y[a])
+		}
+		return m.X[a], nil
+	default:
+		return m.X[a], nil
+	}
+}
+
+// Int32 reads sym[idx] as an integer.
+func (m *Machine) Int32(sym *ir.Symbol, idx int) (int32, error) {
+	w, err := m.Word(sym, idx)
+	return int32(w), err
+}
+
+// Float32 reads sym[idx] as a float.
+func (m *Machine) Float32(sym *ir.Symbol, idx int) (float32, error) {
+	w, err := m.Word(sym, idx)
+	return math.Float32frombits(w), err
+}
+
+type pendingWrite struct {
+	isReg bool
+	reg   ir.Reg
+	bank  machine.Bank
+	addr  int
+	val   uint32
+}
+
+// runFunc executes one function invocation and returns control when it
+// hits a ret.
+func (m *Machine) runFunc(f *compact.Func) error {
+	b := f.Blocks[f.Src.Entry().ID]
+	for {
+		nextBlock, returned, err := m.runBlock(f, b)
+		if err != nil {
+			return err
+		}
+		if returned {
+			return nil
+		}
+		b = f.Blocks[nextBlock.ID]
+	}
+}
+
+// runBlock executes the instructions of one scheduled block. It
+// returns the successor block, or returned=true for a ret.
+func (m *Machine) runBlock(f *compact.Func, b *compact.Block) (next *ir.Block, returned bool, err error) {
+	var writes []pendingWrite
+	for _, instr := range b.Instrs {
+		m.Cycles++
+		if m.Cycles > m.MaxCycles {
+			return nil, false, fmt.Errorf("sim: cycle limit exceeded in %s", f.Src.Name)
+		}
+		if m.Trace != nil {
+			m.traceInstr(f, b, instr)
+		}
+		writes = writes[:0]
+		var branchTo *ir.Block
+		var doRet bool
+		var callee *compact.Func
+		portX, portY := 0, 0
+
+		// Read phase: evaluate every operation.
+		for u, op := range instr.Slots {
+			if op == nil {
+				continue
+			}
+			m.OpsExecuted++
+			switch op.Kind {
+			case ir.OpBr:
+				branchTo = b.Src.Succs[0]
+			case ir.OpCondBr:
+				if m.Regs[op.Args[0]] != 0 {
+					branchTo = b.Src.Succs[0]
+				} else {
+					branchTo = b.Src.Succs[1]
+				}
+			case ir.OpRet:
+				doRet = true
+			case ir.OpDo:
+				n := int32(m.Regs[op.Args[0]])
+				if n < 1 {
+					return nil, false, fmt.Errorf("sim: do with count %d in %s", n, f.Src.Name)
+				}
+				if len(m.loops) >= maxHWLoopDepth {
+					return nil, false, fmt.Errorf("sim: loop stack overflow in %s", f.Src.Name)
+				}
+				m.loops = append(m.loops, n)
+				branchTo = b.Src.Succs[0]
+			case ir.OpEndDo:
+				top := len(m.loops) - 1
+				if top < 0 {
+					return nil, false, fmt.Errorf("sim: enddo with empty loop stack in %s", f.Src.Name)
+				}
+				m.loops[top]--
+				if m.loops[top] > 0 {
+					branchTo = b.Src.Succs[0]
+				} else {
+					m.loops = m.loops[:top]
+					branchTo = b.Src.Succs[1]
+				}
+			case ir.OpCall:
+				callee = m.Prog.Funcs[op.Callee]
+				if callee == nil {
+					return nil, false, fmt.Errorf("sim: call to unknown %s", op.Callee)
+				}
+			case ir.OpLoad:
+				bank, addr, err := m.resolve(op, machine.Unit(u))
+				if err != nil {
+					return nil, false, err
+				}
+				if bank == machine.BankX {
+					portX++
+				} else {
+					portY++
+				}
+				var v uint32
+				if bank == machine.BankX {
+					v = m.X[addr]
+				} else {
+					v = m.Y[addr]
+				}
+				writes = append(writes, pendingWrite{isReg: true, reg: op.Dst, val: v})
+			case ir.OpStore:
+				bank, addr, err := m.resolve(op, machine.Unit(u))
+				if err != nil {
+					return nil, false, err
+				}
+				if bank == machine.BankX {
+					portX++
+				} else {
+					portY++
+				}
+				writes = append(writes, pendingWrite{bank: bank, addr: addr, val: m.Regs[op.Args[0]]})
+			default:
+				v, err := m.evalALU(op)
+				if err != nil {
+					return nil, false, fmt.Errorf("sim %s: %s: %w", f.Src.Name, op, err)
+				}
+				writes = append(writes, pendingWrite{isReg: true, reg: op.Dst, val: v})
+			}
+		}
+
+		if portX+portY > 0 {
+			m.MemAccesses += int64(portX + portY)
+			if portX+portY >= 2 {
+				m.DualMemCycles++
+			}
+		}
+		switch m.Prog.Ports {
+		case machine.PortsBanked:
+			if m.CheckPorts && (portX > 1 || portY > 1) {
+				return nil, false, fmt.Errorf("sim: bank port conflict (X=%d Y=%d accesses) in %s",
+					portX, portY, f.Src.Name)
+			}
+		case machine.PortsLowOrder:
+			// A run-time same-bank conflict costs one stall cycle: the
+			// two accesses are serialised by the memory system.
+			if portX > 1 || portY > 1 {
+				m.Cycles++
+				m.BankConflicts++
+				m.DualMemCycles--
+			}
+		}
+
+		// Write phase: commit all results.
+		for _, w := range writes {
+			if w.isReg {
+				if w.reg < 65 {
+					if m.regStamp[w.reg] == m.Cycles {
+						return nil, false, fmt.Errorf("sim: two writes to %s in one instruction", w.reg)
+					}
+					m.regStamp[w.reg] = m.Cycles
+				}
+				m.Regs[w.reg] = w.val
+				continue
+			}
+			if w.bank == machine.BankX {
+				m.X[w.addr] = w.val
+			} else {
+				m.Y[w.addr] = w.val
+			}
+		}
+
+		if m.AfterInstr != nil {
+			if err := m.AfterInstr(m); err != nil {
+				return nil, false, err
+			}
+		}
+
+		// Control transfer after the instruction completes.
+		if callee != nil {
+			if err := m.runFunc(callee); err != nil {
+				return nil, false, err
+			}
+		}
+		if doRet {
+			return nil, true, nil
+		}
+		if branchTo != nil {
+			return branchTo, false, nil
+		}
+	}
+	return nil, false, fmt.Errorf("sim: block %s of %s has no terminator", b.Src, f.Src.Name)
+}
+
+// traceInstr emits one trace line for a retiring instruction.
+func (m *Machine) traceInstr(f *compact.Func, b *compact.Block, in *compact.Instr) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8d %s b%d:", m.Cycles, f.Src.Name, b.Src.ID)
+	for u, op := range in.Slots {
+		if op == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %s[%s]", machine.Unit(u), op)
+	}
+	sb.WriteByte('\n')
+	io.WriteString(m.Trace, sb.String())
+}
+
+// resolve computes the bank and in-bank word address of a memory
+// access. Under the banked port model the executing unit determines
+// the bank; under the dual-ported model the operation's own tag does;
+// under the low-order model the address parity does.
+func (m *Machine) resolve(op *ir.Op, u machine.Unit) (machine.Bank, int, error) {
+	idx := 0
+	if op.Idx != ir.NoReg {
+		idx = int(int32(m.Regs[op.Idx]))
+	}
+	if idx < 0 || idx >= op.Sym.Size {
+		return machine.BankX, 0, fmt.Errorf("sim: index %d out of range for %s (size %d)", idx, op.Sym, op.Sym.Size)
+	}
+	addr := op.Sym.Addr + idx
+	switch m.Prog.Ports {
+	case machine.PortsBanked:
+		return machine.BankOfUnit(u), addr, nil
+	case machine.PortsLowOrder:
+		if addr&1 == 0 {
+			return machine.BankX, addr >> 1, nil
+		}
+		return machine.BankY, addr >> 1, nil
+	default: // dual-ported
+		bank := op.Bank
+		if bank != machine.BankY {
+			bank = machine.BankX
+		}
+		return bank, addr, nil
+	}
+}
+
+// evalALU computes a scalar operation's result from the current
+// register file (read phase).
+func (m *Machine) evalALU(op *ir.Op) (uint32, error) {
+	iv := func(r ir.Reg) int32 { return int32(m.Regs[r]) }
+	fv := func(r ir.Reg) float32 { return math.Float32frombits(m.Regs[r]) }
+	fb := math.Float32bits
+
+	switch op.Kind {
+	case ir.OpConst:
+		return uint32(int32(op.Imm)), nil
+	case ir.OpFConst:
+		return fb(float32(op.FImm)), nil
+	case ir.OpMov:
+		return m.Regs[op.Args[0]], nil
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr, ir.OpSetEQ, ir.OpSetNE, ir.OpSetLT,
+		ir.OpSetLE, ir.OpSetGT, ir.OpSetGE:
+		return uint32(opt.EvalIntBin(op.Kind, iv(op.Args[0]), iv(op.Args[1]))), nil
+	case ir.OpDiv, ir.OpRem:
+		if iv(op.Args[1]) == 0 {
+			return 0, fmt.Errorf("integer division by zero")
+		}
+		return uint32(opt.EvalIntBin(op.Kind, iv(op.Args[0]), iv(op.Args[1]))), nil
+	case ir.OpNeg:
+		return uint32(-iv(op.Args[0])), nil
+	case ir.OpNot:
+		return uint32(^iv(op.Args[0])), nil
+	case ir.OpMac:
+		return uint32(iv(op.Dst) + iv(op.Args[0])*iv(op.Args[1])), nil
+	case ir.OpFAdd:
+		return fb(fv(op.Args[0]) + fv(op.Args[1])), nil
+	case ir.OpFSub:
+		return fb(fv(op.Args[0]) - fv(op.Args[1])), nil
+	case ir.OpFMul:
+		return fb(fv(op.Args[0]) * fv(op.Args[1])), nil
+	case ir.OpFDiv:
+		return fb(fv(op.Args[0]) / fv(op.Args[1])), nil
+	case ir.OpFNeg:
+		return fb(-fv(op.Args[0])), nil
+	case ir.OpFMac:
+		return fb(fv(op.Dst) + fv(op.Args[0])*fv(op.Args[1])), nil
+	case ir.OpFSetEQ:
+		return uint32(b2i(fv(op.Args[0]) == fv(op.Args[1]))), nil
+	case ir.OpFSetNE:
+		return uint32(b2i(fv(op.Args[0]) != fv(op.Args[1]))), nil
+	case ir.OpFSetLT:
+		return uint32(b2i(fv(op.Args[0]) < fv(op.Args[1]))), nil
+	case ir.OpFSetLE:
+		return uint32(b2i(fv(op.Args[0]) <= fv(op.Args[1]))), nil
+	case ir.OpFSetGT:
+		return uint32(b2i(fv(op.Args[0]) > fv(op.Args[1]))), nil
+	case ir.OpFSetGE:
+		return uint32(b2i(fv(op.Args[0]) >= fv(op.Args[1]))), nil
+	case ir.OpIntToFloat:
+		return fb(float32(iv(op.Args[0]))), nil
+	case ir.OpFloatToInt:
+		return uint32(FloatToInt(fv(op.Args[0]))), nil
+	}
+	return 0, fmt.Errorf("sim: cannot execute %s", op.Kind)
+}
