@@ -16,12 +16,14 @@ package dualbank_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"dualbank"
 	"dualbank/internal/alloc"
 	"dualbank/internal/bench"
 	"dualbank/internal/cost"
+	"dualbank/internal/sim"
 )
 
 // measure compiles and runs p under mode once per iteration and
@@ -148,6 +150,74 @@ func BenchmarkAblations(b *testing.B) {
 			b.ReportMetric(float64(cycles), "cycles")
 		})
 	}
+}
+
+// runHarness regenerates the Figure 7, Figure 8, Table 3,
+// memory-organisation and FIR-sweep experiments on one harness — the
+// full `dspbench -all` workload.
+func runHarness(b *testing.B, h *bench.Harness) {
+	b.Helper()
+	if _, err := h.Figure7(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Figure8(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Table3(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Organizations(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.SweepFIR([]int{8, 16, 32, 64, 128, 256}, 16); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHarnessSerial measures the whole evaluation pipeline on a
+// single worker; BenchmarkHarnessParallel fans the same jobs across
+// GOMAXPROCS workers. Both share the per-invocation memoized cache (a
+// fresh harness per iteration), so the ratio isolates the worker
+// pool's wall-clock win.
+func BenchmarkHarnessSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runHarness(b, bench.NewHarness(1))
+	}
+}
+
+// BenchmarkHarnessParallel is the multi-worker counterpart of
+// BenchmarkHarnessSerial.
+func BenchmarkHarnessParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runHarness(b, bench.NewHarness(runtime.GOMAXPROCS(0)))
+	}
+}
+
+// BenchmarkSimulatorFast is BenchmarkSimulator on the predecoded
+// fast-path engine: same program, same cycle counts, but the
+// steady-state loop performs no map lookups and no heap allocation.
+func BenchmarkSimulatorFast(b *testing.B) {
+	p, _ := bench.ByName("fft_1024")
+	comp, err := dualbank.Compile(p.Source, p.Name, dualbank.Options{Mode: dualbank.CB})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd, err := sim.Predecode(comp.Sched)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := pd.NewMachine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		total += m.Cycles
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim_cycles/s")
 }
 
 // BenchmarkCompiler measures compilation speed (front-end through

@@ -3,15 +3,28 @@
 // Figure 8 (application gains under CB, profiled weights, partial
 // duplication, and Ideal), and Table 3 (performance/cost trade-offs).
 //
+// The experiments run through a shared worker pool and a memoized
+// compile/run cache, so the single-bank baseline and arms shared
+// between figures are measured exactly once per invocation. -parallel
+// bounds the pool (1 reproduces the serial harness; the printed
+// figures and tables are byte-identical at any width), -timing reports
+// per-section wall clock and cache traffic on stderr, and -json writes
+// the full results with timings to a machine-readable file.
+//
 // Usage:
 //
 //	dspbench [-fig7] [-fig8] [-table3] [-all] [-bench name]
+//	         [-parallel N] [-timing] [-json path]
+//	         [-cpuprofile path] [-memprofile path]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"dualbank/internal/alloc"
 	"dualbank/internal/bench"
@@ -29,7 +42,22 @@ func main() {
 	one := flag.String("bench", "", "run a single benchmark across all modes")
 	selective := flag.String("selective", "", "run PCR-driven selective duplication on one benchmark")
 	list := flag.Bool("list", false, "list benchmark names")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for the experiment harness")
+	timing := flag.Bool("timing", false, "report per-section wall clock and cache traffic on stderr")
+	jsonPath := flag.String("json", "", "write harness results and timings to this JSON file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, n := range bench.Names() {
@@ -48,39 +76,85 @@ func main() {
 	if !*fig7 && !*fig8 && !*table3 && !*orgs && !*tables && !*sweep {
 		*all = true
 	}
+
+	h := bench.NewHarness(*parallel)
+	report := &bench.Report{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallel: h.Parallel}
+	start := time.Now()
+
+	// section runs one experiment, prints its text (stdout stays
+	// byte-identical to the serial harness), and records rows and
+	// wall-clock in the JSON report.
+	section := func(name string, run func() (bench.Section, string, error)) {
+		s0 := time.Now()
+		sec, text, err := run()
+		check(err)
+		sec.Name = name
+		sec.Seconds = time.Since(s0).Seconds()
+		fmt.Println(text)
+		if *timing {
+			st := h.Stats()
+			fmt.Fprintf(os.Stderr, "dspbench: %-14s %8.3fs  cache %d hits / %d misses\n",
+				name, sec.Seconds, st.Hits, st.Misses)
+		}
+		report.AddSection(sec)
+	}
+
 	if *tables || *all {
 		fmt.Println(bench.RenderTables())
 	}
 	if *fig7 || *all {
-		rows, err := bench.Figure7()
-		check(err)
-		fmt.Println(bench.RenderFigure(
-			"Figure 7: Performance Gain for DSP Kernels (over single-bank baseline)",
-			rows, bench.Figure7Modes))
+		section("figure7", func() (bench.Section, string, error) {
+			rows, err := h.Figure7()
+			return bench.Section{Figure: rows}, bench.RenderFigure(
+				"Figure 7: Performance Gain for DSP Kernels (over single-bank baseline)",
+				rows, bench.Figure7Modes), err
+		})
 	}
 	if *fig8 || *all {
-		rows, err := bench.Figure8()
-		check(err)
-		fmt.Println(bench.RenderFigure(
-			"Figure 8: Performance Gain for DSP Applications (over single-bank baseline)",
-			rows, bench.Figure8Modes))
+		section("figure8", func() (bench.Section, string, error) {
+			rows, err := h.Figure8()
+			return bench.Section{Figure: rows}, bench.RenderFigure(
+				"Figure 8: Performance Gain for DSP Applications (over single-bank baseline)",
+				rows, bench.Figure8Modes), err
+		})
 	}
 	if *table3 || *all {
-		rows, err := bench.Table3()
-		check(err)
-		fmt.Println(bench.RenderTable3(rows))
+		section("table3", func() (bench.Section, string, error) {
+			rows, err := h.Table3()
+			return bench.Section{Table3: rows}, bench.RenderTable3(rows), err
+		})
 	}
 	if *orgs || *all {
-		rows, err := bench.Organizations()
-		check(err)
-		fmt.Println(bench.RenderFigure(
-			"Memory organisations: low-order interleaved (hardware conflict stalls) vs high-order banked (CB/Dup) vs dual-ported",
-			rows, bench.OrganizationModes))
+		section("organizations", func() (bench.Section, string, error) {
+			rows, err := h.Organizations()
+			return bench.Section{Figure: rows}, bench.RenderFigure(
+				"Memory organisations: low-order interleaved (hardware conflict stalls) vs high-order banked (CB/Dup) vs dual-ported",
+				rows, bench.OrganizationModes), err
+		})
 	}
 	if *sweep || *all {
-		rows, err := bench.SweepFIR([]int{8, 16, 32, 64, 128, 256}, 16)
+		section("sweep_fir", func() (bench.Section, string, error) {
+			rows, err := h.SweepFIR([]int{8, 16, 32, 64, 128, 256}, 16)
+			return bench.Section{Sweep: rows}, bench.RenderSweep(
+				"FIR order sensitivity: CB gain vs filter length (16 samples)", rows), err
+		})
+	}
+
+	report.Cache = h.Stats()
+	report.TotalSeconds = time.Since(start).Seconds()
+	if *timing {
+		fmt.Fprintf(os.Stderr, "dspbench: total          %8.3fs  cache %d hits / %d misses (parallel=%d)\n",
+			report.TotalSeconds, report.Cache.Hits, report.Cache.Misses, h.Parallel)
+	}
+	if *jsonPath != "" {
+		check(report.WriteFile(*jsonPath))
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
 		check(err)
-		fmt.Println(bench.RenderSweep("FIR order sensitivity: CB gain vs filter length (16 samples)", rows))
+		runtime.GC()
+		check(pprof.WriteHeapProfile(f))
+		f.Close()
 	}
 }
 

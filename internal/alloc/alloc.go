@@ -71,6 +71,21 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int8(m))
 }
 
+// MarshalText renders the mode by name, so JSON maps keyed by Mode use
+// "CB", "Dup", ... rather than raw integers.
+func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText parses a mode name produced by MarshalText.
+func (m *Mode) UnmarshalText(text []byte) error {
+	for mode, name := range modeNames {
+		if name == string(text) {
+			*m = mode
+			return nil
+		}
+	}
+	return fmt.Errorf("alloc: unknown mode %q", text)
+}
+
 // Partitioned reports whether the mode runs the CB partitioner.
 func (m Mode) Partitioned() bool { return m == CB || m == CBProfiled || m == CBDup }
 

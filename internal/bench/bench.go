@@ -110,7 +110,8 @@ type Result struct {
 
 // Run compiles and executes one benchmark under one allocation mode,
 // validates the schedule and the program outputs, and returns the
-// measurement.
+// measurement. Execution uses the predecoded fast-path simulator,
+// which differential tests pin to the reference interpreter.
 func Run(p Program, mode alloc.Mode) (Result, error) {
 	c, err := pipeline.Compile(p.Source, p.Name, pipeline.Options{Mode: mode})
 	if err != nil {
@@ -119,7 +120,7 @@ func Run(p Program, mode alloc.Mode) (Result, error) {
 	if err := compact.Validate(c.Sched); err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
 	}
-	m, err := c.Run()
+	m, err := c.RunFast()
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
 	}

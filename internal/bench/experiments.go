@@ -24,34 +24,11 @@ type FigureRow struct {
 	Duplicated []string
 }
 
-// RunFigure measures the given benchmarks under the given modes.
+// RunFigure measures the given benchmarks under the given modes on a
+// fresh serial harness. Long-running callers should construct one
+// Harness and reuse it so baselines and shared arms are measured once.
 func RunFigure(progs []Program, modes []alloc.Mode) ([]FigureRow, error) {
-	var rows []FigureRow
-	for _, p := range progs {
-		base, err := Run(p, alloc.SingleBank)
-		if err != nil {
-			return nil, err
-		}
-		row := FigureRow{
-			Bench:      p.Name,
-			BaseCycles: base.Cycles,
-			Gains:      make(map[alloc.Mode]float64, len(modes)),
-			Cycles:     make(map[alloc.Mode]int64, len(modes)),
-		}
-		for _, m := range modes {
-			res, err := Run(p, m)
-			if err != nil {
-				return nil, err
-			}
-			row.Gains[m] = Gain(base, res)
-			row.Cycles[m] = res.Cycles
-			if m == alloc.CBDup {
-				row.Duplicated = res.Duplicated
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return NewHarness(1).RunFigure(progs, modes)
 }
 
 // Figure7Modes and Figure8Modes are the experiment arms shown in each
@@ -119,25 +96,7 @@ var Table3Modes = []alloc.Mode{alloc.FullDup, alloc.CBDup, alloc.CB, alloc.Ideal
 
 // Table3 reproduces the performance/cost trade-off table over the
 // application benchmarks.
-func Table3() ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, p := range Applications() {
-		base, err := Run(p, alloc.SingleBank)
-		if err != nil {
-			return nil, err
-		}
-		row := Table3Row{Bench: p.Name, Metrics: make(map[alloc.Mode]cost.Metrics)}
-		for _, m := range Table3Modes {
-			res, err := Run(p, m)
-			if err != nil {
-				return nil, err
-			}
-			row.Metrics[m] = cost.Compare(base.Cycles, res.Cycles, base.Mem, res.Mem)
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
-}
+func Table3() ([]Table3Row, error) { return NewHarness(1).Table3() }
 
 // RenderTable3 formats the table with the paper's PG/CI/PCR columns
 // and arithmetic means.
@@ -187,24 +146,7 @@ type SweepRow struct {
 // kernel approaches the 2-cycles-per-tap dual-bank steady state. It
 // generalises the paper's fir_256_64 / fir_32_1 pairing into a curve.
 func SweepFIR(taps []int, samples int) ([]SweepRow, error) {
-	var rows []SweepRow
-	for _, n := range taps {
-		p := FIR(n, samples)
-		base, err := Run(p, alloc.SingleBank)
-		if err != nil {
-			return nil, err
-		}
-		cb, err := Run(p, alloc.CB)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SweepRow{
-			Label:      p.Name,
-			BaseCycles: base.Cycles,
-			CBGain:     Gain(base, cb),
-		})
-	}
-	return rows, nil
+	return NewHarness(1).SweepFIR(taps, samples)
 }
 
 // RenderSweep formats a sweep.

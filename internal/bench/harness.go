@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/cost"
+	"dualbank/internal/machine"
+)
+
+// This file is the parallel experiment harness: a bounded worker pool
+// that fans (benchmark × mode) jobs across CPUs, layered over a
+// concurrency-safe, single-flight memoized cache of Run results. The
+// SingleBank baseline — which every figure and table measures against —
+// is compiled and simulated exactly once per Harness no matter how many
+// experiments share it, and overlapping arms (e.g. the CB and Ideal
+// columns appearing in both Figure 7 and the memory-organisation study)
+// are likewise deduplicated. Row order and rendered output are
+// byte-identical to the serial harness at any worker count.
+
+// Harness runs experiments through a worker pool and a memoized
+// result cache. The zero value is not usable; call NewHarness.
+type Harness struct {
+	// Parallel is the maximum number of concurrent compile+simulate
+	// jobs; 1 reproduces the serial harness exactly.
+	Parallel int
+
+	mu    sync.Mutex
+	cache map[runKey]*cacheEntry
+
+	hits, misses atomic.Int64
+}
+
+// runKey identifies one memoizable measurement. Benchmark sources are
+// pure functions of their name (the name encodes the generator
+// parameters, e.g. fir_256_64), so name × mode × machine-configuration
+// fingerprint determines the result.
+type runKey struct {
+	bench  string
+	mode   alloc.Mode
+	config string
+}
+
+// cacheEntry is a single-flight slot: the first requester computes,
+// concurrent requesters block on done.
+type cacheEntry struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// configKey fingerprints the machine and port-model configuration a
+// measurement depends on, so cached results can never leak across
+// architecture variants.
+func configKey(mode alloc.Mode) string {
+	ports := machine.PortsBanked
+	switch mode {
+	case alloc.Ideal:
+		ports = machine.PortsDualPorted
+	case alloc.LowOrder:
+		ports = machine.PortsLowOrder
+	}
+	return fmt.Sprintf("units=%d;bank=%d;stack=%d;ports=%v",
+		machine.NumUnits, machine.BankWords, machine.StackWords, ports)
+}
+
+// NewHarness returns a harness running at most parallel concurrent
+// jobs (values below 1 are treated as 1).
+func NewHarness(parallel int) *Harness {
+	if parallel < 1 {
+		parallel = 1
+	}
+	return &Harness{Parallel: parallel, cache: make(map[runKey]*cacheEntry)}
+}
+
+// CacheStats reports the memoized cache's traffic: Misses is the
+// number of compile+simulate executions performed, Hits the number of
+// requests served from (or coalesced onto) an existing entry.
+type CacheStats struct {
+	Hits, Misses int64
+}
+
+// Stats returns the cache counters.
+func (h *Harness) Stats() CacheStats {
+	return CacheStats{Hits: h.hits.Load(), Misses: h.misses.Load()}
+}
+
+// Run measures one (benchmark, mode) pair through the cache: the first
+// request computes via the package-level Run, concurrent and repeated
+// requests share the result.
+func (h *Harness) Run(p Program, mode alloc.Mode) (Result, error) {
+	key := runKey{bench: p.Name, mode: mode, config: configKey(mode)}
+	h.mu.Lock()
+	if e, ok := h.cache[key]; ok {
+		h.mu.Unlock()
+		<-e.done
+		h.hits.Add(1)
+		return e.res, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	h.cache[key] = e
+	h.mu.Unlock()
+	h.misses.Add(1)
+	e.res, e.err = Run(p, mode)
+	close(e.done)
+	return e.res, e.err
+}
+
+// job is one unit of pool work: measure prog under mode, deposit the
+// result at a fixed slot so assembly order is deterministic.
+type job struct {
+	prog Program
+	mode alloc.Mode
+}
+
+// runJobs executes every job on up to h.Parallel workers and returns
+// the results in job order. On failure it returns the error of the
+// lowest-numbered failing job, matching the serial harness's
+// first-error semantics.
+func (h *Harness) runJobs(jobs []job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	if h.Parallel <= 1 {
+		for i, j := range jobs {
+			var err error
+			results[i], err = h.Run(j.prog, j.mode)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	workers := h.Parallel
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = h.Run(jobs[i].prog, jobs[i].mode)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunFigure measures the given benchmarks under the given modes,
+// producing rows identical to the serial package-level RunFigure.
+func (h *Harness) RunFigure(progs []Program, modes []alloc.Mode) ([]FigureRow, error) {
+	jobs := make([]job, 0, len(progs)*(len(modes)+1))
+	for _, p := range progs {
+		jobs = append(jobs, job{prog: p, mode: alloc.SingleBank})
+		for _, m := range modes {
+			jobs = append(jobs, job{prog: p, mode: m})
+		}
+	}
+	results, err := h.runJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FigureRow
+	i := 0
+	for _, p := range progs {
+		base := results[i]
+		i++
+		row := FigureRow{
+			Bench:      p.Name,
+			BaseCycles: base.Cycles,
+			Gains:      make(map[alloc.Mode]float64, len(modes)),
+			Cycles:     make(map[alloc.Mode]int64, len(modes)),
+		}
+		for _, m := range modes {
+			res := results[i]
+			i++
+			row.Gains[m] = Gain(base, res)
+			row.Cycles[m] = res.Cycles
+			if m == alloc.CBDup {
+				row.Duplicated = res.Duplicated
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure7 reproduces the kernel experiment through the pool and cache.
+func (h *Harness) Figure7() ([]FigureRow, error) { return h.RunFigure(Kernels(), Figure7Modes) }
+
+// Figure8 reproduces the application experiment.
+func (h *Harness) Figure8() ([]FigureRow, error) { return h.RunFigure(Applications(), Figure8Modes) }
+
+// Organizations runs the memory-organisation study over the whole
+// suite; its CB/CBDup/Ideal arms and every baseline are cache hits
+// when Figure 7 and Figure 8 ran first on the same harness.
+func (h *Harness) Organizations() ([]FigureRow, error) {
+	return h.RunFigure(append(Kernels(), Applications()...), OrganizationModes)
+}
+
+// Table3 reproduces the performance/cost trade-off table.
+func (h *Harness) Table3() ([]Table3Row, error) {
+	apps := Applications()
+	jobs := make([]job, 0, len(apps)*(len(Table3Modes)+1))
+	for _, p := range apps {
+		jobs = append(jobs, job{prog: p, mode: alloc.SingleBank})
+		for _, m := range Table3Modes {
+			jobs = append(jobs, job{prog: p, mode: m})
+		}
+	}
+	results, err := h.runJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	i := 0
+	for _, p := range apps {
+		base := results[i]
+		i++
+		row := Table3Row{Bench: p.Name, Metrics: make(map[alloc.Mode]cost.Metrics)}
+		for _, m := range Table3Modes {
+			res := results[i]
+			i++
+			row.Metrics[m] = cost.Compare(base.Cycles, res.Cycles, base.Mem, res.Mem)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SweepFIR measures the CB gain across filter orders through the pool.
+func (h *Harness) SweepFIR(taps []int, samples int) ([]SweepRow, error) {
+	progs := make([]Program, len(taps))
+	for i, n := range taps {
+		progs[i] = FIR(n, samples)
+	}
+	jobs := make([]job, 0, 2*len(progs))
+	for _, p := range progs {
+		jobs = append(jobs, job{prog: p, mode: alloc.SingleBank}, job{prog: p, mode: alloc.CB})
+	}
+	results, err := h.runJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for i, p := range progs {
+		base, cb := results[2*i], results[2*i+1]
+		rows = append(rows, SweepRow{
+			Label:      p.Name,
+			BaseCycles: base.Cycles,
+			CBGain:     Gain(base, cb),
+		})
+	}
+	return rows, nil
+}

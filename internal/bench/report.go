@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// This file defines the machine-readable harness report written by
+// `dspbench -json`: every figure/table's rows plus per-section
+// wall-clock timings and the run cache's hit/miss traffic, so the
+// repository's performance trajectory is trackable across commits.
+
+// Report is the full output of one harness invocation.
+type Report struct {
+	// GOMAXPROCS and Parallel record the machine and pool width the
+	// run used, for comparing timings across hosts.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Parallel   int `json:"parallel"`
+
+	Sections []Section `json:"sections"`
+
+	// Cache is the memoized run cache's traffic over the whole
+	// invocation; TotalSeconds the end-to-end harness wall clock.
+	Cache        CacheStats `json:"cache"`
+	TotalSeconds float64    `json:"total_seconds"`
+}
+
+// Section is one experiment's rows and wall-clock cost. Exactly one of
+// Figure, Table3 and Sweep is populated, matching the section kind.
+type Section struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+
+	Figure []FigureRow `json:"figure,omitempty"`
+	Table3 []Table3Row `json:"table3,omitempty"`
+	Sweep  []SweepRow  `json:"sweep,omitempty"`
+}
+
+// AddSection appends a timed section to the report.
+func (r *Report) AddSection(s Section) { r.Sections = append(r.Sections, s) }
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Timed runs fn and returns its wall-clock duration in seconds.
+func Timed(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start).Seconds(), err
+}

@@ -102,6 +102,23 @@ func (c *Compiled) Run() (*sim.Machine, error) {
 	return m, nil
 }
 
+// RunFast executes the compiled program on the predecoded fast-path
+// engine, which produces the same cycle counts, bandwidth counters and
+// memory images as Run but without per-cycle map lookups or heap
+// allocation. Use Run for the reference interpreter and its debugging
+// hooks (tracing, per-instruction callbacks, port assertions).
+func (c *Compiled) RunFast() (*sim.FastMachine, error) {
+	pd, err := sim.Predecode(c.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("%s (%v): %w", c.Name, c.Alloc.Mode, err)
+	}
+	m := pd.NewMachine()
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("%s (%v): %w", c.Name, c.Alloc.Mode, err)
+	}
+	return m, nil
+}
+
 // Global finds a global symbol by name for result inspection.
 func (c *Compiled) Global(name string) *ir.Symbol {
 	for _, g := range c.IR.Globals {

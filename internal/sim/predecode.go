@@ -1,0 +1,529 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dualbank/internal/compact"
+	"dualbank/internal/ir"
+	"dualbank/internal/machine"
+	"dualbank/internal/opt"
+)
+
+// This file implements the predecoded execution engine: a second VLIW
+// simulator that flattens a scheduled compact.Program into dense
+// per-instruction operation records before execution. Branch and block
+// targets, callee functions, symbol base addresses, and (where the
+// port model makes them static) memory banks are all resolved once at
+// predecode time, so the per-cycle execute loop performs no map
+// lookups and no heap allocation. The interpretive Machine in vliw.go
+// remains the reference semantics; differential tests pin the two
+// engines to identical cycle counts, bandwidth counters, and memory
+// images on the whole benchmark suite.
+
+// pOp is one predecoded non-control operation. Register fields are
+// physical-file indices into FastMachine.Regs; for memory operations
+// base/size describe the accessed symbol and bankY carries the
+// statically resolved bank (meaningless under the low-order port
+// model, where address parity decides at run time).
+type pOp struct {
+	kind  ir.OpKind
+	bankY bool
+	dst   uint8
+	a0    uint8
+	a1    uint8
+	idx   uint8 // index register, 0 = direct access
+	imm   uint32
+	base  int32
+	size  int32
+}
+
+// pInstr is one predecoded long instruction: a dense run of data
+// operations plus at most one control operation (the PCU slot).
+type pInstr struct {
+	opStart int32
+	opEnd   int32
+	ctrl    ir.OpKind // OpInvalid when the PCU slot is empty
+	ctrlReg uint8     // condition or loop-count register
+	succ0   int32     // taken / loop-body block index
+	succ1   int32     // fall-through block index
+	callee  *pFunc
+	nops    int64 // occupied slots, including the control op
+}
+
+// pBlock is a predecoded basic block.
+type pBlock struct {
+	instrs []pInstr
+}
+
+// pFunc is a predecoded function. Blocks are indexed by ir block ID,
+// mirroring compact.Func.Blocks; ops is the flattened operation pool
+// every pInstr slices into.
+type pFunc struct {
+	name   string
+	blocks []pBlock
+	ops    []pOp
+	entry  int32
+}
+
+// Predecoded is a program prepared for the fast execution path,
+// produced by Predecode and shared by any number of FastMachines.
+type Predecoded struct {
+	Prog *compact.Program
+
+	main  *pFunc
+	ports machine.PortModel
+	// initX and initY are the initial bank images (global initializers
+	// applied); Reset restores them with two copies.
+	initX, initY []uint32
+}
+
+// Predecode flattens a scheduled program for the fast path. The
+// program must be in physical-register form.
+func Predecode(p *compact.Program) (*Predecoded, error) {
+	pd := &Predecoded{
+		Prog:  p,
+		ports: p.Ports,
+		initX: make([]uint32, machine.BankWords),
+		initY: make([]uint32, machine.BankWords),
+	}
+	for _, s := range p.Src.Symbols() {
+		for i, w := range s.Init {
+			if p.Ports == machine.PortsLowOrder {
+				a := s.Addr + i
+				if a&1 == 0 {
+					pd.initX[a>>1] = w
+				} else {
+					pd.initY[a>>1] = w
+				}
+				continue
+			}
+			switch s.Bank {
+			case machine.BankY:
+				pd.initY[s.Addr+i] = w
+			case machine.BankBoth:
+				pd.initX[s.Addr+i] = w
+				pd.initY[s.Addr+i] = w
+			default:
+				pd.initX[s.Addr+i] = w
+			}
+		}
+	}
+
+	funcs := make(map[string]*pFunc, len(p.Funcs))
+	for name, f := range p.Funcs {
+		if !f.Src.Phys() {
+			return nil, fmt.Errorf("sim: predecode %s: program must be in physical-register form", name)
+		}
+		funcs[name] = &pFunc{name: name, entry: int32(f.Src.Entry().ID)}
+	}
+	for name, f := range p.Funcs {
+		pf := funcs[name]
+		pf.blocks = make([]pBlock, len(f.Blocks))
+		for bi, sb := range f.Blocks {
+			pb := &pf.blocks[bi]
+			pb.instrs = make([]pInstr, 0, len(sb.Instrs))
+			for _, in := range sb.Instrs {
+				pi := pInstr{opStart: int32(len(pf.ops)), ctrl: ir.OpInvalid, succ0: -1, succ1: -1}
+				for u, op := range in.Slots {
+					if op == nil {
+						continue
+					}
+					pi.nops++
+					switch op.Kind {
+					case ir.OpBr, ir.OpDo:
+						pi.ctrl = op.Kind
+						pi.succ0 = int32(sb.Src.Succs[0].ID)
+						if op.Kind == ir.OpDo {
+							pi.ctrlReg = uint8(op.Args[0])
+						}
+					case ir.OpCondBr, ir.OpEndDo:
+						pi.ctrl = op.Kind
+						pi.succ0 = int32(sb.Src.Succs[0].ID)
+						pi.succ1 = int32(sb.Src.Succs[1].ID)
+						if op.Kind == ir.OpCondBr {
+							pi.ctrlReg = uint8(op.Args[0])
+						}
+					case ir.OpRet:
+						pi.ctrl = ir.OpRet
+					case ir.OpCall:
+						callee := funcs[op.Callee]
+						if callee == nil {
+							return nil, fmt.Errorf("sim: predecode %s: call to unknown %s", name, op.Callee)
+						}
+						pi.ctrl = ir.OpCall
+						pi.callee = callee
+					default:
+						po, err := predecodeOp(op, machine.Unit(u), p.Ports)
+						if err != nil {
+							return nil, fmt.Errorf("sim: predecode %s: %w", name, err)
+						}
+						pf.ops = append(pf.ops, po)
+					}
+				}
+				pi.opEnd = int32(len(pf.ops))
+				pb.instrs = append(pb.instrs, pi)
+			}
+		}
+	}
+	pd.main = funcs["main"]
+	if pd.main == nil {
+		return nil, fmt.Errorf("sim: predecode: no main function")
+	}
+	return pd, nil
+}
+
+// predecodeOp flattens one data operation, resolving the memory bank
+// where the port model makes it static: under the banked model the
+// executing unit determines the bank, under the dual-ported model the
+// operation's own tag does.
+func predecodeOp(op *ir.Op, u machine.Unit, ports machine.PortModel) (pOp, error) {
+	po := pOp{
+		kind: op.Kind,
+		dst:  uint8(op.Dst),
+		a0:   uint8(op.Args[0]),
+		a1:   uint8(op.Args[1]),
+	}
+	switch op.Kind {
+	case ir.OpConst:
+		po.imm = uint32(int32(op.Imm))
+	case ir.OpFConst:
+		po.imm = math.Float32bits(float32(op.FImm))
+	case ir.OpLoad, ir.OpStore:
+		if op.Idx != ir.NoReg {
+			po.idx = uint8(op.Idx)
+		}
+		po.base = int32(op.Sym.Addr)
+		po.size = int32(op.Sym.Size)
+		switch ports {
+		case machine.PortsBanked:
+			po.bankY = machine.BankOfUnit(u) == machine.BankY
+		case machine.PortsDualPorted:
+			po.bankY = op.Bank == machine.BankY
+		}
+	}
+	return po, nil
+}
+
+// pWrite is one deferred result of the read phase.
+type pWrite struct {
+	val   uint32
+	addr  int32
+	reg   uint8
+	isReg bool
+	bankY bool
+}
+
+// FastMachine executes a predecoded program. It reproduces the
+// interpretive Machine's observable behaviour exactly — cycle counts,
+// bandwidth and conflict counters, and final memory images — but its
+// steady-state loop allocates nothing and performs no map lookups.
+// The debugging hooks of the reference engine (Trace, AfterInstr,
+// CheckPorts) are deliberately absent; use sim.Machine for those.
+type FastMachine struct {
+	pd *Predecoded
+
+	// X and Y are the two data-memory banks.
+	X, Y []uint32
+	// Regs is the unified physical register file view.
+	Regs [65]uint32
+
+	// Cycles, OpsExecuted, MemAccesses, DualMemCycles and BankConflicts
+	// mirror the reference Machine's counters.
+	Cycles        int64
+	OpsExecuted   int64
+	MemAccesses   int64
+	DualMemCycles int64
+	BankConflicts int64
+	// MaxCycles bounds execution.
+	MaxCycles int64
+
+	loops  [maxHWLoopDepth]int32
+	nloops int
+	writes []pWrite
+}
+
+// NewMachine builds a fresh FastMachine: banks hold the predecoded
+// initial images, registers are zero.
+func (pd *Predecoded) NewMachine() *FastMachine {
+	m := &FastMachine{
+		pd:        pd,
+		X:         make([]uint32, machine.BankWords),
+		Y:         make([]uint32, machine.BankWords),
+		MaxCycles: DefaultMaxSteps,
+		writes:    make([]pWrite, 0, machine.NumUnits),
+	}
+	copy(m.X, pd.initX)
+	copy(m.Y, pd.initY)
+	return m
+}
+
+// Reset restores the machine to its initial state so it can be run
+// again without reallocating. It performs no heap allocation.
+func (m *FastMachine) Reset() {
+	copy(m.X, m.pd.initX)
+	copy(m.Y, m.pd.initY)
+	m.Regs = [65]uint32{}
+	m.Cycles = 0
+	m.OpsExecuted = 0
+	m.MemAccesses = 0
+	m.DualMemCycles = 0
+	m.BankConflicts = 0
+	m.nloops = 0
+	m.writes = m.writes[:0]
+}
+
+// Run executes main() to completion.
+func (m *FastMachine) Run() error {
+	return m.runFunc(m.pd.main)
+}
+
+// runFunc executes one function invocation until its ret.
+func (m *FastMachine) runFunc(f *pFunc) error {
+	lowOrder := m.pd.ports == machine.PortsLowOrder
+	bi := f.entry
+block:
+	for {
+		b := &f.blocks[bi]
+		for ii := range b.instrs {
+			in := &b.instrs[ii]
+			m.Cycles++
+			if m.Cycles > m.MaxCycles {
+				return fmt.Errorf("sim: cycle limit exceeded in %s", f.name)
+			}
+			m.OpsExecuted += in.nops
+			writes := m.writes[:0]
+			portX, portY := 0, 0
+
+			// Read phase: evaluate every data operation against the
+			// pre-instruction register file.
+			ops := f.ops[in.opStart:in.opEnd]
+			for oi := range ops {
+				op := &ops[oi]
+				switch op.kind {
+				case ir.OpLoad:
+					addr, bankY, err := m.resolveFast(op, lowOrder)
+					if err != nil {
+						return fmt.Errorf("sim: %s: %w", f.name, err)
+					}
+					var v uint32
+					if bankY {
+						portY++
+						v = m.Y[addr]
+					} else {
+						portX++
+						v = m.X[addr]
+					}
+					writes = append(writes, pWrite{isReg: true, reg: op.dst, val: v})
+				case ir.OpStore:
+					addr, bankY, err := m.resolveFast(op, lowOrder)
+					if err != nil {
+						return fmt.Errorf("sim: %s: %w", f.name, err)
+					}
+					if bankY {
+						portY++
+					} else {
+						portX++
+					}
+					writes = append(writes, pWrite{addr: addr, bankY: bankY, val: m.Regs[op.a0]})
+				default:
+					v, err := m.evalFast(op)
+					if err != nil {
+						return fmt.Errorf("sim: %s: %w", f.name, err)
+					}
+					writes = append(writes, pWrite{isReg: true, reg: op.dst, val: v})
+				}
+			}
+
+			if portX+portY > 0 {
+				m.MemAccesses += int64(portX + portY)
+				if portX+portY >= 2 {
+					m.DualMemCycles++
+				}
+				// Under the low-order-interleaved organisation a run-time
+				// same-bank conflict serialises the instruction: one stall
+				// cycle. (Under the banked model the schedule is validated
+				// conflict-free; the reference engine's CheckPorts
+				// assertion guards that invariant.)
+				if lowOrder && (portX > 1 || portY > 1) {
+					m.Cycles++
+					m.BankConflicts++
+					m.DualMemCycles--
+				}
+			}
+
+			// Write phase: commit all results in slot order.
+			for wi := range writes {
+				w := &writes[wi]
+				if w.isReg {
+					m.Regs[w.reg] = w.val
+				} else if w.bankY {
+					m.Y[w.addr] = w.val
+				} else {
+					m.X[w.addr] = w.val
+				}
+			}
+			m.writes = writes[:0]
+
+			// Control transfer after the instruction completes.
+			switch in.ctrl {
+			case ir.OpInvalid:
+			case ir.OpBr:
+				bi = in.succ0
+				continue block
+			case ir.OpCondBr:
+				if m.Regs[in.ctrlReg] != 0 {
+					bi = in.succ0
+				} else {
+					bi = in.succ1
+				}
+				continue block
+			case ir.OpRet:
+				return nil
+			case ir.OpDo:
+				n := int32(m.Regs[in.ctrlReg])
+				if n < 1 {
+					return fmt.Errorf("sim: do with count %d in %s", n, f.name)
+				}
+				if m.nloops >= maxHWLoopDepth {
+					return fmt.Errorf("sim: loop stack overflow in %s", f.name)
+				}
+				m.loops[m.nloops] = n
+				m.nloops++
+				bi = in.succ0
+				continue block
+			case ir.OpEndDo:
+				if m.nloops == 0 {
+					return fmt.Errorf("sim: enddo with empty loop stack in %s", f.name)
+				}
+				m.loops[m.nloops-1]--
+				if m.loops[m.nloops-1] > 0 {
+					bi = in.succ0
+				} else {
+					m.nloops--
+					bi = in.succ1
+				}
+				continue block
+			case ir.OpCall:
+				if err := m.runFunc(in.callee); err != nil {
+					return err
+				}
+			}
+		}
+		return fmt.Errorf("sim: block b%d of %s has no terminator", bi, f.name)
+	}
+}
+
+// resolveFast computes the in-bank word address and bank of a memory
+// access. The bank is predecoded except under the low-order model,
+// where address parity decides.
+func (m *FastMachine) resolveFast(op *pOp, lowOrder bool) (int32, bool, error) {
+	idx := int32(0)
+	if op.idx != 0 {
+		idx = int32(m.Regs[op.idx])
+	}
+	if idx < 0 || idx >= op.size {
+		return 0, false, fmt.Errorf("index %d out of range (size %d)", idx, op.size)
+	}
+	addr := op.base + idx
+	if lowOrder {
+		return addr >> 1, addr&1 != 0, nil
+	}
+	return addr, op.bankY, nil
+}
+
+// evalFast computes a scalar operation's result from the current
+// register file; semantics match Machine.evalALU exactly.
+func (m *FastMachine) evalFast(op *pOp) (uint32, error) {
+	r := &m.Regs
+	iv := func(i uint8) int32 { return int32(r[i]) }
+	fv := func(i uint8) float32 { return math.Float32frombits(r[i]) }
+	fb := math.Float32bits
+
+	switch op.kind {
+	case ir.OpConst, ir.OpFConst:
+		return op.imm, nil
+	case ir.OpMov:
+		return r[op.a0], nil
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr, ir.OpSetEQ, ir.OpSetNE, ir.OpSetLT,
+		ir.OpSetLE, ir.OpSetGT, ir.OpSetGE:
+		return uint32(opt.EvalIntBin(op.kind, iv(op.a0), iv(op.a1))), nil
+	case ir.OpDiv, ir.OpRem:
+		if iv(op.a1) == 0 {
+			return 0, fmt.Errorf("integer division by zero")
+		}
+		return uint32(opt.EvalIntBin(op.kind, iv(op.a0), iv(op.a1))), nil
+	case ir.OpNeg:
+		return uint32(-iv(op.a0)), nil
+	case ir.OpNot:
+		return uint32(^iv(op.a0)), nil
+	case ir.OpMac:
+		return uint32(iv(op.dst) + iv(op.a0)*iv(op.a1)), nil
+	case ir.OpFAdd:
+		return fb(fv(op.a0) + fv(op.a1)), nil
+	case ir.OpFSub:
+		return fb(fv(op.a0) - fv(op.a1)), nil
+	case ir.OpFMul:
+		return fb(fv(op.a0) * fv(op.a1)), nil
+	case ir.OpFDiv:
+		return fb(fv(op.a0) / fv(op.a1)), nil
+	case ir.OpFNeg:
+		return fb(-fv(op.a0)), nil
+	case ir.OpFMac:
+		return fb(fv(op.dst) + fv(op.a0)*fv(op.a1)), nil
+	case ir.OpFSetEQ:
+		return uint32(b2i(fv(op.a0) == fv(op.a1))), nil
+	case ir.OpFSetNE:
+		return uint32(b2i(fv(op.a0) != fv(op.a1))), nil
+	case ir.OpFSetLT:
+		return uint32(b2i(fv(op.a0) < fv(op.a1))), nil
+	case ir.OpFSetLE:
+		return uint32(b2i(fv(op.a0) <= fv(op.a1))), nil
+	case ir.OpFSetGT:
+		return uint32(b2i(fv(op.a0) > fv(op.a1))), nil
+	case ir.OpFSetGE:
+		return uint32(b2i(fv(op.a0) >= fv(op.a1))), nil
+	case ir.OpIntToFloat:
+		return fb(float32(iv(op.a0))), nil
+	case ir.OpFloatToInt:
+		return uint32(FloatToInt(fv(op.a0))), nil
+	}
+	return 0, fmt.Errorf("sim: cannot execute %s", op.kind)
+}
+
+// Word reads sym[idx], mirroring Machine.Word: the X copy for
+// duplicated symbols, with a coherence check across both banks.
+func (m *FastMachine) Word(sym *ir.Symbol, idx int) (uint32, error) {
+	a := sym.Addr + idx
+	if m.pd.ports == machine.PortsLowOrder {
+		if a&1 == 0 {
+			return m.X[a>>1], nil
+		}
+		return m.Y[a>>1], nil
+	}
+	switch sym.Bank {
+	case machine.BankY:
+		return m.Y[a], nil
+	case machine.BankBoth:
+		if m.X[a] != m.Y[a] {
+			return 0, fmt.Errorf("sim: duplicated symbol %s[%d] incoherent: X=%#x Y=%#x",
+				sym, idx, m.X[a], m.Y[a])
+		}
+		return m.X[a], nil
+	default:
+		return m.X[a], nil
+	}
+}
+
+// Int32 reads sym[idx] as an integer.
+func (m *FastMachine) Int32(sym *ir.Symbol, idx int) (int32, error) {
+	w, err := m.Word(sym, idx)
+	return int32(w), err
+}
+
+// Float32 reads sym[idx] as a float.
+func (m *FastMachine) Float32(sym *ir.Symbol, idx int) (float32, error) {
+	w, err := m.Word(sym, idx)
+	return math.Float32frombits(w), err
+}

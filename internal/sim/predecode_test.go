@@ -1,0 +1,172 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/compact"
+	"dualbank/internal/lower"
+	"dualbank/internal/minic"
+	"dualbank/internal/opt"
+	"dualbank/internal/regalloc"
+	"dualbank/internal/sim"
+)
+
+// firSource is a small FIR filter with function calls, loops, integer
+// and float arithmetic — enough to exercise every fast-path dispatch
+// case while staying quick to simulate.
+const firSource = `
+float x[128] = {1.0, 2.0, 3.0, 4.0, 5.0};
+float h[32] = {0.5, 0.25, 0.125};
+float y[96];
+int checksum;
+
+float tap(float acc, float a, float b) {
+	return acc + a * b;
+}
+
+void main() {
+	int n;
+	int k;
+	int c = 0;
+	for (n = 0; n < 96; n++) {
+		float acc = 0.0;
+		for (k = 0; k < 32; k++) {
+			acc = tap(acc, x[n + k], h[k]);
+		}
+		y[n] = acc;
+		if (acc > 0.0) {
+			c = c + 1;
+		}
+	}
+	checksum = c;
+}
+`
+
+// compileSched compiles source through scheduling for tests and
+// benchmarks alike (compileTo is *testing.T-only).
+func compileSched(tb testing.TB, src string, mode alloc.Mode) *compact.Program {
+	tb.Helper()
+	file, err := minic.Parse(src)
+	if err != nil {
+		tb.Fatalf("parse: %v", err)
+	}
+	if err := minic.Analyze(file); err != nil {
+		tb.Fatalf("analyze: %v", err)
+	}
+	p, err := lower.Program(file, "t")
+	if err != nil {
+		tb.Fatalf("lower: %v", err)
+	}
+	opt.Run(p, opt.Options{})
+	if _, err := regalloc.Run(p); err != nil {
+		tb.Fatalf("regalloc: %v", err)
+	}
+	res, err := alloc.Run(p, alloc.Options{Mode: mode})
+	if err != nil {
+		tb.Fatalf("alloc: %v", err)
+	}
+	sched, err := compact.Schedule(p, compact.Config{Ports: res.Ports})
+	if err != nil {
+		tb.Fatalf("schedule: %v", err)
+	}
+	return sched
+}
+
+// TestPredecodeMatchesMachine cross-checks the two engines on the
+// local kernel under every port model; the full-suite differential
+// test lives in internal/bench.
+func TestPredecodeMatchesMachine(t *testing.T) {
+	for _, mode := range []alloc.Mode{
+		alloc.SingleBank, alloc.CB, alloc.CBDup, alloc.FullDup,
+		alloc.Ideal, alloc.LowOrder,
+	} {
+		sched := compileSched(t, firSource, mode)
+		ref := sim.NewMachine(sched)
+		if err := ref.Run(); err != nil {
+			t.Fatalf("%v: reference: %v", mode, err)
+		}
+		pd, err := sim.Predecode(sched)
+		if err != nil {
+			t.Fatalf("%v: predecode: %v", mode, err)
+		}
+		fast := pd.NewMachine()
+		if err := fast.Run(); err != nil {
+			t.Fatalf("%v: fast: %v", mode, err)
+		}
+		if fast.Cycles != ref.Cycles || fast.OpsExecuted != ref.OpsExecuted ||
+			fast.MemAccesses != ref.MemAccesses || fast.DualMemCycles != ref.DualMemCycles ||
+			fast.BankConflicts != ref.BankConflicts {
+			t.Errorf("%v: counters diverge: fast {cyc %d ops %d mem %d dual %d conf %d} vs reference {cyc %d ops %d mem %d dual %d conf %d}",
+				mode,
+				fast.Cycles, fast.OpsExecuted, fast.MemAccesses, fast.DualMemCycles, fast.BankConflicts,
+				ref.Cycles, ref.OpsExecuted, ref.MemAccesses, ref.DualMemCycles, ref.BankConflicts)
+		}
+		for i := range ref.X {
+			if fast.X[i] != ref.X[i] || fast.Y[i] != ref.Y[i] {
+				t.Fatalf("%v: memory image diverges at word %#x", mode, i)
+			}
+		}
+	}
+}
+
+// TestFastMachineZeroAllocSteadyState enforces the fast path's
+// allocation contract: once built, Reset+Run performs no heap
+// allocation at all.
+func TestFastMachineZeroAllocSteadyState(t *testing.T) {
+	pd, err := sim.Predecode(compileSched(t, firSource, alloc.CBDup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := pd.NewMachine()
+	// Warm up so the deferred-write buffer reaches its high-water mark.
+	if err := fast.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		fast.Reset()
+		if err := fast.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Reset+Run allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// BenchmarkMachine measures the interpretive reference engine;
+// BenchmarkFastMachine measures the predecoded engine on the identical
+// schedule. Comparing ns/op quantifies the fast path's speedup, and
+// the fast benchmark must report 0 allocs/op.
+func BenchmarkMachine(b *testing.B) {
+	sched := compileSched(b, firSource, alloc.CBDup)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sim.NewMachine(sched)
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFastMachine measures the predecoded fast path's
+// steady-state loop: Reset+Run on a prebuilt machine.
+func BenchmarkFastMachine(b *testing.B) {
+	pd, err := sim.Predecode(compileSched(b, firSource, alloc.CBDup))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := pd.NewMachine()
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
