@@ -28,6 +28,7 @@ import (
 
 	"dualbank/internal/alloc"
 	"dualbank/internal/bench"
+	"dualbank/internal/core"
 	"dualbank/internal/pipeline"
 )
 
@@ -43,7 +44,8 @@ func main() {
 	selective := flag.String("selective", "", "run PCR-driven selective duplication on one benchmark")
 	list := flag.Bool("list", false, "list benchmark names")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for the experiment harness")
-	timing := flag.Bool("timing", false, "report per-section wall clock and cache traffic on stderr")
+	timing := flag.Bool("timing", false, "report per-section wall clock, per-run compile/simulate split, and cache traffic on stderr")
+	partitioner := flag.String("partitioner", "greedy", "graph partitioner for -bench runs: greedy, kl, anneal, or fm")
 	jsonPath := flag.String("json", "", "write harness results and timings to this JSON file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -70,7 +72,7 @@ func main() {
 		return
 	}
 	if *one != "" {
-		runOne(*one)
+		runOne(*one, *partitioner)
 		return
 	}
 	if !*fig7 && !*fig8 && !*table3 && !*orgs && !*tables && !*sweep {
@@ -141,8 +143,18 @@ func main() {
 	}
 
 	report.Cache = h.Stats()
+	report.Runs = h.Timings()
 	report.TotalSeconds = time.Since(start).Seconds()
 	if *timing {
+		var compileSum, simSum float64
+		for _, rt := range report.Runs {
+			compileSum += rt.CompileSeconds
+			simSum += rt.SimSeconds
+			fmt.Fprintf(os.Stderr, "dspbench: run %-14s %-12v compile %7.3fs  sim %8.3fs\n",
+				rt.Bench, rt.Mode, rt.CompileSeconds, rt.SimSeconds)
+		}
+		fmt.Fprintf(os.Stderr, "dspbench: phase totals   compile %7.3fs  sim %8.3fs over %d runs\n",
+			compileSum, simSum, len(report.Runs))
 		fmt.Fprintf(os.Stderr, "dspbench: total          %8.3fs  cache %d hits / %d misses (parallel=%d)\n",
 			report.TotalSeconds, report.Cache.Hits, report.Cache.Misses, h.Parallel)
 	}
@@ -158,19 +170,22 @@ func main() {
 	}
 }
 
-func runOne(name string) {
+func runOne(name, partitioner string) {
 	p, ok := bench.ByName(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "dspbench: unknown benchmark %q (use -list)\n", name)
 		os.Exit(2)
 	}
+	method, err := core.ParseMethod(partitioner)
+	check(err)
 	modes := []alloc.Mode{
 		alloc.SingleBank, alloc.CB, alloc.CBProfiled,
 		alloc.CBDup, alloc.FullDup, alloc.Ideal,
 	}
+	cc := new(pipeline.Compiler)
 	var base bench.Result
 	for _, m := range modes {
-		res, err := bench.Run(p, m)
+		res, err := bench.RunWith(p, m, bench.RunOptions{Partitioner: method, Compiler: cc})
 		check(err)
 		if m == alloc.SingleBank {
 			base = res

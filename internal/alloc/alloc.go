@@ -101,9 +101,14 @@ type Options struct {
 	// refinement of §5 uses this to trial individual candidates.
 	DupFilter func(*ir.Symbol) bool
 	// Method selects the graph-partitioning algorithm (greedy by
-	// default; Kernighan-Lin refinement and simulated annealing are
-	// available for the algorithm-comparison study).
+	// default; Kernighan-Lin refinement, simulated annealing, and the
+	// gain-bucket FM partitioner are available for the
+	// algorithm-comparison study).
 	Method core.Method
+	// Scanner, when non-nil, supplies reusable scratch storage for
+	// interference-graph construction, so pipelines that allocate many
+	// programs back to back avoid rebuilding it each time.
+	Scanner *core.Scanner
 }
 
 // Result describes the allocation for reporting and the cost model.
@@ -162,7 +167,11 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		if opts.Mode == CBProfiled {
 			policy = core.WeightProfiled
 		}
-		g := core.BuildGraph(p, policy)
+		sc := opts.Scanner
+		if sc == nil {
+			sc = new(core.Scanner)
+		}
+		g := sc.BuildGraph(p, policy)
 		part := g.PartitionWith(opts.Method)
 		res.Graph, res.Part = g, part
 		for _, s := range part.SetX {

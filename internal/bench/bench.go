@@ -13,9 +13,11 @@ package bench
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"dualbank/internal/alloc"
 	"dualbank/internal/compact"
+	"dualbank/internal/core"
 	"dualbank/internal/cost"
 	"dualbank/internal/pipeline"
 )
@@ -106,6 +108,22 @@ type Result struct {
 	DupStores int
 	// Duplicated lists duplicated symbol names.
 	Duplicated []string
+
+	// CompileSeconds and SimSeconds split the measurement's wall clock
+	// into the compile phase (front end through schedule validation)
+	// and the simulation phase (the predecoded fast-path run).
+	CompileSeconds float64
+	SimSeconds     float64
+}
+
+// RunOptions configures RunWith beyond the allocation mode.
+type RunOptions struct {
+	// Partitioner selects the graph-partitioning algorithm for the CB
+	// modes (greedy by default).
+	Partitioner core.Method
+	// Compiler, when non-nil, supplies reusable compiler scratch so
+	// back-to-back measurements skip re-growing it.
+	Compiler *pipeline.Compiler
 }
 
 // Run compiles and executes one benchmark under one allocation mode,
@@ -113,17 +131,31 @@ type Result struct {
 // measurement. Execution uses the predecoded fast-path simulator,
 // which differential tests pin to the reference interpreter.
 func Run(p Program, mode alloc.Mode) (Result, error) {
-	c, err := pipeline.Compile(p.Source, p.Name, pipeline.Options{Mode: mode})
+	return RunWith(p, mode, RunOptions{})
+}
+
+// RunWith is Run with an explicit partitioner choice and optional
+// reusable compiler scratch.
+func RunWith(p Program, mode alloc.Mode, ro RunOptions) (Result, error) {
+	cc := ro.Compiler
+	if cc == nil {
+		cc = new(pipeline.Compiler)
+	}
+	compileStart := time.Now()
+	c, err := cc.Compile(p.Source, p.Name, pipeline.Options{Mode: mode, Partitioner: ro.Partitioner})
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
 	}
 	if err := compact.Validate(c.Sched); err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
 	}
+	compileSeconds := time.Since(compileStart).Seconds()
+	simStart := time.Now()
 	m, err := c.RunFast()
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
 	}
+	simSeconds := time.Since(simStart).Seconds()
 	if p.Check != nil {
 		read := func(name string, idx int) (uint32, error) {
 			g := c.Global(name)
@@ -137,11 +169,13 @@ func Run(p Program, mode alloc.Mode) (Result, error) {
 		}
 	}
 	res := Result{
-		Bench:     p.Name,
-		Mode:      mode,
-		Cycles:    m.Cycles,
-		Mem:       cost.Of(c.Alloc, c.Sched),
-		DupStores: c.Alloc.DupStores,
+		Bench:          p.Name,
+		Mode:           mode,
+		Cycles:         m.Cycles,
+		Mem:            cost.Of(c.Alloc, c.Sched),
+		DupStores:      c.Alloc.DupStores,
+		CompileSeconds: compileSeconds,
+		SimSeconds:     simSeconds,
 	}
 	for _, s := range c.Alloc.Duplicated {
 		res.Duplicated = append(res.Duplicated, s.Name)

@@ -2,12 +2,14 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"dualbank/internal/alloc"
 	"dualbank/internal/cost"
 	"dualbank/internal/machine"
+	"dualbank/internal/pipeline"
 )
 
 // This file is the parallel experiment harness: a bounded worker pool
@@ -27,10 +29,20 @@ type Harness struct {
 	// jobs; 1 reproduces the serial harness exactly.
 	Parallel int
 
-	mu    sync.Mutex
-	cache map[runKey]*cacheEntry
+	mu      sync.Mutex
+	cache   map[runKey]*cacheEntry
+	timings []RunTiming
 
 	hits, misses atomic.Int64
+}
+
+// RunTiming is the compile/simulate wall-clock split of one executed
+// (benchmark, mode) measurement — one entry per cache miss.
+type RunTiming struct {
+	Bench          string     `json:"bench"`
+	Mode           alloc.Mode `json:"mode"`
+	CompileSeconds float64    `json:"compile_seconds"`
+	SimSeconds     float64    `json:"sim_seconds"`
 }
 
 // runKey identifies one memoizable measurement. Benchmark sources are
@@ -91,6 +103,12 @@ func (h *Harness) Stats() CacheStats {
 // request computes via the package-level Run, concurrent and repeated
 // requests share the result.
 func (h *Harness) Run(p Program, mode alloc.Mode) (Result, error) {
+	return h.run(p, mode, nil)
+}
+
+// run is Run with optional reusable compiler scratch (each pool worker
+// owns one).
+func (h *Harness) run(p Program, mode alloc.Mode, cc *pipeline.Compiler) (Result, error) {
 	key := runKey{bench: p.Name, mode: mode, config: configKey(mode)}
 	h.mu.Lock()
 	if e, ok := h.cache[key]; ok {
@@ -103,9 +121,33 @@ func (h *Harness) Run(p Program, mode alloc.Mode) (Result, error) {
 	h.cache[key] = e
 	h.mu.Unlock()
 	h.misses.Add(1)
-	e.res, e.err = Run(p, mode)
+	e.res, e.err = RunWith(p, mode, RunOptions{Compiler: cc})
+	if e.err == nil {
+		h.mu.Lock()
+		h.timings = append(h.timings, RunTiming{
+			Bench: p.Name, Mode: mode,
+			CompileSeconds: e.res.CompileSeconds, SimSeconds: e.res.SimSeconds,
+		})
+		h.mu.Unlock()
+	}
 	close(e.done)
 	return e.res, e.err
+}
+
+// Timings returns the compile/simulate split of every measurement the
+// harness actually executed (one entry per cache miss), sorted by
+// benchmark then mode for deterministic reporting.
+func (h *Harness) Timings() []RunTiming {
+	h.mu.Lock()
+	out := append([]RunTiming(nil), h.timings...)
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Mode < out[j].Mode
+	})
+	return out
 }
 
 // job is one unit of pool work: measure prog under mode, deposit the
@@ -123,9 +165,10 @@ func (h *Harness) runJobs(jobs []job) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
 	if h.Parallel <= 1 {
+		cc := new(pipeline.Compiler)
 		for i, j := range jobs {
 			var err error
-			results[i], err = h.Run(j.prog, j.mode)
+			results[i], err = h.run(j.prog, j.mode, cc)
 			if err != nil {
 				return nil, err
 			}
@@ -142,8 +185,9 @@ func (h *Harness) runJobs(jobs []job) ([]Result, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			cc := new(pipeline.Compiler)
 			for i := range next {
-				results[i], errs[i] = h.Run(jobs[i].prog, jobs[i].mode)
+				results[i], errs[i] = h.run(jobs[i].prog, jobs[i].mode, cc)
 			}
 		}()
 	}

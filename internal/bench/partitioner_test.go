@@ -1,13 +1,62 @@
 package bench
 
 import (
+	"maps"
 	"testing"
 
 	"dualbank/internal/alloc"
 	"dualbank/internal/compact"
 	"dualbank/internal/core"
+	"dualbank/internal/machine"
 	"dualbank/internal/pipeline"
 )
+
+// TestPartitionerDifferential pins the fast partitioners to the
+// Figure-5 greedy reference across the whole 23-benchmark suite: FM
+// and KL must never produce a worse cut than greedy, and whenever the
+// cut costs tie they must assign every symbol to the same bank —
+// both algorithms start from the greedy walk and only ever commit
+// strict improvements, so a tied cost with a different image would
+// mean the replay has diverged.
+func TestPartitionerDifferential(t *testing.T) {
+	progs := append(Kernels(), Applications()...)
+	if len(progs) != 23 {
+		t.Fatalf("suite has %d benchmarks, want 23", len(progs))
+	}
+	type outcome struct {
+		cost  int64
+		banks map[string]machine.Bank
+	}
+	for _, p := range progs {
+		compile := func(m core.Method) outcome {
+			c, err := pipeline.Compile(p.Source, p.Name, pipeline.Options{
+				Mode: alloc.CB, Partitioner: m,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", p.Name, m, err)
+			}
+			if err := compact.Validate(c.Sched); err != nil {
+				t.Fatalf("%s/%v: %v", p.Name, m, err)
+			}
+			banks := make(map[string]machine.Bank)
+			for _, s := range c.IR.Symbols() {
+				banks[s.Name] = s.Bank
+			}
+			return outcome{cost: c.Alloc.Part.Cost, banks: banks}
+		}
+		greedy := compile(core.MethodGreedy)
+		for _, m := range []core.Method{core.MethodFM, core.MethodKL} {
+			o := compile(m)
+			if o.cost > greedy.cost {
+				t.Errorf("%s: %v cut cost %d worse than greedy %d", p.Name, m, o.cost, greedy.cost)
+				continue
+			}
+			if o.cost == greedy.cost && !maps.Equal(o.banks, greedy.banks) {
+				t.Errorf("%s: %v ties greedy at cut cost %d but assigns different banks", p.Name, m, o.cost)
+			}
+		}
+	}
+}
 
 // TestPartitionerComparison reproduces the Princeton finding the
 // paper's related-work section leans on: a computationally expensive

@@ -20,6 +20,10 @@ type Report struct {
 
 	Sections []Section `json:"sections"`
 
+	// Runs is the compile/simulate wall-clock split of every executed
+	// (benchmark, mode) measurement, sorted by benchmark then mode.
+	Runs []RunTiming `json:"runs,omitempty"`
+
 	// Cache is the memoized run cache's traffic over the whole
 	// invocation; TotalSeconds the end-to-end harness wall clock.
 	Cache        CacheStats `json:"cache"`

@@ -84,17 +84,65 @@ type Config struct {
 	Ports machine.PortModel
 }
 
+// Scratch holds the scheduler's reusable working state: the
+// dependence-graph builder, the per-op bookkeeping arrays, and the
+// instruction arena blocks are scheduled into before being sealed.
+// A warm Scratch makes scheduleBlock allocation-free in steady state
+// (only the sealed per-block output is freshly allocated), so repeated
+// compiles — the experiment harness compiles every benchmark under
+// seven machine modes — stop churning the garbage collector. A Scratch
+// is not safe for concurrent use; give each worker its own.
+type Scratch struct {
+	ddg       ddg.Builder
+	scheduled []bool
+	cycleOf   []int
+	pairIdx   []int32 // index of op.DupPair within the block, -1 if none
+	opIdx     map[*ir.Op]int32
+	drs       []int    // data-ready set, rebuilt each fill iteration
+	inDRS     []uint32 // epoch stamp marking membership of drs
+	drsEpoch  uint32
+	arena     []Instr // per-block instruction arena, reused across blocks
+	remaining int
+}
+
+// ensure grows the per-op scratch arrays to cover n operations.
+func (s *Scratch) ensure(n int) {
+	if cap(s.scheduled) < n {
+		s.scheduled = make([]bool, n)
+		s.cycleOf = make([]int, n)
+		s.pairIdx = make([]int32, n)
+		s.inDRS = make([]uint32, n)
+		s.drs = make([]int, 0, n)
+	}
+	s.scheduled = s.scheduled[:n]
+	s.cycleOf = s.cycleOf[:n]
+	s.pairIdx = s.pairIdx[:n]
+	s.inDRS = s.inDRS[:n]
+	if s.opIdx == nil {
+		s.opIdx = make(map[*ir.Op]int32, n)
+	}
+}
+
 // Schedule compacts every block of every function.
 func Schedule(p *ir.Program, cfg Config) (*Program, error) {
+	return ScheduleWith(p, cfg, new(Scratch))
+}
+
+// ScheduleWith is Schedule with caller-provided scratch state, for
+// pipelines that compile many programs back to back.
+func ScheduleWith(p *ir.Program, cfg Config, s *Scratch) (*Program, error) {
+	if s == nil {
+		s = new(Scratch)
+	}
 	out := &Program{Src: p, Funcs: make(map[string]*Func, len(p.Funcs)), Ports: cfg.Ports}
 	for _, f := range p.Funcs {
-		sf := &Func{Src: f}
+		sf := &Func{Src: f, Blocks: make([]*Block, 0, len(f.Blocks))}
 		for _, b := range f.Blocks {
-			sb, err := scheduleBlock(b, cfg)
+			n, err := s.scheduleBlock(b, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("compact %s %s: %w", f.Name, b, err)
 			}
-			sf.Blocks = append(sf.Blocks, sb)
+			sf.Blocks = append(sf.Blocks, s.seal(b, n))
 		}
 		out.Funcs[f.Name] = sf
 	}
@@ -102,7 +150,7 @@ func Schedule(p *ir.Program, cfg Config) (*Program, error) {
 }
 
 // unitsFor lists the functional units that may execute op, most
-// preferred first.
+// preferred first. The returned slice is shared and read-only.
 func unitsFor(op *ir.Op, ports machine.PortModel) []machine.Unit {
 	cls := op.Kind.Class()
 	if cls != machine.ClassMemory {
@@ -111,49 +159,56 @@ func unitsFor(op *ir.Op, ports machine.PortModel) []machine.Unit {
 	return ports.UnitsForBank(op.Bank)
 }
 
-func scheduleBlock(b *ir.Block, cfg Config) (*Block, error) {
-	g := ddg.Build(b)
+// scheduleBlock list-schedules one block into the scratch arena and
+// returns the number of long instructions emitted. With a warm Scratch
+// it performs no heap allocations: the dependence graph, bookkeeping
+// arrays, and instruction storage are all reused (enforced by
+// TestScheduleBlockZeroAlloc).
+func (s *Scratch) scheduleBlock(b *ir.Block, cfg Config) (int, error) {
+	g := s.ddg.Build(b)
 	n := len(g.Ops)
-	sb := &Block{Src: b}
+	s.arena = s.arena[:0]
 	if n == 0 {
-		return sb, nil
+		return 0, nil
 	}
-	scheduled := make([]bool, n)
-	cycleOf := make([]int, n)
-	for i := range cycleOf {
-		cycleOf[i] = -1
+	s.ensure(n)
+	for i := 0; i < n; i++ {
+		s.scheduled[i] = false
+		s.cycleOf[i] = -1
+		s.pairIdx[i] = -1
 	}
-	pairIndex := make(map[*ir.Op]int, n)
-	for i, op := range g.Ops {
-		pairIndex[op] = i
-	}
-	remaining := n
 
-	drs := make([]int, 0, n)
-	for cycle := 0; remaining > 0; cycle++ {
-		instr := &Instr{}
-		remBefore := remaining
-
-		compatible := func(i int) bool {
-			for _, e := range g.Pred[i] {
-				if e.Strict && cycleOf[e.To] == cycle {
-					return false
+	// Resolve duplicated-store pairs to block-local indices once, so
+	// the inner loop needs no map lookups. The two halves of a pair
+	// point at each other.
+	hasPairs := false
+	for _, op := range g.Ops {
+		if op.Atomic && op.DupPair != nil {
+			hasPairs = true
+			break
+		}
+	}
+	if hasPairs {
+		clear(s.opIdx)
+		for i, op := range g.Ops {
+			if op.Atomic && op.DupPair != nil {
+				s.opIdx[op] = int32(i)
+			}
+		}
+		for i, op := range g.Ops {
+			if op.Atomic && op.DupPair != nil {
+				if j, ok := s.opIdx[op.DupPair]; ok {
+					s.pairIdx[i] = j
 				}
 			}
-			return true
 		}
-		place := func(i int) bool {
-			for _, u := range unitsFor(g.Ops[i], cfg.Ports) {
-				if instr.Slots[u] == nil {
-					instr.Slots[u] = g.Ops[i]
-					scheduled[i] = true
-					cycleOf[i] = cycle
-					remaining--
-					return true
-				}
-			}
-			return false
-		}
+	}
+
+	s.remaining = n
+	for cycle := 0; s.remaining > 0; cycle++ {
+		s.arena = append(s.arena, Instr{})
+		instr := &s.arena[len(s.arena)-1] // no appends until the cycle ends
+		remBefore := s.remaining
 
 		// Fill the instruction to a fixed point: scheduling an
 		// operation can make its anti-dependent successors data-ready
@@ -161,43 +216,45 @@ func scheduleBlock(b *ir.Block, cfg Config) (*Block, error) {
 		// written), so the data-ready set is recalculated until the
 		// instruction stops growing.
 		for {
-			drs = drs[:0]
+			s.drs = s.drs[:0]
+			s.drsEpoch++
+			if s.drsEpoch == 0 { // wrapped: stamps are stale, restart
+				clear(s.inDRS)
+				s.drsEpoch = 1
+			}
 			for i := 0; i < n; i++ {
-				if scheduled[i] {
+				if s.scheduled[i] {
 					continue
 				}
 				ready := true
 				for _, e := range g.Pred[i] {
-					if !scheduled[e.To] {
+					if !s.scheduled[e.To] {
 						ready = false
 						break
 					}
 				}
 				if ready {
-					drs = append(drs, i)
+					s.drs = append(s.drs, i)
+					s.inDRS[i] = s.drsEpoch
 				}
 			}
-			insertionSortByPriority(drs, g.Priority)
-			inDRS := make(map[int]bool, len(drs))
-			for _, i := range drs {
-				inDRS[i] = true
-			}
+			ddg.SortByPriority(s.drs, g.Priority)
 
 			placed := false
-			for _, i := range drs {
-				if scheduled[i] || !compatible(i) {
+			for _, i := range s.drs {
+				if s.scheduled[i] || !s.compatible(g, i, cycle) {
 					continue
 				}
 				op := g.Ops[i]
 				// Atomic duplicated-store pairs must commit in the same
 				// instruction: schedule both or neither.
 				if op.Atomic && op.DupPair != nil {
-					j, ok := pairIndex[op.DupPair]
-					if !ok || scheduled[j] || !inDRS[j] || !compatible(j) {
+					j := int(s.pairIdx[i])
+					if j < 0 || s.scheduled[j] || s.inDRS[j] != s.drsEpoch || !s.compatible(g, j, cycle) {
 						continue
 					}
-					if place(i) {
-						if place(j) {
+					if s.place(g, instr, cfg.Ports, i, cycle) {
+						if s.place(g, instr, cfg.Ports, j, cycle) {
 							placed = true
 						} else {
 							// Undo: both halves wait for the next cycle.
@@ -206,14 +263,14 @@ func scheduleBlock(b *ir.Block, cfg Config) (*Block, error) {
 									instr.Slots[u] = nil
 								}
 							}
-							scheduled[i] = false
-							cycleOf[i] = -1
-							remaining++
+							s.scheduled[i] = false
+							s.cycleOf[i] = -1
+							s.remaining++
 						}
 					}
 					continue
 				}
-				if place(i) {
+				if s.place(g, instr, cfg.Ports, i, cycle) {
 					placed = true
 				}
 			}
@@ -221,31 +278,59 @@ func scheduleBlock(b *ir.Block, cfg Config) (*Block, error) {
 				break
 			}
 		}
-		if remaining == remBefore {
-			return nil, fmt.Errorf("scheduler made no progress at cycle %d", cycle)
+		if s.remaining == remBefore {
+			return 0, fmt.Errorf("scheduler made no progress at cycle %d", cycle)
 		}
-		sb.Instrs = append(sb.Instrs, instr)
 	}
-	return sb, nil
+	return len(s.arena), nil
 }
 
-// insertionSortByPriority sorts indices by descending priority, ties by
-// ascending index (stable program order).
-func insertionSortByPriority(idx []int, prio []int) {
-	for i := 1; i < len(idx); i++ {
-		v := idx[i]
-		j := i - 1
-		for j >= 0 && (prio[idx[j]] < prio[v] || (prio[idx[j]] == prio[v] && idx[j] > v)) {
-			idx[j+1] = idx[j]
-			j--
+// compatible reports whether op i may join the instruction being built
+// for this cycle: none of its strict predecessors may issue in the
+// same cycle.
+func (s *Scratch) compatible(g *ddg.Graph, i, cycle int) bool {
+	for _, e := range g.Pred[i] {
+		if e.Strict && s.cycleOf[e.To] == cycle {
+			return false
 		}
-		idx[j+1] = v
 	}
+	return true
+}
+
+// place puts op i into the first free unit that can execute it.
+func (s *Scratch) place(g *ddg.Graph, instr *Instr, ports machine.PortModel, i, cycle int) bool {
+	for _, u := range unitsFor(g.Ops[i], ports) {
+		if instr.Slots[u] == nil {
+			instr.Slots[u] = g.Ops[i]
+			s.scheduled[i] = true
+			s.cycleOf[i] = cycle
+			s.remaining--
+			return true
+		}
+	}
+	return false
+}
+
+// seal copies the first n arena instructions into an exact-size block —
+// the only per-block allocations the scheduler retains.
+func (s *Scratch) seal(b *ir.Block, n int) *Block {
+	sb := &Block{Src: b}
+	if n == 0 {
+		return sb
+	}
+	instrs := make([]Instr, n)
+	copy(instrs, s.arena[:n])
+	sb.Instrs = make([]*Instr, n)
+	for i := range instrs {
+		sb.Instrs[i] = &instrs[i]
+	}
+	return sb
 }
 
 // Validate checks that the schedule respects all dependences and unit
 // constraints; tests run it over every compiled benchmark.
 func Validate(p *Program) error {
+	var bu ddg.Builder // reused across blocks; the graph is read per block
 	for name, f := range p.Funcs {
 		for _, sb := range f.Blocks {
 			cycle := make(map[*ir.Op]int)
@@ -271,7 +356,7 @@ func Validate(p *Program) error {
 			if len(cycle) != len(sb.Src.Ops) {
 				return fmt.Errorf("%s %s: %d ops scheduled, want %d", name, sb.Src, len(cycle), len(sb.Src.Ops))
 			}
-			g := ddg.Build(sb.Src)
+			g := bu.Build(sb.Src)
 			for i, op := range g.Ops {
 				for _, e := range g.Succ[i] {
 					to := g.Ops[e.To]

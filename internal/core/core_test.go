@@ -162,9 +162,8 @@ func TestPartitionProperties(t *testing.T) {
 				continue
 			}
 			w := int64(e>>8)%5 + 1
-			k := g.key(syms[i], syms[j])
-			if _, ok := g.weights[k]; !ok {
-				g.weights[k] = w
+			if g.Weight(syms[i], syms[j]) == 0 {
+				g.SetWeight(syms[i], syms[j], w)
 				total += w
 			}
 		}
@@ -191,9 +190,9 @@ func TestPartitionProperties(t *testing.T) {
 			side[s] = 1
 		}
 		var residual int64
-		for k, w := range g.weights {
-			if side[g.Nodes[k[0]]] == side[g.Nodes[k[1]]] {
-				residual += w
+		for _, e := range g.edges {
+			if side[g.Nodes[e.u]] == side[g.Nodes[e.v]] {
+				residual += e.w
 			}
 		}
 		if residual != p.Cost {

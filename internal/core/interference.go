@@ -16,12 +16,20 @@
 //     nesting depth of the access (depth+1, so a pair inside one loop
 //     outweighs a pair in straight-line code — Figure 4); the profiled
 //     policy weighs it by the executed frequency of the block.
-//  3. A greedy min-cost bipartition of the graph (Figure 5) assigning
-//     each symbol to bank X or bank Y.
+//  3. A min-cost bipartition of the graph assigning each symbol to
+//     bank X or bank Y: the paper's greedy walk (Figure 5), optionally
+//     refined or replaced by the alternative partitioners in
+//     partition_alt.go and partition_fm.go.
 //
 // When the two blocked memory operations access the *same* symbol, no
 // partition can help; the symbol is marked for duplication instead, the
 // trigger for partial data duplication (§3.2, Figure 6).
+//
+// The graph is stored flat: one record per undirected edge plus
+// per-node incidence lists threaded through half-edge indices, with a
+// compressed-sparse-row (CSR) view built once per program for the
+// partitioners. No map sits on the construction or partitioning hot
+// path.
 package core
 
 import (
@@ -54,53 +62,129 @@ func (w WeightPolicy) String() string {
 	return "static"
 }
 
+// edgeRec is one undirected interference edge (u < v). pairs counts
+// distinct discovery events, for diagnostics.
+type edgeRec struct {
+	u, v  int32
+	w     int64
+	pairs int
+}
+
 // Graph is the interference graph: nodes are data symbols, weighted
-// edges are potential parallel accesses.
+// edges are potential parallel accesses. Edges live in a flat record
+// slice; each node's incidence is a singly-linked list of half-edges
+// (half-edge 2e belongs to edge e's u endpoint, 2e+1 to its v
+// endpoint), so edge lookup during construction is O(degree) with no
+// map in sight.
 type Graph struct {
 	Nodes []*ir.Symbol
 
-	index   map[*ir.Symbol]int
-	weights map[[2]int]int64
+	index map[*ir.Symbol]int32
+	edges []edgeRec
+	head  []int32 // per node: first incident half-edge, or -1
+	next  []int32 // per half-edge: next half-edge of the same node
 
 	// DupMarks holds symbols flagged for duplication: two simultaneous
 	// data-ready accesses hit the same symbol.
 	DupMarks map[*ir.Symbol]bool
 
-	// Pairs counts distinct discovery events per edge; exposed for
-	// diagnostics and tests.
-	Pairs map[[2]int]int
+	csr *CSR // cached adjacency view, invalidated by edge mutation
 }
 
 // NewGraph returns an empty interference graph over the given symbols.
 func NewGraph(nodes []*ir.Symbol) *Graph {
 	g := &Graph{
 		Nodes:    nodes,
-		index:    make(map[*ir.Symbol]int, len(nodes)),
-		weights:  make(map[[2]int]int64),
+		index:    make(map[*ir.Symbol]int32, len(nodes)),
+		head:     make([]int32, len(nodes)),
 		DupMarks: make(map[*ir.Symbol]bool),
-		Pairs:    make(map[[2]int]int),
 	}
 	for i, s := range nodes {
-		g.index[s] = i
+		g.index[s] = int32(i)
+		g.head[i] = -1
 	}
 	return g
 }
 
-func (g *Graph) key(a, b *ir.Symbol) [2]int {
+// findEdge returns the index of edge (i, j) in g.edges, or -1. It
+// walks i's incidence list, so cost is O(degree(i)).
+func (g *Graph) findEdge(i, j int32) int {
+	for h := g.head[i]; h >= 0; h = g.next[h] {
+		e := &g.edges[h>>1]
+		other := e.v
+		if h&1 == 1 {
+			other = e.u
+		}
+		if other == j {
+			return int(h >> 1)
+		}
+	}
+	return -1
+}
+
+// addEdge appends a fresh zero-weight edge (i, j), i < j, and links
+// its two half-edges into the endpoints' incidence lists.
+func (g *Graph) addEdge(i, j int32) int {
+	id := len(g.edges)
+	g.edges = append(g.edges, edgeRec{u: i, v: j})
+	g.next = append(g.next, g.head[i], g.head[j])
+	g.head[i] = int32(2 * id)
+	g.head[j] = int32(2*id + 1)
+	return id
+}
+
+// edgeBetween returns the edge record for (a, b), creating it if
+// needed, with endpoints normalised to u < v.
+func (g *Graph) edgeBetween(a, b *ir.Symbol) *edgeRec {
 	i, j := g.index[a], g.index[b]
 	if i > j {
 		i, j = j, i
 	}
-	return [2]int{i, j}
+	id := g.findEdge(i, j)
+	if id < 0 {
+		id = g.addEdge(i, j)
+	}
+	return &g.edges[id]
 }
 
 // Weight returns the weight of edge (a, b), or 0 if absent.
 func (g *Graph) Weight(a, b *ir.Symbol) int64 {
-	return g.weights[g.key(a, b)]
+	i, j := g.index[a], g.index[b]
+	if i > j {
+		i, j = j, i
+	}
+	if id := g.findEdge(i, j); id >= 0 {
+		return g.edges[id].w
+	}
+	return 0
+}
+
+// SetWeight sets the weight of edge (a, b), creating the edge if
+// absent. Tests and external graph builders use it to construct graphs
+// without going through the block scanner.
+func (g *Graph) SetWeight(a, b *ir.Symbol, w int64) {
+	if a == b {
+		panic("core: SetWeight on a self edge")
+	}
+	g.edgeBetween(a, b).w = w
+	g.csr = nil
+}
+
+// PairCount returns the number of distinct discovery events recorded
+// for edge (a, b); exposed for diagnostics and tests.
+func (g *Graph) PairCount(a, b *ir.Symbol) int {
+	i, j := g.index[a], g.index[b]
+	if i > j {
+		i, j = j, i
+	}
+	if id := g.findEdge(i, j); id >= 0 {
+		return g.edges[id].pairs
+	}
+	return 0
 }
 
 // Edges returns the number of edges in the graph.
-func (g *Graph) Edges() int { return len(g.weights) }
+func (g *Graph) Edges() int { return len(g.edges) }
 
 // addEvent records one discovery of the pair (a, b) in block blk.
 func (g *Graph) addEvent(a, b *ir.Symbol, blk *ir.Block, policy WeightPolicy) {
@@ -108,29 +192,25 @@ func (g *Graph) addEvent(a, b *ir.Symbol, blk *ir.Block, policy WeightPolicy) {
 		g.DupMarks[a] = true
 		return
 	}
-	k := g.key(a, b)
-	g.Pairs[k]++
+	e := g.edgeBetween(a, b)
+	e.pairs++
 	switch policy {
 	case WeightStatic:
-		w := int64(blk.LoopDepth + 1)
-		if w > g.weights[k] {
-			g.weights[k] = w
+		if w := int64(blk.LoopDepth + 1); w > e.w {
+			e.w = w
 		}
 	case WeightProfiled:
-		g.weights[k] += blk.ExecCount
+		e.w += blk.ExecCount
 	}
+	g.csr = nil
 }
 
-// String renders the graph's edges, sorted, for tests and the explorer
-// example.
-func (g *Graph) String() string {
-	type edge struct {
-		a, b string
-		w    int64
-	}
-	var edges []edge
-	for k, w := range g.weights {
-		edges = append(edges, edge{g.Nodes[k[0]].Name, g.Nodes[k[1]].Name, w})
+// sortedEdges returns printable (name, name, weight) triples in
+// deterministic name order, shared by String and Dot.
+func (g *Graph) sortedEdges() []printEdge {
+	edges := make([]printEdge, 0, len(g.edges))
+	for _, e := range g.edges {
+		edges = append(edges, printEdge{g.Nodes[e.u].Name, g.Nodes[e.v].Name, e.w})
 	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].a != edges[j].a {
@@ -138,8 +218,19 @@ func (g *Graph) String() string {
 		}
 		return edges[i].b < edges[j].b
 	})
+	return edges
+}
+
+type printEdge struct {
+	a, b string
+	w    int64
+}
+
+// String renders the graph's edges, sorted, for tests and the explorer
+// example.
+func (g *Graph) String() string {
 	var sb strings.Builder
-	for _, e := range edges {
+	for _, e := range g.sortedEdges() {
 		fmt.Fprintf(&sb, "(%s, %s) w=%d\n", e.a, e.b, e.w)
 	}
 	var dups []string
@@ -158,6 +249,9 @@ func (g *Graph) String() string {
 // Dot renders the interference graph in Graphviz format, with the
 // partition (if given) as node colours and duplication marks as
 // doubled outlines — the visual counterpart of the paper's Figure 4.
+// Node and edge ordering are deterministic (nodes in symbol order,
+// edges sorted by endpoint names), so the output is golden-file
+// testable.
 func (g *Graph) Dot(part *Partition) string {
 	var sb strings.Builder
 	sb.WriteString("graph interference {\n  node [shape=ellipse, style=filled, fillcolor=white];\n")
@@ -172,10 +266,10 @@ func (g *Graph) Dot(part *Partition) string {
 	}
 	// Only nodes that participate in an edge or a mark are drawn;
 	// whole-program graphs contain many untouched symbols.
-	used := map[int]bool{}
-	for k := range g.weights {
-		used[k[0]] = true
-		used[k[1]] = true
+	used := make([]bool, len(g.Nodes))
+	for _, e := range g.edges {
+		used[e.u] = true
+		used[e.v] = true
 	}
 	for i, s := range g.Nodes {
 		if !used[i] && !g.DupMarks[s] {
@@ -190,37 +284,44 @@ func (g *Graph) Dot(part *Partition) string {
 		}
 		fmt.Fprintf(&sb, "  %q [label=%q%s];\n", s.Name, s.Name, attrs)
 	}
-	type edge struct {
-		a, b string
-		w    int64
-	}
-	var edges []edge
-	for k, w := range g.weights {
-		edges = append(edges, edge{g.Nodes[k[0]].Name, g.Nodes[k[1]].Name, w})
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].a != edges[j].a {
-			return edges[i].a < edges[j].a
-		}
-		return edges[i].b < edges[j].b
-	})
-	for _, e := range edges {
+	for _, e := range g.sortedEdges() {
 		fmt.Fprintf(&sb, "  %q -- %q [label=\"%d\"];\n", e.a, e.b, e.w)
 	}
 	sb.WriteString("}\n")
 	return sb.String()
 }
 
+// Scanner holds the reusable scratch state for interference-graph
+// construction: the dependence-graph builder plus the dry-run
+// scheduler's per-block arrays. A Scanner reused across blocks reaches
+// a zero-allocation steady state. The zero value is ready to use; a
+// Scanner must not be used concurrently.
+type Scanner struct {
+	ddg       ddg.Builder
+	scheduled []bool
+	cycleOf   []int
+	drs       []int
+	recorded  []uint32 // epoch-stamped "pairing already recorded this cycle"
+	epoch     uint32
+}
+
 // BuildGraph runs the Figure-3 algorithm over every basic block of the
-// program and returns the completed interference graph.
-func BuildGraph(p *ir.Program, policy WeightPolicy) *Graph {
+// program and returns the completed interference graph, reusing the
+// scanner's scratch storage across blocks.
+func (sc *Scanner) BuildGraph(p *ir.Program, policy WeightPolicy) *Graph {
 	g := NewGraph(p.Symbols())
 	for _, f := range p.Funcs {
 		for _, b := range f.Blocks {
-			g.ScanBlock(b, policy)
+			g.scanBlock(sc, b, policy)
 		}
 	}
 	return g
+}
+
+// BuildGraph runs the Figure-3 algorithm over every basic block of the
+// program and returns the completed interference graph.
+func BuildGraph(p *ir.Program, policy WeightPolicy) *Graph {
+	return new(Scanner).BuildGraph(p, policy)
 }
 
 // classSlots is the per-instruction functional-unit budget during graph
@@ -241,28 +342,42 @@ func classSlots() [machine.NumClasses]int {
 // Operations are not actually packed into instructions here; that
 // happens later, in the compaction pass proper.
 func (g *Graph) ScanBlock(b *ir.Block, policy WeightPolicy) {
-	dg := ddg.Build(b)
+	g.scanBlock(new(Scanner), b, policy)
+}
+
+func (g *Graph) scanBlock(sc *Scanner, b *ir.Block, policy WeightPolicy) {
+	dg := sc.ddg.Build(b)
 	n := len(dg.Ops)
 	if n == 0 {
 		return
 	}
-	scheduled := make([]bool, n)
-	cycleOf := make([]int, n)
-	for i := range cycleOf {
+	for len(sc.scheduled) < n {
+		sc.scheduled = append(sc.scheduled, false)
+		sc.cycleOf = append(sc.cycleOf, 0)
+		sc.recorded = append(sc.recorded, 0)
+	}
+	scheduled := sc.scheduled[:n]
+	cycleOf := sc.cycleOf[:n]
+	for i := 0; i < n; i++ {
+		scheduled[i] = false
 		cycleOf[i] = -1
 	}
 	remaining := n
 
-	drs := make([]int, 0, n)
+	drs := sc.drs[:0]
 	for cycle := 0; remaining > 0; cycle++ {
 		// Form a new long instruction.
 		slots := classSlots()
 		firstMem := -1
 		remBefore := remaining
-		// recorded[i] notes a pairing event already emitted for op i in
-		// this cycle, so the in-cycle fixed point below does not count
-		// the same blocked pair twice.
-		recorded := make(map[int]bool)
+		// The epoch stamp notes a pairing event already emitted for an
+		// op in this cycle, so the in-cycle fixed point below does not
+		// count the same blocked pair twice.
+		sc.epoch++
+		if sc.epoch == 0 {
+			clear(sc.recorded)
+			sc.epoch = 1
+		}
 
 		// Fill the instruction to a fixed point, mirroring the real
 		// scheduler: newly anti-dependence-ready operations may join
@@ -288,9 +403,7 @@ func (g *Graph) ScanBlock(b *ir.Block, policy WeightPolicy) {
 			}
 			// Sort the DRS by priority (descendant count), ties by
 			// program order for determinism.
-			sort.SliceStable(drs, func(x, y int) bool {
-				return dg.Priority[drs[x]] > dg.Priority[drs[y]]
-			})
+			ddg.SortByPriority(drs, dg.Priority)
 
 			progress := false
 			for _, i := range drs {
@@ -327,8 +440,8 @@ func (g *Graph) ScanBlock(b *ir.Block, policy WeightPolicy) {
 				// interference, or mark the symbol for duplication when
 				// both ops touch the same one. The op stays unscheduled
 				// so it re-enters the next DRS.
-				if dg.Ops[i].IsMem() && firstMem >= 0 && !recorded[i] {
-					recorded[i] = true
+				if dg.Ops[i].IsMem() && firstMem >= 0 && sc.recorded[i] != sc.epoch {
+					sc.recorded[i] = sc.epoch
 					g.addEvent(dg.Ops[firstMem].Sym, dg.Ops[i].Sym, b, policy)
 				}
 			}
@@ -342,4 +455,5 @@ func (g *Graph) ScanBlock(b *ir.Block, policy WeightPolicy) {
 			break
 		}
 	}
+	sc.drs = drs[:0]
 }

@@ -1,14 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
-
-	"dualbank/internal/ir"
 )
 
-// This file provides two alternative graph partitioners used to
-// validate the paper's choice of the simple greedy algorithm:
+// This file provides alternative graph partitioners used to validate
+// the paper's choice of the simple greedy algorithm:
 //
 //   - PartitionKL refines the greedy result with Kernighan–Lin-style
 //     passes (the paper notes "other algorithms, such as graph
@@ -18,8 +17,11 @@ import (
 //     the paper's related-work section discusses; the Princeton study
 //     found annealing performed no better than a greedy heuristic, a
 //     result this reproduction's tests confirm on the benchmark suite.
+//   - PartitionFM (partition_fm.go) is the fast path: a gain-bucket
+//     Fiduccia–Mattheyses partitioner that reproduces the greedy walk
+//     in near-linear time and then refines it.
 //
-// Both are deterministic (the annealer takes an explicit seed).
+// All are deterministic (the annealer takes an explicit seed).
 
 // Method selects a partitioning algorithm.
 type Method int8
@@ -31,6 +33,11 @@ const (
 	MethodKL
 	// MethodAnneal is simulated annealing.
 	MethodAnneal
+	// MethodFM is the gain-bucket Fiduccia–Mattheyses partitioner:
+	// the greedy walk replayed with O(1) best-move extraction and
+	// O(degree) incremental gain updates, followed by FM refinement
+	// passes. Never worse than greedy, asymptotically faster.
+	MethodFM
 )
 
 func (m Method) String() string {
@@ -39,8 +46,25 @@ func (m Method) String() string {
 		return "kl"
 	case MethodAnneal:
 		return "anneal"
+	case MethodFM:
+		return "fm"
 	}
 	return "greedy"
+}
+
+// ParseMethod parses a partitioner name as printed by Method.String.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "greedy":
+		return MethodGreedy, nil
+	case "kl":
+		return MethodKL, nil
+	case "anneal":
+		return MethodAnneal, nil
+	case "fm":
+		return MethodFM, nil
+	}
+	return 0, fmt.Errorf("core: unknown partition method %q (want greedy, kl, anneal, or fm)", s)
 }
 
 // PartitionWith partitions the graph with the chosen method.
@@ -50,64 +74,11 @@ func (g *Graph) PartitionWith(m Method) *Partition {
 		return g.PartitionKL()
 	case MethodAnneal:
 		return g.PartitionAnneal(1)
+	case MethodFM:
+		return g.PartitionFM()
 	default:
 		return g.Partition()
 	}
-}
-
-type adjEntry struct {
-	to int
-	w  int64
-}
-
-func (g *Graph) adjacency() ([][]adjEntry, int64) {
-	n := len(g.Nodes)
-	adj := make([][]adjEntry, n)
-	var total int64
-	for k, w := range g.weights {
-		adj[k[0]] = append(adj[k[0]], adjEntry{k[1], w})
-		adj[k[1]] = append(adj[k[1]], adjEntry{k[0], w})
-		total += w
-	}
-	return adj, total
-}
-
-// cutCost returns the weight of edges whose endpoints share a side.
-func cutCost(adj [][]adjEntry, inY []bool) int64 {
-	var cost int64
-	for i := range adj {
-		for _, a := range adj[i] {
-			if a.to > i && inY[a.to] == inY[i] {
-				cost += a.w
-			}
-		}
-	}
-	return cost
-}
-
-func (g *Graph) partitionFrom(inY []bool, adj [][]adjEntry) *Partition {
-	p := &Partition{Cost: cutCost(adj, inY)}
-	for i, s := range g.Nodes {
-		if inY[i] {
-			p.SetY = append(p.SetY, s)
-		} else {
-			p.SetX = append(p.SetX, s)
-		}
-	}
-	return p
-}
-
-// moveGain is the cost decrease from flipping node i.
-func moveGain(adj [][]adjEntry, inY []bool, i int) int64 {
-	var same, cross int64
-	for _, a := range adj[i] {
-		if inY[a.to] == inY[i] {
-			same += a.w
-		} else {
-			cross += a.w
-		}
-	}
-	return same - cross
 }
 
 // PartitionKL runs the greedy algorithm and then Kernighan–Lin
@@ -117,14 +88,10 @@ func moveGain(adj [][]adjEntry, inY []bool, i int) int64 {
 func (g *Graph) PartitionKL() *Partition {
 	greedy := g.Partition()
 	n := len(g.Nodes)
-	adj, _ := g.adjacency()
+	c := g.CSR()
 	inY := make([]bool, n)
-	idx := make(map[*ir.Symbol]int, n)
-	for i, s := range g.Nodes {
-		idx[s] = i
-	}
 	for _, s := range greedy.SetY {
-		inY[idx[s]] = true
+		inY[g.index[s]] = true
 	}
 	cost := greedy.Cost
 
@@ -141,7 +108,7 @@ func (g *Graph) PartitionKL() *Partition {
 				if locked[i] {
 					continue
 				}
-				if gn := moveGain(adj, state, i); gn > bg {
+				if gn := c.moveGain(state, i); gn > bg {
 					bi, bg = i, gn
 				}
 			}
@@ -165,7 +132,7 @@ func (g *Graph) PartitionKL() *Partition {
 		}
 		cost = best
 	}
-	p := g.partitionFrom(inY, adj)
+	p := g.partitionFrom(inY)
 	p.Trace = []int64{greedy.Cost, p.Cost}
 	return p
 }
@@ -174,10 +141,11 @@ func (g *Graph) PartitionKL() *Partition {
 // cooling schedule. The seed makes it deterministic.
 func (g *Graph) PartitionAnneal(seed int64) *Partition {
 	n := len(g.Nodes)
-	adj, total := g.adjacency()
+	c := g.CSR()
+	total := c.Total
 	rng := rand.New(rand.NewSource(seed))
 	inY := make([]bool, n)
-	cost := cutCost(adj, inY)
+	cost := c.cutCost(inY)
 	bestY := append([]bool(nil), inY...)
 	best := cost
 
@@ -187,7 +155,7 @@ func (g *Graph) PartitionAnneal(seed int64) *Partition {
 		for ; temp > 0.01; temp *= cooling {
 			for step := 0; step < 4*n; step++ {
 				i := rng.Intn(n)
-				gain := moveGain(adj, inY, i)
+				gain := c.moveGain(inY, i)
 				if gain >= 0 || rng.Float64() < math.Exp(float64(gain)/temp) {
 					inY[i] = !inY[i]
 					cost -= gain
@@ -199,7 +167,7 @@ func (g *Graph) PartitionAnneal(seed int64) *Partition {
 			}
 		}
 	}
-	p := g.partitionFrom(bestY, adj)
+	p := g.partitionFrom(bestY)
 	p.Trace = []int64{total, p.Cost}
 	return p
 }

@@ -20,9 +20,8 @@ func randomGraph(rng *rand.Rand, n, edges int) *Graph {
 		if i == j {
 			continue
 		}
-		k := g.key(syms[i], syms[j])
-		if _, ok := g.weights[k]; !ok {
-			g.weights[k] = int64(rng.Intn(5) + 1)
+		if g.Weight(syms[i], syms[j]) == 0 {
+			g.SetWeight(syms[i], syms[j], int64(rng.Intn(5)+1))
 		}
 	}
 	return g
@@ -53,7 +52,7 @@ func TestKLFindsOptimumGreedyMisses(t *testing.T) {
 	// cuts bc, da, ac -> leaves ab, cd = cost 2.
 	syms := []*ir.Symbol{sym("a"), sym("b"), sym("c"), sym("d")}
 	g := NewGraph(syms)
-	set := func(i, j int, w int64) { g.weights[g.key(syms[i], syms[j])] = w }
+	set := func(i, j int, w int64) { g.SetWeight(syms[i], syms[j], w) }
 	set(0, 1, 1)
 	set(1, 2, 1)
 	set(2, 3, 1)
@@ -74,8 +73,8 @@ func TestAnnealValidAndDecent(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		g := randomGraph(rng, 4+rng.Intn(10), 2+rng.Intn(30))
 		var total int64
-		for _, w := range g.weights {
-			total += w
+		for _, e := range g.edges {
+			total += e.w
 		}
 		an := g.PartitionAnneal(int64(trial))
 		if an.Cost > total {
@@ -122,7 +121,7 @@ func TestMethodsProduceValidPartitions(t *testing.T) {
 	f := func(seed int64, nn uint8, ne uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomGraph(rng, 2+int(nn%14), int(ne%50))
-		for _, m := range []Method{MethodGreedy, MethodKL, MethodAnneal} {
+		for _, m := range []Method{MethodGreedy, MethodKL, MethodAnneal, MethodFM} {
 			p := g.PartitionWith(m)
 			seen := map[*ir.Symbol]bool{}
 			for _, s := range append(append([]*ir.Symbol{}, p.SetX...), p.SetY...) {

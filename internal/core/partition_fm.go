@@ -1,0 +1,325 @@
+package core
+
+// PartitionFM is the fast compile path's partitioner: a
+// Fiduccia–Mattheyses-style gain-bucket bipartitioner.
+//
+// Phase 1 replays the paper's greedy walk (Figure 5) exactly — same
+// moves, same tie-breaks, same trace — but with incremental gain
+// maintenance: instead of recomputing every node's move delta from
+// scratch each round (the O(v²) inner loop of Graph.Partition), node
+// gains live in a gain-bucket structure with O(1) best-move extraction
+// and O(degree) updates per move, making the walk O(V + E + moves·deg).
+//
+// Phase 2 runs classic FM refinement passes: every node is tentatively
+// flipped once in best-gain order (negative gains allowed, so the pass
+// can climb out of the greedy walk's local optimum), the best prefix
+// of flips is kept, and passes repeat until one fails to strictly
+// improve the cut. Because phase 1 reproduces greedy exactly and
+// phase 2 only ever commits strict improvements, PartitionFM is never
+// worse than Partition, and produces the *identical* bank image
+// whenever it cannot improve on it — the property the differential
+// tests pin.
+
+const fmMaxPasses = 8
+
+// PartitionFM bipartitions the graph with the gain-bucket algorithm.
+func (g *Graph) PartitionFM() *Partition {
+	n := len(g.Nodes)
+	c := g.CSR()
+	inY := make([]bool, n)
+	gain := make([]int64, n)
+
+	var pmax int64
+	for i := 0; i < n; i++ {
+		if d := c.weightedDegree(i); d > pmax {
+			pmax = d
+		}
+	}
+	var q gainQueue
+	q.init(n, pmax)
+
+	// Phase 1: the greedy walk with incremental gains. A node's gain
+	// starts as its weighted degree (everything is on side X), and
+	// moving b to Y lowers each still-X neighbour's gain by 2w.
+	cost := c.Total
+	trace := []int64{cost}
+	for i := 0; i < n; i++ {
+		gain[i] = c.weightedDegree(i)
+		q.insert(int32(i), gain[i])
+	}
+	for {
+		b, ok := q.popMax(true)
+		if !ok {
+			break
+		}
+		inY[b] = true
+		cost -= gain[b]
+		trace = append(trace, cost)
+		for h := c.Start[b]; h < c.Start[b+1]; h++ {
+			a := c.Adj[h]
+			if inY[a] {
+				continue
+			}
+			gain[a] -= 2 * c.W[h]
+			q.update(a, gain[a])
+		}
+	}
+
+	// Phase 2: FM refinement passes over the phase-1 partition.
+	state := make([]bool, n)
+	locked := make([]bool, n)
+	flips := make([]int32, 0, n)
+	for pass := 0; pass < fmMaxPasses; pass++ {
+		copy(state, inY)
+		for i := range locked {
+			locked[i] = false
+		}
+		q.reset()
+		for i := 0; i < n; i++ {
+			gain[i] = c.moveGain(state, i)
+			q.insert(int32(i), gain[i])
+		}
+		cur, best, bestPrefix := cost, cost, 0
+		flips = flips[:0]
+		for {
+			b, ok := q.popMax(false)
+			if !ok {
+				break
+			}
+			state[b] = !state[b]
+			locked[b] = true
+			cur -= gain[b]
+			flips = append(flips, b)
+			if cur < best {
+				best, bestPrefix = cur, len(flips)
+			}
+			for h := c.Start[b]; h < c.Start[b+1]; h++ {
+				a := c.Adj[h]
+				if locked[a] {
+					continue
+				}
+				if state[a] == state[b] {
+					gain[a] += 2 * c.W[h]
+				} else {
+					gain[a] -= 2 * c.W[h]
+				}
+				q.update(a, gain[a])
+			}
+		}
+		if best >= cost {
+			break
+		}
+		for _, i := range flips[:bestPrefix] {
+			inY[i] = !inY[i]
+		}
+		cost = best
+	}
+
+	p := g.partitionFrom(inY)
+	p.Trace = trace
+	return p
+}
+
+// gainQueue is the FM gain structure: a bucket array indexed by gain
+// (offset by the maximum weighted degree) holding intrusive
+// doubly-linked lists of nodes, with a monotone-repair pointer to the
+// highest occupied bucket. Extraction finds the best bucket in
+// amortised O(1); ties inside a bucket are broken towards the highest
+// node index (matching the greedy walk's published tie-break) by a
+// scan of that bucket.
+//
+// Profile-weighted graphs can have gain ranges far too wide for a
+// bucket per distinct gain; past bucketRangeLimit the queue degrades
+// to a lazy binary max-heap with the same ordering (O(log n)
+// extraction), keeping behaviour identical.
+type gainQueue struct {
+	n   int
+	off int64 // bucket index = gain + off
+
+	// Bucket mode.
+	buckets    []int32 // head node of each gain bucket, -1 if empty
+	prev, next []int32
+	maxB       int
+
+	// Heap fallback for very wide gain ranges.
+	useHeap bool
+	heap    []heapEnt
+
+	inQ  []bool
+	gain []int64 // the queue's view of each node's current gain
+}
+
+type heapEnt struct {
+	g int64
+	i int32
+}
+
+// bucketRangeLimit caps the bucket array at 2M entries (8 MiB of
+// heads); gain ranges beyond this use the heap fallback.
+const bucketRangeLimit = 1 << 21
+
+func (q *gainQueue) init(n int, pmax int64) {
+	q.n = n
+	q.off = pmax
+	q.inQ = make([]bool, n)
+	q.gain = make([]int64, n)
+	if r := 2*pmax + 1; r <= bucketRangeLimit {
+		q.buckets = make([]int32, r)
+		for i := range q.buckets {
+			q.buckets[i] = -1
+		}
+		q.prev = make([]int32, n)
+		q.next = make([]int32, n)
+		q.maxB = -1
+	} else {
+		q.useHeap = true
+		q.heap = make([]heapEnt, 0, n)
+	}
+}
+
+// reset empties the queue for reuse.
+func (q *gainQueue) reset() {
+	for i := range q.inQ {
+		q.inQ[i] = false
+	}
+	if q.useHeap {
+		q.heap = q.heap[:0]
+		return
+	}
+	for i := range q.buckets {
+		q.buckets[i] = -1
+	}
+	q.maxB = -1
+}
+
+func (q *gainQueue) insert(i int32, g int64) {
+	q.inQ[i] = true
+	q.gain[i] = g
+	if q.useHeap {
+		q.push(heapEnt{g, i})
+		return
+	}
+	b := int(g + q.off)
+	q.prev[i] = -1
+	q.next[i] = q.buckets[b]
+	if q.next[i] >= 0 {
+		q.prev[q.next[i]] = i
+	}
+	q.buckets[b] = i
+	if b > q.maxB {
+		q.maxB = b
+	}
+}
+
+// update moves node i to its new gain bucket; a no-op if i has already
+// been extracted.
+func (q *gainQueue) update(i int32, g int64) {
+	if !q.inQ[i] {
+		return
+	}
+	if q.useHeap {
+		q.gain[i] = g
+		q.push(heapEnt{g, i}) // lazy: stale entries are skipped on pop
+		return
+	}
+	q.unlink(i)
+	q.insert(i, g)
+}
+
+func (q *gainQueue) unlink(i int32) {
+	if q.prev[i] >= 0 {
+		q.next[q.prev[i]] = q.next[i]
+	} else {
+		q.buckets[q.gain[i]+q.off] = q.next[i]
+	}
+	if q.next[i] >= 0 {
+		q.prev[q.next[i]] = q.prev[i]
+	}
+}
+
+// popMax extracts the node with the highest gain, ties towards the
+// highest node index. With positiveOnly it refuses (and keeps) a best
+// node whose gain is not strictly positive — the greedy walk's
+// stopping rule.
+func (q *gainQueue) popMax(positiveOnly bool) (int32, bool) {
+	if q.useHeap {
+		return q.heapPop(positiveOnly)
+	}
+	for q.maxB >= 0 && q.buckets[q.maxB] < 0 {
+		q.maxB--
+	}
+	if q.maxB < 0 || (positiveOnly && int64(q.maxB)-q.off <= 0) {
+		return 0, false
+	}
+	best := q.buckets[q.maxB]
+	for i := q.next[best]; i >= 0; i = q.next[i] {
+		if i > best {
+			best = i
+		}
+	}
+	q.unlink(best)
+	q.inQ[best] = false
+	return best, true
+}
+
+// Heap fallback: a binary max-heap ordered by (gain, index) with lazy
+// deletion — update pushes a fresh entry and pop discards entries
+// whose recorded gain no longer matches the node's current gain.
+func (q *gainQueue) push(e heapEnt) {
+	q.heap = append(q.heap, e)
+	i := len(q.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entLess(q.heap[p], q.heap[i]) {
+			break
+		}
+		q.heap[p], q.heap[i] = q.heap[i], q.heap[p]
+		i = p
+	}
+}
+
+func entLess(a, b heapEnt) bool {
+	if a.g != b.g {
+		return a.g < b.g
+	}
+	return a.i < b.i
+}
+
+func (q *gainQueue) heapPop(positiveOnly bool) (int32, bool) {
+	for len(q.heap) > 0 {
+		top := q.heap[0]
+		if !q.inQ[top.i] || q.gain[top.i] != top.g {
+			q.discardTop() // stale
+			continue
+		}
+		if positiveOnly && top.g <= 0 {
+			return 0, false
+		}
+		q.discardTop()
+		q.inQ[top.i] = false
+		return top.i, true
+	}
+	return 0, false
+}
+
+func (q *gainQueue) discardTop() {
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l <= last-1 && entLess(q.heap[big], q.heap[l]) {
+			big = l
+		}
+		if r <= last-1 && entLess(q.heap[big], q.heap[r]) {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		q.heap[i], q.heap[big] = q.heap[big], q.heap[i]
+		i = big
+	}
+}

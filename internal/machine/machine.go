@@ -120,18 +120,32 @@ func (c Class) String() string {
 	return fmt.Sprintf("Class(%d)", int8(c))
 }
 
+// Shared unit-preference slices: UnitsOf and UnitsForBank sit on the
+// scheduler's per-operation hot path, so they hand out preallocated
+// slices instead of building a fresh literal per call. Callers must
+// treat the returned slices as read-only.
+var (
+	unitsControl = []Unit{PCU}
+	unitsMemory  = []Unit{MU0, MU1}
+	unitsInteger = []Unit{DU0, DU1, AU0, AU1}
+	unitsFloat   = []Unit{FPU0, FPU1}
+	unitsMU0     = []Unit{MU0}
+	unitsMU1     = []Unit{MU1}
+)
+
 // UnitsOf returns the functional units that can execute operations of
-// class c, in the order the scheduler should try them.
+// class c, in the order the scheduler should try them. The returned
+// slice is shared; callers must not modify it.
 func UnitsOf(c Class) []Unit {
 	switch c {
 	case ClassControl:
-		return []Unit{PCU}
+		return unitsControl
 	case ClassMemory:
-		return []Unit{MU0, MU1}
+		return unitsMemory
 	case ClassInteger:
-		return []Unit{DU0, DU1, AU0, AU1}
+		return unitsInteger
 	case ClassFloat:
-		return []Unit{FPU0, FPU1}
+		return unitsFloat
 	}
 	return nil
 }
@@ -193,19 +207,20 @@ func (p PortModel) String() string {
 }
 
 // UnitForBank returns the memory units that may carry an access to the
-// given bank under the port model.
+// given bank under the port model. The returned slice is shared;
+// callers must not modify it.
 func (p PortModel) UnitsForBank(b Bank) []Unit {
 	if p == PortsDualPorted || p == PortsLowOrder || b == BankBoth {
-		return []Unit{MU0, MU1}
+		return unitsMemory
 	}
 	switch b {
 	case BankX:
-		return []Unit{MU0}
+		return unitsMU0
 	case BankY:
-		return []Unit{MU1}
+		return unitsMU1
 	}
 	// Unassigned data lives in bank X (the baseline single-bank layout).
-	return []Unit{MU0}
+	return unitsMU0
 }
 
 // BankOfUnit reports which bank a memory unit accesses under the banked

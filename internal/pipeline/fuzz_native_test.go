@@ -1,0 +1,131 @@
+package pipeline
+
+// Native go-fuzz entry points over the generator-based differential
+// tests: the fuzz engine explores the int64 seed space that drives the
+// random-program generators, and every seed is checked the same way
+// the deterministic property tests check their fixed seed ranges —
+// compile under several allocation modes, execute, and compare every
+// output word against the mirrored Go evaluator. Seed corpora live in
+// testdata/fuzz/<target>/; CI runs each target briefly
+// (go test -fuzz <target> -fuzztime 10s) as a smoke check.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dualbank/internal/compact"
+)
+
+// checkSeedProgram runs the scalar-program differential check for one
+// generator seed.
+func checkSeedProgram(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	src, want := genProgram(rng)
+	for _, mode := range fuzzModes {
+		c, err := Compile(src, fmt.Sprintf("fuzz%d", seed), Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("seed %d mode %v: compile: %v\nsource:\n%s", seed, mode, err, src)
+		}
+		if err := compact.Validate(c.Sched); err != nil {
+			t.Fatalf("seed %d mode %v: schedule: %v\nsource:\n%s", seed, mode, err, src)
+		}
+		m, err := c.Run()
+		if err != nil {
+			t.Fatalf("seed %d mode %v: run: %v\nsource:\n%s", seed, mode, err, src)
+		}
+		out := c.Global("out")
+		for i, w := range want {
+			got, err := m.Int32(out, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != w {
+				t.Fatalf("seed %d mode %v: out[%d] = %d, want %d\nsource:\n%s",
+					seed, mode, i, got, w, src)
+			}
+		}
+	}
+}
+
+func FuzzRandomPrograms(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(checkSeedProgram)
+}
+
+// checkSeedArrayProgram runs the array-program differential check for
+// one generator seed.
+func checkSeedArrayProgram(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	src, want := genArrayProgram(rng)
+	for _, mode := range fuzzModes {
+		c, err := Compile(src, fmt.Sprintf("afuzz%d", seed), Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("seed %d mode %v: compile: %v\nsource:\n%s", seed, mode, err, src)
+		}
+		m, err := c.Run()
+		if err != nil {
+			t.Fatalf("seed %d mode %v: run: %v\nsource:\n%s", seed, mode, err, src)
+		}
+		for a := 0; a < arrCount; a++ {
+			g := c.Global(fmt.Sprintf("m%d", a))
+			for i := 0; i < arrSize; i++ {
+				got, err := m.Int32(g, i)
+				if err != nil {
+					t.Fatalf("seed %d mode %v: %v", seed, mode, err)
+				}
+				if got != want.arrs[a][i] {
+					t.Fatalf("seed %d mode %v: m%d[%d] = %d, want %d\nsource:\n%s",
+						seed, mode, a, i, got, want.arrs[a][i], src)
+				}
+			}
+		}
+	}
+}
+
+func FuzzRandomArrayPrograms(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(checkSeedArrayProgram)
+}
+
+// checkSeedFloatProgram runs the float-program differential check for
+// one generator seed, comparing bit patterns (NaN == NaN).
+func checkSeedFloatProgram(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	src, want := genFloatProgram(rng)
+	for _, mode := range fuzzModes {
+		c, err := Compile(src, fmt.Sprintf("ffuzz%d", seed), Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("seed %d mode %v: compile: %v\nsource:\n%s", seed, mode, err, src)
+		}
+		m, err := c.Run()
+		if err != nil {
+			t.Fatalf("seed %d mode %v: run: %v\nsource:\n%s", seed, mode, err, src)
+		}
+		out := c.Global("out")
+		for i, w := range want {
+			got, err := m.Float32(out, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			same := math.Float32bits(got) == math.Float32bits(w) ||
+				(got != got && w != w) // both NaN
+			if !same {
+				t.Fatalf("seed %d mode %v: out[%d] = %v (%#x), want %v (%#x)\nsource:\n%s",
+					seed, mode, i, got, math.Float32bits(got), w, math.Float32bits(w), src)
+			}
+		}
+	}
+}
+
+func FuzzRandomFloatPrograms(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(checkSeedFloatProgram)
+}

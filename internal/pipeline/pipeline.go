@@ -42,9 +42,26 @@ type Compiled struct {
 	Regs  map[string]regalloc.Stats
 }
 
+// Compiler carries the reusable scratch state of the back-end passes —
+// the interference-graph scanner and the list scheduler's arena — so a
+// driver compiling many (program, mode) pairs back to back reaches a
+// steady state where the hot passes allocate only their retained
+// output. The zero value is ready to use. A Compiler is not safe for
+// concurrent use; give each worker goroutine its own.
+type Compiler struct {
+	scanner core.Scanner
+	scratch compact.Scratch
+}
+
 // Compile builds source (a MiniC translation unit) into scheduled VLIW
 // code under the given options.
 func Compile(source, name string, o Options) (*Compiled, error) {
+	return new(Compiler).Compile(source, name, o)
+}
+
+// Compile builds source into scheduled VLIW code, reusing the
+// compiler's scratch state.
+func (cc *Compiler) Compile(source, name string, o Options) (*Compiled, error) {
 	file, err := minic.Parse(source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
@@ -76,7 +93,7 @@ func Compile(source, name string, o Options) (*Compiled, error) {
 		}
 	}
 
-	allocOpts := alloc.Options{Mode: o.Mode, InterruptSafe: o.InterruptSafe, Method: o.Partitioner}
+	allocOpts := alloc.Options{Mode: o.Mode, InterruptSafe: o.InterruptSafe, Method: o.Partitioner, Scanner: &cc.scanner}
 	if o.DupOnly != nil {
 		filter := o.DupOnly
 		allocOpts.DupFilter = func(s *ir.Symbol) bool { return filter[s.Name] }
@@ -85,7 +102,7 @@ func Compile(source, name string, o Options) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	sched, err := compact.Schedule(prog, compact.Config{Ports: allocRes.Ports})
+	sched, err := compact.ScheduleWith(prog, compact.Config{Ports: allocRes.Ports}, &cc.scratch)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
