@@ -31,70 +31,81 @@ var modeNames = map[string]alloc.Mode{
 }
 
 func main() {
-	mode := flag.String("mode", "cb", "data allocation mode: single, cb, pr, dup, fulldup, ideal, loworder")
-	dump := flag.String("dump", "asm", "what to print: ir, graph, asm, stats, advise, all")
-	out := flag.String("o", "", "write a binary ROM image to this file (run it with dspsim -image)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and exit code, so the smoke
+// tests can drive the whole driver in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dspcc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "cb", "data allocation mode: single, cb, pr, dup, fulldup, ideal, loworder")
+	dump := fs.String("dump", "asm", "what to print: ir, graph, asm, stats, advise, all")
+	out := fs.String("o", "", "write a binary ROM image to this file (run it with dspsim -image)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	m, ok := modeNames[*mode]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "dspcc: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dspcc: unknown mode %q\n", *mode)
+		return 2
 	}
-	src, name, err := readSource(flag.Args())
+	src, name, err := readSource(fs.Args(), stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dspcc:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "dspcc:", err)
+		return 1
 	}
 	c, err := pipeline.Compile(src, name, pipeline.Options{Mode: m})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dspcc:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "dspcc:", err)
+		return 1
 	}
 	if *out != "" {
 		img, err := encode.Encode(c.Sched)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dspcc:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "dspcc:", err)
+			return 1
 		}
 		if err := os.WriteFile(*out, img, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "dspcc:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "dspcc:", err)
+			return 1
 		}
-		fmt.Printf("wrote %s (%d bytes, %d instructions)\n", *out, len(img), c.Sched.StaticInstrs())
+		fmt.Fprintf(stdout, "wrote %s (%d bytes, %d instructions)\n", *out, len(img), c.Sched.StaticInstrs())
 	}
 	show := func(what string) bool { return *dump == what || *dump == "all" }
 	if show("ir") {
-		fmt.Print(c.IR.String())
+		fmt.Fprint(stdout, c.IR.String())
 	}
 	if show("graph") {
 		if c.Alloc.Graph != nil {
-			fmt.Println("interference graph:")
-			fmt.Print(c.Alloc.Graph.String())
-			fmt.Println("partition:")
-			fmt.Println(c.Alloc.Part.String())
+			fmt.Fprintln(stdout, "interference graph:")
+			fmt.Fprint(stdout, c.Alloc.Graph.String())
+			fmt.Fprintln(stdout, "partition:")
+			fmt.Fprintln(stdout, c.Alloc.Part.String())
 		} else {
-			fmt.Printf("mode %s builds no interference graph\n", c.Alloc.Mode)
+			fmt.Fprintf(stdout, "mode %s builds no interference graph\n", c.Alloc.Mode)
 		}
 	}
 	if show("asm") {
-		fmt.Print(asm.Print(c.Sched))
+		fmt.Fprint(stdout, asm.Print(c.Sched))
 	}
 	if show("advise") {
-		fmt.Print(advise.Report(c))
+		fmt.Fprint(stdout, advise.Report(c))
 	}
 	if show("stats") || show("all") {
-		fmt.Printf("\n; mode=%s dupStores=%d X=%d+%d Y=%d+%d words\n",
+		fmt.Fprintf(stdout, "\n; mode=%s dupStores=%d X=%d+%d Y=%d+%d words\n",
 			c.Alloc.Mode, c.Alloc.DupStores,
 			c.Alloc.DupWords+c.Alloc.GlobalX, c.Alloc.StackX,
 			c.Alloc.DupWords+c.Alloc.GlobalY, c.Alloc.StackY)
-		fmt.Print(c.Sched.StaticStats())
+		fmt.Fprint(stdout, c.Sched.StaticStats())
 	}
+	return 0
 }
 
-func readSource(args []string) (src, name string, err error) {
+func readSource(args []string, stdin io.Reader) (src, name string, err error) {
 	if len(args) == 0 || args[0] == "-" {
-		b, err := io.ReadAll(os.Stdin)
+		b, err := io.ReadAll(stdin)
 		return string(b), "stdin", err
 	}
 	b, err := os.ReadFile(args[0])

@@ -1,0 +1,103 @@
+// Command dspservd serves the dual-bank compile-and-simulate pipeline
+// over HTTP/JSON: POST a benchmark name or MiniC source plus an
+// allocation mode, get back the cycle count, memory footprint, and
+// duplication stats of one measurement. Requests run on a bounded
+// worker pool with per-request deadlines honored down to the
+// simulator's basic-block boundaries; named-benchmark results are
+// memoized behind a single-flight cache.
+//
+// Endpoints:
+//
+//	POST /v1/run        {"bench":"fir_256_64","mode":"CB","timeout_ms":5000}
+//	GET  /v1/benchmarks benchmark, mode, and partitioner inventory
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition
+//	     /debug/pprof/  the standard profiling endpoints
+//
+// Usage:
+//
+//	dspservd [-addr :8357] [-workers N] [-queue N]
+//	         [-timeout 10s] [-max-timeout 60s] [-max-source 1048576]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dualbank/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and exit code, so smoke tests
+// can drive the full server lifecycle in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dspservd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8357", "listen address")
+	workers := fs.Int("workers", 0, "worker pool width (default GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "accepted-but-unstarted job bound (default 2x workers)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline when the request sets none")
+	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "upper clamp on requested deadlines")
+	maxSource := fs.Int("max-source", 1<<20, "source size cap in bytes")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxSourceBytes: *maxSource,
+	})
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "dspservd:", err)
+		return 1
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "dspservd: listening on %s (workers=%d)\n", ln.Addr(), s.Pool().Workers())
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "dspservd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight handlers
+	// within the budget, then cancel whatever is still running by
+	// closing the pool (the deferred Close).
+	fmt.Fprintln(stdout, "dspservd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "dspservd:", err)
+		return 1
+	}
+	return 0
+}

@@ -34,29 +34,39 @@ var modeNames = map[string]alloc.Mode{
 }
 
 func main() {
-	mode := flag.String("mode", "cb", "data allocation mode: single, cb, pr, dup, fulldup, ideal, loworder")
-	print := flag.String("print", "", "comma-separated globals to dump after the run (name or name:count)")
-	image := flag.Bool("image", false, "the input is a binary ROM image produced by dspcc -o")
-	trace := flag.Bool("trace", false, "print one line per retired long instruction")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and exit code, so the smoke
+// tests can drive the whole simulator driver in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dspsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "cb", "data allocation mode: single, cb, pr, dup, fulldup, ideal, loworder")
+	print := fs.String("print", "", "comma-separated globals to dump after the run (name or name:count)")
+	image := fs.Bool("image", false, "the input is a binary ROM image produced by dspcc -o")
+	trace := fs.Bool("trace", false, "print one line per retired long instruction")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	m, ok := modeNames[*mode]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "dspsim: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dspsim: unknown mode %q\n", *mode)
+		return 2
 	}
 	var data []byte
 	var err error
 	name := "stdin"
-	if flag.NArg() == 0 || flag.Arg(0) == "-" {
-		data, err = io.ReadAll(os.Stdin)
+	if fs.NArg() == 0 || fs.Arg(0) == "-" {
+		data, err = io.ReadAll(stdin)
 	} else {
-		name = flag.Arg(0)
+		name = fs.Arg(0)
 		data, err = os.ReadFile(name)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dspsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "dspsim:", err)
+		return 1
 	}
 
 	var sched *compact.Program
@@ -64,15 +74,15 @@ func main() {
 	if *image {
 		sched, err = encode.Decode(data)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dspsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "dspsim:", err)
+			return 1
 		}
 		globals = sched.Src.Globals
 	} else {
 		c, err := pipeline.Compile(string(data), name, pipeline.Options{Mode: m})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dspsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "dspsim:", err)
+			return 1
 		}
 		sched = c.Sched
 		globals = c.IR.Globals
@@ -80,18 +90,18 @@ func main() {
 
 	mach := sim.NewMachine(sched)
 	if *trace {
-		mach.Trace = os.Stdout
+		mach.Trace = stdout
 	}
 	if err := mach.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, "dspsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "dspsim:", err)
+		return 1
 	}
-	fmt.Printf("ports=%-11s cycles=%d ops=%d instrs=%d dualmem=%d conflicts=%d\n",
+	fmt.Fprintf(stdout, "ports=%-11s cycles=%d ops=%d instrs=%d dualmem=%d conflicts=%d\n",
 		sched.Ports, mach.Cycles, mach.OpsExecuted, sched.StaticInstrs(),
 		mach.DualMemCycles, mach.BankConflicts)
 
 	if *print == "" {
-		return
+		return 0
 	}
 	byName := func(n string) *ir.Symbol {
 		for _, g := range globals {
@@ -111,22 +121,23 @@ func main() {
 		}
 		g := byName(gname)
 		if g == nil {
-			fmt.Fprintf(os.Stderr, "dspsim: no global %q\n", gname)
+			fmt.Fprintf(stderr, "dspsim: no global %q\n", gname)
 			continue
 		}
 		if count > g.Size {
 			count = g.Size
 		}
-		fmt.Printf("%s[0:%d] =", gname, count)
+		fmt.Fprintf(stdout, "%s[0:%d] =", gname, count)
 		for i := 0; i < count; i++ {
 			if g.Elem == ir.TFloat {
 				v, _ := mach.Float32(g, i)
-				fmt.Printf(" %g", v)
+				fmt.Fprintf(stdout, " %g", v)
 			} else {
 				v, _ := mach.Int32(g, i)
-				fmt.Printf(" %d", v)
+				fmt.Fprintf(stdout, " %d", v)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }

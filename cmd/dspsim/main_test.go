@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dualbank/internal/encode"
+	"dualbank/internal/pipeline"
+)
+
+const smokeSource = `
+int x[4] = {1, 2, 3, 4};
+int y[4] = {10, 20, 30, 40};
+int z[4];
+void main() {
+	int i;
+	for (i = 0; i < 4; i++) {
+		z[i] = x[i] + y[i];
+	}
+}
+`
+
+func TestRunSimulatesAndPrints(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "add.c")
+	if err := os.WriteFile(src, []byte(smokeSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"single", "cb", "dup", "ideal", "loworder"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-mode", mode, "-print", "z:4", src}, strings.NewReader(""), &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("mode %s: exit %d, stderr: %s", mode, code, stderr.String())
+		}
+		out := stdout.String()
+		if !strings.Contains(out, "cycles=") {
+			t.Errorf("mode %s: no cycle report: %q", mode, out)
+		}
+		if !strings.Contains(out, "z[0:4] = 11 22 33 44") {
+			t.Errorf("mode %s: wrong z dump: %q", mode, out)
+		}
+	}
+}
+
+func TestRunFromStdinWithTrace(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-trace", "-"}, strings.NewReader(smokeSource), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "main b") {
+		t.Errorf("no trace lines: %q", stdout.String())
+	}
+}
+
+// TestRunROMImage checks the dspcc -o / dspsim -image contract: a
+// decoded ROM image must simulate to the same answer as source.
+func TestRunROMImage(t *testing.T) {
+	c, err := pipeline.Compile(smokeSource, "add", pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := encode.Encode(c.Sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rom := filepath.Join(t.TempDir(), "add.rom")
+	if err := os.WriteFile(rom, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-image", "-print", "z:4", rom}, strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "z[0:4] = 11 22 33 44") {
+		t.Errorf("wrong z dump from image: %q", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mode", "bogus"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("unknown mode: exit %d, want 2", code)
+	}
+	if code := run(nil, strings.NewReader("int main("), &stdout, &stderr); code != 1 {
+		t.Errorf("syntax error: exit %d, want 1", code)
+	}
+	if code := run([]string{"-image", "-"}, strings.NewReader("not a rom"), &stdout, &stderr); code != 1 {
+		t.Errorf("bad image: exit %d, want 1", code)
+	}
+}

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -137,12 +138,19 @@ func Run(p Program, mode alloc.Mode) (Result, error) {
 // RunWith is Run with an explicit partitioner choice and optional
 // reusable compiler scratch.
 func RunWith(p Program, mode alloc.Mode, ro RunOptions) (Result, error) {
+	return RunCtx(context.Background(), p, mode, ro)
+}
+
+// RunCtx is RunWith honoring ctx: compilation checks cancellation
+// between passes and the simulator polls it at basic-block boundaries,
+// so a caller's deadline bounds the whole measurement.
+func RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (Result, error) {
 	cc := ro.Compiler
 	if cc == nil {
 		cc = new(pipeline.Compiler)
 	}
 	compileStart := time.Now()
-	c, err := cc.Compile(p.Source, p.Name, pipeline.Options{Mode: mode, Partitioner: ro.Partitioner})
+	c, err := cc.CompileCtx(ctx, p.Source, p.Name, pipeline.Options{Mode: mode, Partitioner: ro.Partitioner})
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
 	}
@@ -151,7 +159,7 @@ func RunWith(p Program, mode alloc.Mode, ro RunOptions) (Result, error) {
 	}
 	compileSeconds := time.Since(compileStart).Seconds()
 	simStart := time.Now()
-	m, err := c.RunFast()
+	m, err := c.RunFastCtx(ctx)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
 	}

@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"dualbank/internal/alloc"
+	"dualbank/internal/core"
 	"dualbank/internal/cost"
 	"dualbank/internal/machine"
 	"dualbank/internal/pipeline"
@@ -52,15 +54,20 @@ type RunTiming struct {
 type runKey struct {
 	bench  string
 	mode   alloc.Mode
+	method core.Method
 	config string
 }
 
 // cacheEntry is a single-flight slot: the first requester computes,
-// concurrent requesters block on done.
+// concurrent requesters block on done. An entry whose computation was
+// cut short by its requester's context is marked cancelled and removed
+// from the cache before done closes, so waiters retry and later
+// requests recompute — a client giving up must never poison the cache.
 type cacheEntry struct {
-	done chan struct{}
-	res  Result
-	err  error
+	done      chan struct{}
+	res       Result
+	err       error
+	cancelled bool
 }
 
 // configKey fingerprints the machine and port-model configuration a
@@ -109,29 +116,56 @@ func (h *Harness) Run(p Program, mode alloc.Mode) (Result, error) {
 // run is Run with optional reusable compiler scratch (each pool worker
 // owns one).
 func (h *Harness) run(p Program, mode alloc.Mode, cc *pipeline.Compiler) (Result, error) {
-	key := runKey{bench: p.Name, mode: mode, config: configKey(mode)}
-	h.mu.Lock()
-	if e, ok := h.cache[key]; ok {
-		h.mu.Unlock()
-		<-e.done
-		h.hits.Add(1)
-		return e.res, e.err
-	}
-	e := &cacheEntry{done: make(chan struct{})}
-	h.cache[key] = e
-	h.mu.Unlock()
-	h.misses.Add(1)
-	e.res, e.err = RunWith(p, mode, RunOptions{Compiler: cc})
-	if e.err == nil {
+	res, _, err := h.RunCtx(context.Background(), p, mode, RunOptions{Compiler: cc})
+	return res, err
+}
+
+// RunCtx measures one (benchmark, mode, partitioner) triple through
+// the single-flight cache, honoring ctx; cached reports whether the
+// result came from (or was coalesced onto) an existing entry. A
+// request arriving while another computes the same key waits for that
+// computation, but only as long as its own context allows. If the
+// computing request's context fires mid-measurement the partial result
+// is discarded and the entry removed, so coalesced waiters (and all
+// later requests) recompute rather than inherit a stranger's
+// cancellation error.
+func (h *Harness) RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (res Result, cached bool, err error) {
+	key := runKey{bench: p.Name, mode: mode, method: ro.Partitioner, config: configKey(mode)}
+	for {
 		h.mu.Lock()
-		h.timings = append(h.timings, RunTiming{
-			Bench: p.Name, Mode: mode,
-			CompileSeconds: e.res.CompileSeconds, SimSeconds: e.res.SimSeconds,
-		})
+		if e, ok := h.cache[key]; ok {
+			h.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return Result{}, false, fmt.Errorf("%s/%v: awaiting shared result: %w", p.Name, mode, ctx.Err())
+			}
+			if e.cancelled {
+				continue // the computing request gave up; take over
+			}
+			h.hits.Add(1)
+			return e.res, true, e.err
+		}
+		e := &cacheEntry{done: make(chan struct{})}
+		h.cache[key] = e
 		h.mu.Unlock()
+		h.misses.Add(1)
+		e.res, e.err = RunCtx(ctx, p, mode, ro)
+		h.mu.Lock()
+		switch {
+		case e.err != nil && ctx.Err() != nil:
+			e.cancelled = true
+			delete(h.cache, key)
+		case e.err == nil:
+			h.timings = append(h.timings, RunTiming{
+				Bench: p.Name, Mode: mode,
+				CompileSeconds: e.res.CompileSeconds, SimSeconds: e.res.SimSeconds,
+			})
+		}
+		h.mu.Unlock()
+		close(e.done)
+		return e.res, false, e.err
 	}
-	close(e.done)
-	return e.res, e.err
 }
 
 // Timings returns the compile/simulate split of every measurement the

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/pipeline"
+	"dualbank/internal/sim"
+)
+
+// TestInterpMatchesMachineValues closes the oracle gap left by
+// TestFastSimMatchesReference, which pins the two VLIW engines to each
+// other but would miss a bug shared by both (a mis-scheduled store, a
+// broken bank assignment). Here the independent oracle is sim.Interp —
+// the IR-level reference semantics — and the property is value-level:
+// for every benchmark under every allocation mode, every word of every
+// global must be identical after the interpreter's run and the
+// machine's run. Machine.Word additionally verifies that duplicated
+// (BankBoth) symbols stayed coherent across both banks, so the CBDup
+// and FullDup columns also audit the duplicate-store machinery.
+func TestInterpMatchesMachineValues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite in short mode")
+	}
+	modes := []alloc.Mode{
+		alloc.SingleBank, alloc.CB, alloc.CBProfiled,
+		alloc.CBDup, alloc.FullDup, alloc.Ideal, alloc.LowOrder,
+	}
+	for _, p := range append(Kernels(), Applications()...) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, mode := range modes {
+				c, err := pipeline.Compile(p.Source, p.Name, pipeline.Options{Mode: mode})
+				if err != nil {
+					t.Fatalf("%v: compile: %v", mode, err)
+				}
+				in := sim.NewInterp(c.IR)
+				if err := in.Run(); err != nil {
+					t.Fatalf("%v: interp: %v", mode, err)
+				}
+				m := sim.NewMachine(c.Sched)
+				if err := m.Run(); err != nil {
+					t.Fatalf("%v: machine: %v", mode, err)
+				}
+				for _, g := range c.IR.Globals {
+					for i := 0; i < g.Size; i++ {
+						mw, err := m.Word(g, i)
+						if err != nil {
+							t.Fatalf("%v: %s[%d]: %v", mode, g.Name, i, err)
+						}
+						if iw := in.Word(g, i); mw != iw {
+							t.Fatalf("%v: %s[%d]: machine %#x, interp %#x",
+								mode, g.Name, i, mw, iw)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"dualbank/internal/alloc"
@@ -62,6 +63,23 @@ func Compile(source, name string, o Options) (*Compiled, error) {
 // Compile builds source into scheduled VLIW code, reusing the
 // compiler's scratch state.
 func (cc *Compiler) Compile(source, name string, o Options) (*Compiled, error) {
+	return cc.CompileCtx(context.Background(), source, name, o)
+}
+
+// CompileCtx is Compile honoring ctx: cancellation is checked between
+// passes and inside the CBProfiled profiling run (the only pass whose
+// cost is driven by the program's dynamic behaviour rather than its
+// size), so a caller's deadline bounds compilation of hostile input.
+func (cc *Compiler) CompileCtx(ctx context.Context, source, name string, o Options) (*Compiled, error) {
+	pass := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%s: compile: %w", name, err)
+		}
+		return nil
+	}
+	if err := pass(); err != nil {
+		return nil, err
+	}
 	file, err := minic.Parse(source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
@@ -73,6 +91,9 @@ func (cc *Compiler) Compile(source, name string, o Options) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
+	if err := pass(); err != nil {
+		return nil, err
+	}
 	opt.Run(prog, o.Opt)
 	if err := ir.Verify(prog); err != nil {
 		return nil, fmt.Errorf("%s: after opt: %w", name, err)
@@ -81,6 +102,9 @@ func (cc *Compiler) Compile(source, name string, o Options) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
+	if err := pass(); err != nil {
+		return nil, err
+	}
 
 	if o.Mode == alloc.CBProfiled {
 		// Profile-driven edge weights: execute the program once at the
@@ -88,7 +112,7 @@ func (cc *Compiler) Compile(source, name string, o Options) (*Compiled, error) {
 		// count before building the interference graph.
 		in := sim.NewInterp(prog)
 		in.Profile = true
-		if err := in.Run(); err != nil {
+		if err := in.RunContext(ctx); err != nil {
 			return nil, fmt.Errorf("%s: profiling run: %w", name, err)
 		}
 	}
@@ -112,8 +136,13 @@ func (cc *Compiler) Compile(source, name string, o Options) (*Compiled, error) {
 // Run executes the compiled program on a fresh machine and returns it
 // for inspection (cycle count, memory contents).
 func (c *Compiled) Run() (*sim.Machine, error) {
+	return c.RunCtx(context.Background())
+}
+
+// RunCtx is Run honoring ctx at the simulator's block boundaries.
+func (c *Compiled) RunCtx(ctx context.Context) (*sim.Machine, error) {
 	m := sim.NewMachine(c.Sched)
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(ctx); err != nil {
 		return nil, fmt.Errorf("%s (%v): %w", c.Name, c.Alloc.Mode, err)
 	}
 	return m, nil
@@ -125,12 +154,19 @@ func (c *Compiled) Run() (*sim.Machine, error) {
 // allocation. Use Run for the reference interpreter and its debugging
 // hooks (tracing, per-instruction callbacks, port assertions).
 func (c *Compiled) RunFast() (*sim.FastMachine, error) {
+	return c.RunFastCtx(context.Background())
+}
+
+// RunFastCtx is RunFast honoring ctx: the fast engine polls for
+// cancellation at basic-block boundaries, so a caller's deadline
+// bounds even a simulation that would otherwise run to MaxCycles.
+func (c *Compiled) RunFastCtx(ctx context.Context) (*sim.FastMachine, error) {
 	pd, err := sim.Predecode(c.Sched)
 	if err != nil {
 		return nil, fmt.Errorf("%s (%v): %w", c.Name, c.Alloc.Mode, err)
 	}
 	m := pd.NewMachine()
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(ctx); err != nil {
 		return nil, fmt.Errorf("%s (%v): %w", c.Name, c.Alloc.Mode, err)
 	}
 	return m, nil

@@ -1,0 +1,303 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+	"dualbank/internal/serve"
+)
+
+// slowSource loops for billions of simulated cycles — far longer than
+// any test deadline — so a request that is not cancelled mid-simulate
+// would hang the suite.
+const slowSource = `
+int sink[1];
+void main() {
+	int i;
+	int j;
+	int acc = 0;
+	for (i = 0; i < 60000; i++) {
+		for (j = 0; j < 60000; j++) {
+			acc = acc + j;
+		}
+	}
+	sink[0] = acc;
+}
+`
+
+// TestCancelMidSimulate aborts a long simulation via its request
+// deadline: the response must arrive promptly after the deadline (the
+// simulator polls cancellation at block boundaries), report 504, and
+// leave the pool drained.
+func TestCancelMidSimulate(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"source":%q,"timeout_ms":100}`, slowSource)
+	start := time.Now()
+	code, data := postRun(t, ts.Client(), ts.URL, body)
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", code, data)
+	}
+	// The deadline is 100ms; well under a second proves the simulator
+	// actually stopped at a block boundary instead of running out its
+	// cycle budget.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled request took %v", elapsed)
+	}
+	waitDrained(t, s)
+}
+
+// TestClientDisconnectCancels aborts a long simulation by hanging up:
+// the worker must notice the closed connection through the request
+// context and free its slot.
+func TestClientDisconnectCancels(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	body := fmt.Sprintf(`{"source":%q,"timeout_ms":60000}`, slowSource)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := ts.Client().Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("request succeeded despite client disconnect")
+	}
+	waitDrained(t, s)
+}
+
+// waitDrained asserts the pool frees its slots promptly after
+// cancellations: no worker may stay stuck executing a dead request.
+func waitDrained(t *testing.T, s *serve.Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Pool().Active() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool still has %d active workers", s.Pool().Active())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolWorkersDoNotLeak bounds the goroutine cost of a server's
+// lifecycle: churning requests (including cancelled ones) must not
+// grow the goroutine count, and Close must return it to the baseline.
+func TestPoolWorkersDoNotLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := serve.New(serve.Config{Workers: 8})
+	ts := httptest.NewServer(s.Handler())
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := `{"bench":"fir_32_1"}`
+			if i%4 == 0 {
+				body = fmt.Sprintf(`{"source":%q,"timeout_ms":20}`, slowSource)
+			}
+			resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	ts.Close()
+	s.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // let finished goroutines die down
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSoak is the 1k-request mixed soak: concurrent named-benchmark
+// runs across modes, source compiles, hostile bodies, and short-fuse
+// cancellations, all against a small pool. Afterwards the pool must be
+// drained, the cache stats consistent with the request mix, and every
+// successful measurement identical to a direct bench.RunWith result.
+// Run under -race this doubles as the concurrency audit of the serve
+// layer, the harness cache, and the context plumbing beneath them.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in short mode")
+	}
+	s := serve.New(serve.Config{Workers: 8})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// The soak fleet outnumbers the default per-host connection limit;
+	// raise it so requests block in the pool, not the client.
+	tr := ts.Client().Transport.(*http.Transport)
+	tr.MaxIdleConnsPerHost = 256
+	tr.MaxConnsPerHost = 0
+
+	// The fast arm of the matrix: small kernels only, so 1k requests
+	// stay cheap even with -race on.
+	progs := []string{"fir_32_1", "iir_1_1", "latnrm_8_1", "lmsfir_8_1", "mult_4_4"}
+	modes := []alloc.Mode{
+		alloc.SingleBank, alloc.CB, alloc.CBProfiled,
+		alloc.CBDup, alloc.FullDup, alloc.Ideal, alloc.LowOrder,
+	}
+
+	// Direct oracle, computed once up front.
+	type key struct {
+		bench string
+		mode  alloc.Mode
+	}
+	oracle := make(map[key]bench.Result)
+	for _, name := range progs {
+		p, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("no benchmark %q", name)
+		}
+		for _, m := range modes {
+			res, err := bench.RunWith(p, m, bench.RunOptions{})
+			if err != nil {
+				t.Fatalf("direct %s/%v: %v", name, m, err)
+			}
+			oracle[key{name, m}] = res
+		}
+	}
+
+	const requests = 1000
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		byStatus  = map[int]int{}
+		mismatch  int
+		transport int
+	)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			var body string
+			kind := i % 10
+			switch {
+			case kind == 8: // hostile: bad JSON / unknown bench / bad mode
+				body = []string{`{"bench":`, `{"bench":"nope"}`, `{"bench":"fir_32_1","mode":"zig"}`}[rng.Intn(3)]
+			case kind == 9: // short-fuse cancellation
+				body = fmt.Sprintf(`{"source":%q,"timeout_ms":%d}`, slowSource, 1+rng.Intn(30))
+			default: // named benchmark, with a fuse generous enough that
+				// queueing behind the whole soak never trips it
+				name := progs[rng.Intn(len(progs))]
+				mode := modes[rng.Intn(len(modes))]
+				body = fmt.Sprintf(`{"bench":%q,"mode":%q,"timeout_ms":60000}`, name, mode)
+			}
+			resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				mu.Lock()
+				transport++
+				mu.Unlock()
+				return
+			}
+			defer resp.Body.Close()
+			var r serve.Response
+			ok := json.NewDecoder(resp.Body).Decode(&r) == nil
+			mu.Lock()
+			byStatus[resp.StatusCode]++
+			if resp.StatusCode == http.StatusOK {
+				var m alloc.Mode
+				if !ok || m.UnmarshalText([]byte(r.Mode)) != nil {
+					mismatch++
+				} else if want, found := oracle[key{r.Bench, m}]; !found ||
+					r.Cycles != want.Cycles || r.MemTotal != want.Mem.Total() ||
+					r.DupStores != want.DupStores {
+					mismatch++
+				}
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	if transport > 0 {
+		t.Fatalf("%d requests failed at the transport layer", transport)
+	}
+	total := 0
+	for _, n := range byStatus {
+		total += n
+	}
+	if total != requests {
+		t.Fatalf("accounted for %d of %d requests: %v", total, requests, byStatus)
+	}
+	if mismatch != 0 {
+		t.Fatalf("%d successful responses diverged from direct bench.RunWith", mismatch)
+	}
+	// 800 well-formed named requests must all succeed; the hostile and
+	// short-fuse arms must all fail with their designated statuses.
+	if byStatus[http.StatusOK] != 800 {
+		t.Errorf("status mix %v: want 800 OK", byStatus)
+	}
+	if byStatus[http.StatusGatewayTimeout] != 100 {
+		t.Errorf("status mix %v: want 100 gateway timeouts", byStatus)
+	}
+	if n := byStatus[http.StatusBadRequest] + byStatus[http.StatusNotFound]; n != 100 {
+		t.Errorf("status mix %v: want 100 rejections", byStatus)
+	}
+
+	waitDrained(t, s)
+	if got := s.Metrics().InFlight(); got != 0 {
+		t.Errorf("in-flight gauge %d after drain", got)
+	}
+
+	// Cache-stat consistency: every distinct (bench, mode) executes at
+	// least once, and — since no named request can cancel under its 60s
+	// fuse — hits + misses together account for exactly the
+	// named-benchmark requests that reached the cache and succeeded.
+	// (Source jobs bypass the cache; a cancelled computation would add a
+	// miss without a success, but only named jobs touch the harness.)
+	st := s.CacheStats()
+	if st.Misses < int64(len(oracle)) {
+		t.Errorf("cache misses %d < %d distinct keys", st.Misses, len(oracle))
+	}
+	if st.Hits+st.Misses != int64(byStatus[http.StatusOK]) {
+		t.Errorf("cache traffic %d hits + %d misses != %d successes",
+			st.Hits, st.Misses, byStatus[http.StatusOK])
+	}
+	// And the cache must now be fully warm: one more pass over the
+	// whole matrix, every response a hit.
+	for k := range oracle {
+		body := fmt.Sprintf(`{"bench":%q,"mode":%q}`, k.bench, k.mode)
+		code, data := postRun(t, ts.Client(), ts.URL, body)
+		if code != http.StatusOK {
+			t.Fatalf("warm pass %s/%v: status %d: %s", k.bench, k.mode, code, data)
+		}
+		var r serve.Response
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Cached {
+			t.Errorf("warm pass %s/%v missed the cache", k.bench, k.mode)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package serve is the HTTP/JSON layer of dspservd: it turns the
+// repository's batch compile-and-simulate pipeline into a long-lived
+// service. Requests name either a built-in benchmark or carry MiniC
+// source, pick an allocation mode and partitioner, and run on a
+// bounded worker pool where each worker owns its reusable compiler
+// scratch; named-benchmark results flow through the harness's
+// single-flight memo cache. Every request carries a deadline that is
+// honored down to the simulator's basic-block boundaries.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+	"dualbank/internal/core"
+)
+
+// Request is the JSON body of POST /v1/run. Exactly one of Bench (a
+// built-in Table 1/2 benchmark name) and Source (a MiniC translation
+// unit) must be set.
+type Request struct {
+	// Bench names a built-in benchmark (see GET /v1/benchmarks).
+	Bench string `json:"bench,omitempty"`
+	// Source is a MiniC translation unit to compile and run directly.
+	Source string `json:"source,omitempty"`
+	// Name labels a Source request in logs and errors ("source" when
+	// empty). Ignored for Bench requests.
+	Name string `json:"name,omitempty"`
+	// Mode is the data-allocation mode; canonical names ("CB", "Dup",
+	// "Pr", "single-bank", "full-dup", "Ideal", "low-order") and the
+	// dspcc short forms ("cb", "dup", "pr", "single", "fulldup",
+	// "ideal", "loworder") are accepted. Defaults to CB.
+	Mode string `json:"mode,omitempty"`
+	// Partitioner picks the graph-partitioning algorithm: greedy
+	// (default), kl, anneal, or fm.
+	Partitioner string `json:"partitioner,omitempty"`
+	// TimeoutMs caps this request's compile+simulate wall clock; zero
+	// means the server default. The server clamps it to its maximum.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Response is the JSON body of a successful POST /v1/run: the fields
+// of one bench.Result plus the memory-footprint breakdown and whether
+// the result came from the memo cache.
+type Response struct {
+	Bench       string `json:"bench"`
+	Mode        string `json:"mode"`
+	Partitioner string `json:"partitioner"`
+	Cycles      int64  `json:"cycles"`
+
+	MemXData int `json:"mem_x_data"`
+	MemYData int `json:"mem_y_data"`
+	MemStack int `json:"mem_stack"`
+	MemInstr int `json:"mem_instr"`
+	MemTotal int `json:"mem_total"`
+
+	DupStores  int      `json:"dup_stores"`
+	Duplicated []string `json:"duplicated,omitempty"`
+
+	CompileSeconds float64 `json:"compile_seconds"`
+	SimSeconds     float64 `json:"sim_seconds"`
+
+	// Cached reports whether the measurement was served from (or
+	// coalesced onto) an existing memo-cache entry.
+	Cached bool `json:"cached"`
+}
+
+// ResponseFor maps one measurement into the wire schema.
+func ResponseFor(res bench.Result, method core.Method, cached bool) Response {
+	return Response{
+		Bench:          res.Bench,
+		Mode:           res.Mode.String(),
+		Partitioner:    method.String(),
+		Cycles:         res.Cycles,
+		MemXData:       res.Mem.XData,
+		MemYData:       res.Mem.YData,
+		MemStack:       res.Mem.Stack,
+		MemInstr:       res.Mem.Instr,
+		MemTotal:       res.Mem.Total(),
+		DupStores:      res.DupStores,
+		Duplicated:     res.Duplicated,
+		CompileSeconds: res.CompileSeconds,
+		SimSeconds:     res.SimSeconds,
+		Cached:         cached,
+	}
+}
+
+// ErrorResponse is the JSON body of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Job is a validated, executable request.
+type Job struct {
+	Prog   bench.Program
+	Mode   alloc.Mode
+	Method core.Method
+	// Timeout is the request's own deadline; zero means the server
+	// default applies.
+	Timeout time.Duration
+	// Cacheable marks named-benchmark jobs, whose results are pure
+	// functions of (name, mode, partitioner) and safe to memoize.
+	// Source jobs always compile and simulate afresh.
+	Cacheable bool
+}
+
+// ErrUnknownBench marks a request for a benchmark name the suite does
+// not contain; the HTTP layer maps it to 404.
+var ErrUnknownBench = errors.New("unknown benchmark")
+
+// modeAliases are the dspcc/dspsim short mode names, accepted
+// alongside the canonical alloc.Mode spellings.
+var modeAliases = map[string]alloc.Mode{
+	"single":   alloc.SingleBank,
+	"cb":       alloc.CB,
+	"pr":       alloc.CBProfiled,
+	"dup":      alloc.CBDup,
+	"fulldup":  alloc.FullDup,
+	"ideal":    alloc.Ideal,
+	"loworder": alloc.LowOrder,
+}
+
+// Modes lists every accepted canonical mode name, in experiment order.
+func Modes() []string {
+	all := []alloc.Mode{
+		alloc.SingleBank, alloc.CB, alloc.CBProfiled,
+		alloc.CBDup, alloc.FullDup, alloc.Ideal, alloc.LowOrder,
+	}
+	names := make([]string, len(all))
+	for i, m := range all {
+		names[i] = m.String()
+	}
+	return names
+}
+
+// ParseMode resolves a mode string: first the canonical names the
+// modes themselves print, then the dspcc short aliases.
+func ParseMode(s string) (alloc.Mode, error) {
+	var m alloc.Mode
+	if err := m.UnmarshalText([]byte(s)); err == nil {
+		return m, nil
+	}
+	if m, ok := modeAliases[strings.ToLower(s)]; ok {
+		return m, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want one of %s or dspcc short forms)",
+		s, strings.Join(Modes(), ", "))
+}
+
+// DecodeRequest parses and validates one request body. It enforces the
+// source-size cap, rejects unknown JSON fields, resolves the mode and
+// partitioner, and looks benchmark names up in the suite. It never
+// panics on hostile input — the fuzz target holds it to that.
+func DecodeRequest(data []byte, maxSource int) (Job, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return Job{}, fmt.Errorf("bad request body: %w", err)
+	}
+	// A body holding two JSON values is malformed, not a request plus
+	// trailing garbage to silently accept.
+	if dec.More() {
+		return Job{}, fmt.Errorf("bad request body: trailing data after JSON object")
+	}
+	return req.Job(maxSource)
+}
+
+// Job validates the request and resolves it into an executable Job.
+func (req *Request) Job(maxSource int) (Job, error) {
+	switch {
+	case req.Bench == "" && req.Source == "":
+		return Job{}, fmt.Errorf("one of %q or %q is required", "bench", "source")
+	case req.Bench != "" && req.Source != "":
+		return Job{}, fmt.Errorf("%q and %q are mutually exclusive", "bench", "source")
+	case req.TimeoutMs < 0:
+		return Job{}, fmt.Errorf("timeout_ms must be non-negative, got %d", req.TimeoutMs)
+	case maxSource > 0 && len(req.Source) > maxSource:
+		return Job{}, fmt.Errorf("source is %d bytes, limit %d", len(req.Source), maxSource)
+	}
+
+	j := Job{Timeout: time.Duration(req.TimeoutMs) * time.Millisecond}
+
+	mode := req.Mode
+	if mode == "" {
+		mode = "CB"
+	}
+	var err error
+	if j.Mode, err = ParseMode(mode); err != nil {
+		return Job{}, err
+	}
+	if req.Partitioner != "" {
+		if j.Method, err = core.ParseMethod(req.Partitioner); err != nil {
+			return Job{}, fmt.Errorf("unknown partitioner %q (want greedy, kl, anneal, or fm)", req.Partitioner)
+		}
+	}
+
+	if req.Bench != "" {
+		p, ok := bench.ByName(req.Bench)
+		if !ok {
+			return Job{}, fmt.Errorf("%w %q (see /v1/benchmarks)", ErrUnknownBench, req.Bench)
+		}
+		j.Prog = p
+		j.Cacheable = true
+		return j, nil
+	}
+	name := req.Name
+	if name == "" {
+		name = "source"
+	}
+	j.Prog = bench.Program{Name: name, Source: req.Source}
+	return j, nil
+}

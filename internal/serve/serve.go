@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"dualbank/internal/bench"
+	"dualbank/internal/pipeline"
+)
+
+// Config sizes a Server. The zero value gets sensible defaults from
+// New.
+type Config struct {
+	// Workers bounds concurrent compile+simulate jobs (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds accepted-but-unstarted jobs (default 2×Workers).
+	QueueDepth int
+	// DefaultTimeout applies to requests that set no timeout_ms
+	// (default 10s); MaxTimeout clamps requested timeouts (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSourceBytes caps the source field of a request (default 1 MiB);
+	// the request body itself is capped slightly above it.
+	MaxSourceBytes int
+}
+
+// Server is the dspservd HTTP service: a mux, a worker pool, a
+// single-flight memo cache for named-benchmark results, and a metrics
+// registry.
+//
+//	POST /v1/run        compile and simulate one benchmark or source
+//	GET  /v1/benchmarks list benchmarks, modes, and partitioners
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition
+//	     /debug/pprof/  the standard profiling endpoints
+type Server struct {
+	cfg     Config
+	harness *bench.Harness
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a ready-to-serve Server; callers must Close it to stop
+// the worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	if cfg.MaxSourceBytes <= 0 {
+		cfg.MaxSourceBytes = 1 << 20
+	}
+	s := &Server{
+		cfg: cfg,
+		// The harness's pool stays unused (the serve pool bounds
+		// concurrency); it contributes the single-flight cache.
+		harness: bench.NewHarness(1),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.pool = NewPool(cfg.Workers, cfg.QueueDepth, s.execute)
+
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's mux for mounting on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the worker pool for occupancy checks.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Metrics exposes the metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// CacheStats reports the memo cache's traffic.
+func (s *Server) CacheStats() bench.CacheStats { return s.harness.Stats() }
+
+// Close stops the worker pool, cancelling in-flight jobs. Call it
+// after http.Server.Shutdown has drained the handlers.
+func (s *Server) Close() { s.pool.Close() }
+
+// execute is the pool's RunFunc: named benchmarks flow through the
+// single-flight memo cache, source jobs compile and simulate afresh.
+func (s *Server) execute(ctx context.Context, cc *pipeline.Compiler, j Job) (bench.Result, bool, error) {
+	ro := bench.RunOptions{Compiler: cc, Partitioner: j.Method}
+	if j.Cacheable {
+		return s.harness.RunCtx(ctx, j.Prog, j.Mode, ro)
+	}
+	res, err := bench.RunCtx(ctx, j.Prog, j.Mode, ro)
+	return res, false, err
+}
+
+// handleRun is POST /v1/run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	done := s.metrics.RequestStart()
+	defer done()
+
+	// The body cap leaves headroom over the source cap for the JSON
+	// framing and escaping around it.
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)*2+4096))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	job, err := DecodeRequest(data, s.cfg.MaxSourceBytes)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownBench) {
+			code = http.StatusNotFound
+		}
+		s.fail(w, code, err)
+		return
+	}
+
+	timeout := job.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	res, cached, err := s.pool.Do(ctx, job)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.metrics.ObserveRun(res.CompileSeconds, res.SimSeconds)
+	s.reply(w, http.StatusOK, ResponseFor(res, job.Method, cached))
+}
+
+// statusFor maps an execution error to its HTTP status: deadline
+// overruns are the gateway-timeout family, client disconnects and
+// shutdown are 503 (retry elsewhere), anything else — a compile error,
+// a failed output check — is the request's fault.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrStopped):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// benchmarksResponse is the body of GET /v1/benchmarks.
+type benchmarksResponse struct {
+	Benchmarks   []benchmarkInfo `json:"benchmarks"`
+	Modes        []string        `json:"modes"`
+	Partitioners []string        `json:"partitioners"`
+}
+
+type benchmarkInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Desc string `json:"desc"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	resp := benchmarksResponse{
+		Modes:        Modes(),
+		Partitioners: []string{"greedy", "kl", "anneal", "fm"},
+	}
+	for _, p := range append(bench.Kernels(), bench.Applications()...) {
+		resp.Benchmarks = append(resp.Benchmarks, benchmarkInfo{
+			Name: p.Name, Kind: p.Kind.String(), Desc: p.Desc,
+		})
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+	s.metrics.RequestDone(http.StatusOK)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.metrics.WriteTo(w, s.harness.Stats(), s.pool.Active(), s.pool.Workers())
+}
+
+// reply writes a JSON response and counts it.
+func (s *Server) reply(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+	s.metrics.RequestDone(code)
+}
+
+// fail writes a JSON error response and counts it.
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.reply(w, code, ErrorResponse{Error: err.Error()})
+}

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,6 +42,8 @@ type Interp struct {
 	regs  []uint32 // global file when the program is in physical form
 	phys  bool
 	loops []int32 // hardware loop-counter stack
+
+	cancel ctxCheck
 }
 
 // maxLoopDepth bounds the hardware loop stack, like real DSP loop
@@ -64,6 +67,15 @@ func NewInterp(p *ir.Program) *Interp {
 
 // Run executes main().
 func (in *Interp) Run() error {
+	return in.RunContext(context.Background())
+}
+
+// RunContext executes main(), honoring ctx: the step loop polls for
+// cancellation at control-transfer boundaries and returns an error
+// wrapping ctx.Err() once the context is done.
+func (in *Interp) RunContext(ctx context.Context) error {
+	in.cancel.arm(ctx)
+	defer in.cancel.disarm()
 	mainF := in.Prog.Func("main")
 	if mainF == nil {
 		return fmt.Errorf("interp: no main function")
@@ -116,8 +128,13 @@ func (in *Interp) call(f *ir.Func) (uint32, error) {
 		if in.Steps > in.MaxSteps {
 			return 0, fmt.Errorf("interp: step limit exceeded in %s", f.Name)
 		}
-		if i == 0 && in.Profile {
-			b.ExecCount++
+		if i == 0 {
+			if err := in.cancel.poll(); err != nil {
+				return 0, fmt.Errorf("interp: %s: %w", f.Name, err)
+			}
+			if in.Profile {
+				b.ExecCount++
+			}
 		}
 		switch op.Kind {
 		case ir.OpBr:

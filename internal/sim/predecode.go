@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -241,6 +242,8 @@ type FastMachine struct {
 	loops  [maxHWLoopDepth]int32
 	nloops int
 	writes []pWrite
+
+	cancel ctxCheck
 }
 
 // NewMachine builds a fresh FastMachine: banks hold the predecoded
@@ -275,6 +278,16 @@ func (m *FastMachine) Reset() {
 
 // Run executes main() to completion.
 func (m *FastMachine) Run() error {
+	return m.RunContext(context.Background())
+}
+
+// RunContext executes main() to completion, honoring ctx: the
+// steady-state loop polls for cancellation at basic-block boundaries
+// (decimated so an uncancelled context costs one nil check per block)
+// and returns an error wrapping ctx.Err() once the context is done.
+func (m *FastMachine) RunContext(ctx context.Context) error {
+	m.cancel.arm(ctx)
+	defer m.cancel.disarm()
 	return m.runFunc(m.pd.main)
 }
 
@@ -284,6 +297,9 @@ func (m *FastMachine) runFunc(f *pFunc) error {
 	bi := f.entry
 block:
 	for {
+		if err := m.cancel.poll(); err != nil {
+			return fmt.Errorf("sim: %s: %w", f.name, err)
+		}
 		b := &f.blocks[bi]
 		for ii := range b.instrs {
 			in := &b.instrs[ii]

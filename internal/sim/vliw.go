@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -11,6 +12,51 @@ import (
 	"dualbank/internal/machine"
 	"dualbank/internal/opt"
 )
+
+// ctxCheckStride is how many basic-block boundaries pass between
+// cancellation polls when a run carries a context. Blocks retire in at
+// most a few hundred cycles, so a stride of 256 keeps the poll cost
+// invisible while bounding the reaction latency to well under a
+// millisecond of simulated work.
+const ctxCheckStride = 256
+
+// ctxCheck is the shared cancellation state of the run loops: a
+// context's done channel polled every ctxCheckStride block boundaries.
+// The zero value (no context) never fires and costs one nil check per
+// block.
+type ctxCheck struct {
+	ctx  context.Context
+	done <-chan struct{}
+	tick int
+}
+
+// arm points the check at ctx for the duration of one run; a context
+// that can never be cancelled leaves the check disarmed.
+func (c *ctxCheck) arm(ctx context.Context) {
+	c.ctx = ctx
+	c.done = ctx.Done()
+	c.tick = 0
+}
+
+func (c *ctxCheck) disarm() { c.ctx, c.done = nil, nil }
+
+// poll returns the context's error once it is cancelled; at most one
+// poll per ctxCheckStride calls touches the channel.
+func (c *ctxCheck) poll() error {
+	if c.done == nil {
+		return nil
+	}
+	if c.tick++; c.tick < ctxCheckStride {
+		return nil
+	}
+	c.tick = 0
+	select {
+	case <-c.done:
+		return c.ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // Machine executes a scheduled VLIW program against the dual-bank
 // memory system. One long instruction retires per cycle; within an
@@ -63,6 +109,8 @@ type Machine struct {
 	// regStamp[r] = cycle of the last write to r, for the
 	// one-write-per-register-per-instruction assertion.
 	regStamp [65]int64
+
+	cancel ctxCheck
 }
 
 // maxHWLoopDepth bounds the hardware loop stack.
@@ -120,6 +168,14 @@ func (m *Machine) loadFlat(addr int) uint32 {
 
 // Run executes main() to completion.
 func (m *Machine) Run() error {
+	return m.RunContext(context.Background())
+}
+
+// RunContext executes main() to completion, honoring ctx: the run
+// loop polls for cancellation at basic-block boundaries and returns an
+// error wrapping ctx.Err() once the context is done, leaving the
+// machine state wherever the simulation stopped.
+func (m *Machine) RunContext(ctx context.Context) error {
 	f := m.Prog.Funcs["main"]
 	if f == nil {
 		return fmt.Errorf("sim: no main function")
@@ -127,6 +183,8 @@ func (m *Machine) Run() error {
 	if !f.Src.Phys() {
 		return fmt.Errorf("sim: program must be in physical-register form (run regalloc)")
 	}
+	m.cancel.arm(ctx)
+	defer m.cancel.disarm()
 	return m.runFunc(f)
 }
 
@@ -176,6 +234,9 @@ type pendingWrite struct {
 func (m *Machine) runFunc(f *compact.Func) error {
 	b := f.Blocks[f.Src.Entry().ID]
 	for {
+		if err := m.cancel.poll(); err != nil {
+			return fmt.Errorf("sim: %s: %w", f.Src.Name, err)
+		}
 		nextBlock, returned, err := m.runBlock(f, b)
 		if err != nil {
 			return err
