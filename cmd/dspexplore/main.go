@@ -1,0 +1,189 @@
+// Command dspexplore searches each benchmark's back-end design space —
+// partitioning algorithm, profile weighting, FM refinement budget, and
+// per-array duplication subsets — and reports the exact Pareto
+// frontier of cycle count versus memory cost (Cost = X + Y + 2·S + I),
+// with a verdict against the paper's fixed CB design point.
+//
+// The search is deterministic at any -workers width: the same inputs
+// always produce byte-identical frontiers. With -checkpoint the engine
+// writes every completed evaluation to a content-addressed store and a
+// re-run resumes from it, replaying finished measurements instead of
+// re-simulating (disable replay with -resume=false; checkpoints are
+// still written).
+//
+// Usage:
+//
+//	dspexplore [-benchmark name[,name...]] [-kernels] [-apps]
+//	           [-budget N] [-workers N] [-exactk K]
+//	           [-checkpoint dir] [-resume=false]
+//	           [-json path] [-csv path] [-quiet]
+//	dspexplore -bench-report path
+//	dspexplore -list
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+
+	"dualbank/internal/bench"
+	"dualbank/internal/explore"
+	"dualbank/internal/explore/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchReportSuite is the pinned suite behind -bench-report: small
+// representatives of each kernel family plus two Table 2 applications,
+// explored with the default budget. The engine is deterministic, so
+// the emitted JSON is a byte-stable baseline fit for version control.
+var benchReportSuite = []string{
+	"fir_32_1", "iir_1_1", "mult_4_4", "fft_256", "adpcm", "histogram",
+}
+
+// run is main with injectable streams and exit code, so the smoke
+// tests can drive the whole driver in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dspexplore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchmarks := fs.String("benchmark", "", "comma-separated benchmark names to explore (see -list)")
+	kernels := fs.Bool("kernels", false, "explore the Table 1 kernel suite")
+	apps := fs.Bool("apps", false, "explore the Table 2 application suite")
+	list := fs.Bool("list", false, "list benchmark names")
+	budget := fs.Int("budget", 200, "evaluation budget per benchmark")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent evaluations (any width is deterministic)")
+	exactK := fs.Int("exactk", 4, "exhaustively enumerate duplication subsets up to this many arrays; hill-climb beyond")
+	checkpoint := fs.String("checkpoint", "", "checkpoint completed evaluations to this directory")
+	resume := fs.Bool("resume", true, "replay existing checkpoints instead of re-simulating (needs -checkpoint)")
+	jsonPath := fs.String("json", "", "write the full report as JSON to this file")
+	csvPath := fs.String("csv", "", "write the frontier points as CSV to this file")
+	benchReport := fs.String("bench-report", "", "explore the pinned baseline suite and write its report JSON here")
+	quiet := fs.Bool("quiet", false, "suppress the progress stream on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, n := range bench.Names() {
+			fmt.Fprintln(stdout, n)
+		}
+		return 0
+	}
+
+	var names []string
+	if *benchReport != "" {
+		names = benchReportSuite
+	} else {
+		if *kernels {
+			for _, p := range bench.Kernels() {
+				names = append(names, p.Name)
+			}
+		}
+		if *apps {
+			for _, p := range bench.Applications() {
+				names = append(names, p.Name)
+			}
+		}
+		for _, n := range strings.Split(*benchmarks, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(stderr, "dspexplore: nothing to explore (use -benchmark, -kernels, -apps, or -bench-report; -list shows names)")
+		return 2
+	}
+	progs := make([]bench.Program, 0, len(names))
+	for _, n := range names {
+		p, ok := bench.ByName(n)
+		if !ok {
+			fmt.Fprintf(stderr, "dspexplore: unknown benchmark %q (use -list)\n", n)
+			return 2
+		}
+		progs = append(progs, p)
+	}
+
+	opts := explore.Options{
+		Budget:   *budget,
+		Workers:  *workers,
+		ExactK:   *exactK,
+		NoResume: !*resume,
+	}
+	if *checkpoint != "" {
+		st, err := store.Open(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(stderr, "dspexplore:", err)
+			return 1
+		}
+		opts.Store = st
+		if *resume && st.Len() > 0 {
+			fmt.Fprintf(stderr, "dspexplore: resuming from %d checkpointed evaluations in %s\n", st.Len(), *checkpoint)
+		}
+	}
+	if !*quiet {
+		opts.Progress = func(ev explore.Event) {
+			fmt.Fprintf(stderr, "dspexplore: %-12s %3d/%-3d %-10s %-40s", ev.Bench, ev.Done, ev.Planned, ev.Source, ev.Config)
+			if ev.Source != "infeasible" {
+				fmt.Fprintf(stderr, " %8d cycles %6d words", ev.Cycles, ev.Cost)
+			}
+			fmt.Fprintln(stderr)
+		}
+	}
+
+	// SIGINT/SIGTERM cancel the exploration; completed evaluations are
+	// already checkpointed, so a re-run with -checkpoint resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := explore.Explore(ctx, progs, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dspexplore:", err)
+		return 1
+	}
+
+	rep.WriteText(stdout)
+	if *jsonPath != "" || *benchReport != "" {
+		path := *jsonPath
+		if path == "" {
+			path = *benchReport
+		}
+		if err := writeJSON(path, rep); err != nil {
+			fmt.Fprintln(stderr, "dspexplore:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err == nil {
+			err = rep.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "dspexplore:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *csvPath)
+	}
+	return 0
+}
+
+func writeJSON(path string, rep *explore.Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -8,16 +8,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/run        {"bench":"fir_256_64","mode":"CB","timeout_ms":5000}
-//	GET  /v1/benchmarks benchmark, mode, and partitioner inventory
-//	GET  /healthz       liveness
-//	GET  /metrics       Prometheus text exposition
-//	     /debug/pprof/  the standard profiling endpoints
+//	POST /v1/run                   {"bench":"fir_256_64","mode":"CB","timeout_ms":5000}
+//	POST /v1/explore               {"benchmarks":["fft_256"],"budget":200} → async job
+//	GET  /v1/explore/{id}          exploration job status
+//	GET  /v1/explore/{id}/frontier completed exploration's Pareto report
+//	GET  /v1/benchmarks            benchmark, mode, and partitioner inventory
+//	GET  /healthz                  liveness
+//	GET  /metrics                  Prometheus text exposition
+//	     /debug/pprof/             the standard profiling endpoints
+//
+// With -explore-store, exploration evaluations are checkpointed to the
+// given directory as they complete; a job interrupted by shutdown
+// resumes from those checkpoints when resubmitted.
 //
 // Usage:
 //
 //	dspservd [-addr :8357] [-workers N] [-queue N]
 //	         [-timeout 10s] [-max-timeout 60s] [-max-source 1048576]
+//	         [-explore-store dir]
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"dualbank/internal/explore/store"
 	"dualbank/internal/serve"
 )
 
@@ -52,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "upper clamp on requested deadlines")
 	maxSource := fs.Int("max-source", 1<<20, "source size cap in bytes")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	exploreStore := fs.String("explore-store", "", "checkpoint /v1/explore evaluations to this directory")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,12 +69,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var st *store.Store
+	if *exploreStore != "" {
+		var err error
+		if st, err = store.Open(*exploreStore); err != nil {
+			fmt.Fprintln(stderr, "dspservd:", err)
+			return 1
+		}
+	}
 	s := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxSourceBytes: *maxSource,
+		ExploreStore:   st,
 	})
 	defer s.Close()
 

@@ -2,7 +2,9 @@
 // code: it compiles a MiniC program (a file argument, or a built-in
 // sample reproducing Figure 4 of the paper), prints the interference
 // graph with its edge weights, the greedy partition walk (the Figure 5
-// trace), and the resulting bank assignment of every symbol.
+// trace), and the resulting bank assignment of every symbol. It is a
+// thin wrapper over the exploration engine's analysis view
+// (internal/explore.Analyze).
 package main
 
 import (
@@ -11,7 +13,7 @@ import (
 	"log"
 	"os"
 
-	"dualbank"
+	"dualbank/internal/explore"
 )
 
 // sample is the Figure 4 example program: every pairing of A, B, C, D
@@ -51,24 +53,13 @@ func main() {
 		fmt.Println("(no file given: analysing the paper's Figure 4 example)")
 	}
 
-	c, err := dualbank.Compile(src, name, dualbank.Options{Mode: dualbank.CB})
+	a, err := explore.Analyze(src, name)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *dot {
-		fmt.Print(c.Alloc.Graph.Dot(c.Alloc.Part))
+		fmt.Print(a.Dot())
 		return
 	}
-	fmt.Println("Interference graph (edge weight = loop nesting depth + 1):")
-	fmt.Print(c.Alloc.Graph.String())
-	fmt.Println()
-	fmt.Println("Greedy partition (Figure 5): cost after each move:")
-	fmt.Printf("  %v\n\n", c.Alloc.Part.Trace)
-	fmt.Println("Final partition:")
-	fmt.Println(c.Alloc.Part)
-	fmt.Println()
-	fmt.Println("Bank assignment:")
-	for _, g := range c.IR.Globals {
-		fmt.Printf("  %-12s bank %-2s addr %4d  (%d words)\n", g.Name, g.Bank, g.Addr, g.Size)
-	}
+	a.WriteText(os.Stdout)
 }

@@ -2,18 +2,21 @@
 // chosen application it evaluates every allocation strategy, applies
 // the paper's first-order cost model (Cost = X + Y + 2S + I), and
 // prints the Performance Gain, Cost Increase, and Performance/Cost
-// Ratio of each — the per-application view of Table 3.
+// Ratio of each — the per-application view of Table 3. It is a thin
+// wrapper over the exploration engine's fixed-mode sweep
+// (internal/explore.Fixed); the full search over partitioners and
+// duplication subsets lives in cmd/dspexplore.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
 
-	"dualbank/internal/alloc"
 	"dualbank/internal/bench"
-	"dualbank/internal/cost"
+	"dualbank/internal/explore"
 )
 
 func main() {
@@ -24,7 +27,7 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown benchmark %q; available: %s", *name, strings.Join(bench.Names(), ", "))
 	}
-	base, err := bench.Run(p, alloc.SingleBank)
+	base, rows, err := explore.Fixed(context.Background(), p, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,17 +36,10 @@ func main() {
 		base.Cycles, base.Mem.Total(), base.Mem.XData, base.Mem.YData, base.Mem.Stack, base.Mem.Instr)
 	fmt.Printf("%-14s %10s %6s %6s %6s %6s   %s\n",
 		"mode", "cycles", "PG", "CI", "PCR", "cost", "duplicated")
-	for _, mode := range []alloc.Mode{
-		alloc.CB, alloc.CBProfiled, alloc.CBDup, alloc.FullDup, alloc.Ideal,
-	} {
-		res, err := bench.Run(p, mode)
-		if err != nil {
-			log.Fatal(err)
-		}
-		m := cost.Compare(base.Cycles, res.Cycles, base.Mem, res.Mem)
+	for _, row := range rows {
 		fmt.Printf("%-14s %10d %6.2f %6.2f %6.2f %6d   %s\n",
-			mode, res.Cycles, m.PG, m.CI, m.PCR, res.Mem.Total(),
-			strings.Join(res.Duplicated, ","))
+			row.Mode, row.Cycles, row.Metrics.PG, row.Metrics.CI, row.Metrics.PCR, row.Cost,
+			strings.Join(row.Duplicated, ","))
 	}
 	fmt.Println()
 	fmt.Println("PCR > 1 means the speedup outweighs the memory cost; the paper")

@@ -96,15 +96,28 @@ type Options struct {
 	// commit in one instruction (the store-lock/store-unlock discipline
 	// discussed in §3.2). Off by default, as in the paper's evaluation.
 	InterruptSafe bool
-	// DupFilter, when non-nil, restricts partial duplication (CBDup
-	// mode) to the marked arrays it accepts. The selective-duplication
-	// refinement of §5 uses this to trial individual candidates.
+	// DupFilter, when non-nil, selects exactly which partitioned
+	// arrays CBDup mode duplicates: every array node the filter
+	// accepts is replicated, whether or not the interference analysis
+	// marked it. When nil, duplication follows the paper's policy and
+	// replicates the marked arrays only. The selective-duplication
+	// refinement of §5 and the design-space explorer both drive this.
 	DupFilter func(*ir.Symbol) bool
 	// Method selects the graph-partitioning algorithm (greedy by
 	// default; Kernighan-Lin refinement, simulated annealing, and the
 	// gain-bucket FM partitioner are available for the
 	// algorithm-comparison study).
 	Method core.Method
+	// FMPasses bounds the FM partitioner's refinement passes: 0 means
+	// the library default, negative stops after the greedy-equivalent
+	// first phase. Ignored unless Method is core.MethodFM.
+	FMPasses int
+	// Profiled forces profile-derived interference-edge weights for
+	// any partitioned mode, decoupling the weighting policy from the
+	// CBProfiled mode so the explorer can combine profiling with
+	// duplication. The caller must have run a profiling pass first
+	// (the pipeline does when asked).
+	Profiled bool
 	// Scanner, when non-nil, supplies reusable scratch storage for
 	// interference-graph construction, so pipelines that allocate many
 	// programs back to back avoid rebuilding it each time.
@@ -164,7 +177,7 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		}
 	case CB, CBProfiled, CBDup:
 		policy := core.WeightStatic
-		if opts.Mode == CBProfiled {
+		if opts.Mode == CBProfiled || opts.Profiled {
 			policy = core.WeightProfiled
 		}
 		sc := opts.Scanner
@@ -172,7 +185,13 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 			sc = new(core.Scanner)
 		}
 		g := sc.BuildGraph(p, policy)
-		part := g.PartitionWith(opts.Method)
+		fmPasses := -1
+		if opts.FMPasses > 0 {
+			fmPasses = opts.FMPasses
+		} else if opts.FMPasses < 0 {
+			fmPasses = 0
+		}
+		part := g.PartitionWithPasses(opts.Method, fmPasses)
 		res.Graph, res.Part = g, part
 		for _, s := range part.SetX {
 			s.Bank = machine.BankX
@@ -183,17 +202,26 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 			s.Duplicated = false
 		}
 		if opts.Mode == CBDup {
-			// Partial duplication: replicate the arrays flagged while
-			// building the graph — those with simultaneous data-ready
-			// accesses that no partition can separate (Figure 6).
+			// Partial duplication. With no filter, replicate the arrays
+			// flagged while building the graph — those with simultaneous
+			// data-ready accesses that no partition can separate
+			// (Figure 6). With a filter, the caller names the exact
+			// duplication set: any partitioned array it accepts is
+			// replicated, marked or not, which is how the explorer
+			// searches duplication subsets beyond the paper's policy.
 			for _, s := range g.Nodes {
-				if g.DupMarks[s] && s.IsArray() {
-					if opts.DupFilter != nil && !opts.DupFilter(s) {
+				if !s.IsArray() {
+					continue
+				}
+				if opts.DupFilter != nil {
+					if !opts.DupFilter(s) {
 						continue
 					}
-					s.Bank = machine.BankBoth
-					s.Duplicated = true
+				} else if !g.DupMarks[s] {
+					continue
 				}
+				s.Bank = machine.BankBoth
+				s.Duplicated = true
 			}
 		}
 		// Save/restore slots are partitioned mechanically: successive

@@ -117,11 +117,26 @@ type Result struct {
 	SimSeconds     float64
 }
 
-// RunOptions configures RunWith beyond the allocation mode.
+// RunOptions configures RunWith beyond the allocation mode. Every
+// field except Compiler changes the measurement and therefore appears
+// in the harness's memo-cache key.
 type RunOptions struct {
 	// Partitioner selects the graph-partitioning algorithm for the CB
 	// modes (greedy by default).
 	Partitioner core.Method
+	// FMPasses bounds the FM partitioner's refinement passes: 0 means
+	// the library default, negative stops after the greedy-equivalent
+	// first phase. Meaningful only when Partitioner is core.MethodFM.
+	FMPasses int
+	// Profiled uses profile-derived interference-edge weights for any
+	// partitioned mode (CBProfiled always does, regardless).
+	Profiled bool
+	// DupOnly, when non-nil, names the exact CBDup duplication set —
+	// any partitioned array listed is replicated, marked or not; an
+	// empty non-nil slice duplicates nothing. Nil keeps the paper's
+	// policy (duplicate every marked array). Meaningful only under
+	// alloc.CBDup.
+	DupOnly []string
 	// Compiler, when non-nil, supplies reusable compiler scratch so
 	// back-to-back measurements skip re-growing it.
 	Compiler *pipeline.Compiler
@@ -149,8 +164,18 @@ func RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (Res
 	if cc == nil {
 		cc = new(pipeline.Compiler)
 	}
+	po := pipeline.Options{
+		Mode: mode, Partitioner: ro.Partitioner,
+		FMPasses: ro.FMPasses, Profiled: ro.Profiled,
+	}
+	if ro.DupOnly != nil {
+		po.DupOnly = make(map[string]bool, len(ro.DupOnly))
+		for _, name := range ro.DupOnly {
+			po.DupOnly[name] = true
+		}
+	}
 	compileStart := time.Now()
-	c, err := cc.CompileCtx(ctx, p.Source, p.Name, pipeline.Options{Mode: mode, Partitioner: ro.Partitioner})
+	c, err := cc.CompileCtx(ctx, p.Source, p.Name, po)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
 	}

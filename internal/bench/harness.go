@@ -3,7 +3,9 @@ package bench
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -49,13 +51,53 @@ type RunTiming struct {
 
 // runKey identifies one memoizable measurement. Benchmark sources are
 // pure functions of their name (the name encodes the generator
-// parameters, e.g. fir_256_64), so name × mode × machine-configuration
-// fingerprint determines the result.
+// parameters, e.g. fir_256_64), so name × mode × run options ×
+// machine-configuration fingerprint determines the result. Every
+// RunOptions knob that can change the measurement — partitioner, FM
+// pass bound, profile weighting, and the duplication set — is part of
+// the key, so distinct configurations can never alias.
 type runKey struct {
-	bench  string
-	mode   alloc.Mode
-	method core.Method
+	bench    string
+	mode     alloc.Mode
+	method   core.Method
+	fmPasses int
+	profiled bool
+	// dup encodes the duplication set: "-" for nil (the paper's
+	// marked-arrays policy), otherwise "=" plus the sorted,
+	// deduplicated, comma-joined names ("=" alone is the empty set).
+	dup    string
 	config string
+}
+
+// newRunKey canonicalizes one measurement request into its cache key.
+// Knobs that provably cannot affect the result under the requested
+// mode are normalized away (the FM pass bound without the FM
+// partitioner, profile weighting and duplication sets on modes that
+// never partition or duplicate), so equivalent requests share an
+// entry.
+func newRunKey(p Program, mode alloc.Mode, ro RunOptions) runKey {
+	key := runKey{
+		bench:    p.Name,
+		mode:     mode,
+		method:   ro.Partitioner,
+		fmPasses: ro.FMPasses,
+		profiled: ro.Profiled,
+		dup:      "-",
+		config:   configKey(mode),
+	}
+	if key.method != core.MethodFM {
+		key.fmPasses = 0
+	}
+	if !mode.Partitioned() {
+		key.profiled = false
+	}
+	if mode == alloc.CBDup && ro.DupOnly != nil {
+		names := append([]string(nil), ro.DupOnly...)
+		sort.Strings(names)
+		names = slices.Compact(names)
+		key.dup = "=" + strings.Join(names, ",")
+	}
+	return key
 }
 
 // cacheEntry is a single-flight slot: the first requester computes,
@@ -84,6 +126,13 @@ func configKey(mode alloc.Mode) string {
 	return fmt.Sprintf("units=%d;bank=%d;stack=%d;ports=%v",
 		machine.NumUnits, machine.BankWords, machine.StackWords, ports)
 }
+
+// Fingerprint returns the machine and port-model configuration string
+// a measurement under mode depends on — the same string the memo
+// cache keys on. The explorer's on-disk checkpoint store includes it
+// in its content-addressed keys so checkpoints never leak across
+// architecture variants.
+func Fingerprint(mode alloc.Mode) string { return configKey(mode) }
 
 // NewHarness returns a harness running at most parallel concurrent
 // jobs (values below 1 are treated as 1).
@@ -130,7 +179,7 @@ func (h *Harness) run(p Program, mode alloc.Mode, cc *pipeline.Compiler) (Result
 // later requests) recompute rather than inherit a stranger's
 // cancellation error.
 func (h *Harness) RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (res Result, cached bool, err error) {
-	key := runKey{bench: p.Name, mode: mode, method: ro.Partitioner, config: configKey(mode)}
+	key := newRunKey(p, mode, ro)
 	for {
 		h.mu.Lock()
 		if e, ok := h.cache[key]; ok {

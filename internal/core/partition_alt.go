@@ -69,13 +69,24 @@ func ParseMethod(s string) (Method, error) {
 
 // PartitionWith partitions the graph with the chosen method.
 func (g *Graph) PartitionWith(m Method) *Partition {
+	return g.PartitionWithPasses(m, -1)
+}
+
+// PartitionWithPasses is PartitionWith with an explicit FM
+// refinement-pass bound: fmPasses < 0 means the library default, and
+// the bound only matters under MethodFM (the other methods fix their
+// own refinement policy).
+func (g *Graph) PartitionWithPasses(m Method, fmPasses int) *Partition {
 	switch m {
 	case MethodKL:
 		return g.PartitionKL()
 	case MethodAnneal:
 		return g.PartitionAnneal(1)
 	case MethodFM:
-		return g.PartitionFM()
+		if fmPasses < 0 {
+			fmPasses = fmMaxPasses
+		}
+		return g.PartitionFMPasses(fmPasses)
 	default:
 		return g.Partition()
 	}

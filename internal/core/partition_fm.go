@@ -22,8 +22,18 @@ package core
 
 const fmMaxPasses = 8
 
-// PartitionFM bipartitions the graph with the gain-bucket algorithm.
-func (g *Graph) PartitionFM() *Partition {
+// PartitionFM bipartitions the graph with the gain-bucket algorithm,
+// running up to the default number of refinement passes.
+func (g *Graph) PartitionFM() *Partition { return g.PartitionFMPasses(fmMaxPasses) }
+
+// PartitionFMPasses is PartitionFM with an explicit refinement-pass
+// bound: passes == 0 stops after the greedy-equivalent phase 1 (the
+// cheapest configuration, identical to the paper's walk), larger
+// values allow up to that many phase-2 passes. The pass loop still
+// exits early as soon as a pass fails to strictly improve the cut, so
+// raising the bound beyond the point of convergence changes nothing.
+// The design-space explorer enumerates this knob.
+func (g *Graph) PartitionFMPasses(passes int) *Partition {
 	n := len(g.Nodes)
 	c := g.CSR()
 	inY := make([]bool, n)
@@ -69,7 +79,7 @@ func (g *Graph) PartitionFM() *Partition {
 	state := make([]bool, n)
 	locked := make([]bool, n)
 	flips := make([]int32, 0, n)
-	for pass := 0; pass < fmMaxPasses; pass++ {
+	for pass := 0; pass < passes; pass++ {
 		copy(state, inY)
 		for i := range locked {
 			locked[i] = false

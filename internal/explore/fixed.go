@@ -1,0 +1,56 @@
+package explore
+
+import (
+	"context"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+	"dualbank/internal/cost"
+)
+
+// This file evaluates the paper's fixed design points — the Table 3
+// view of one benchmark. It is the library form of what the tradeoff
+// example prints, and gives the explorer's reports a reference row for
+// each fixed mode.
+
+// FixedModes are the non-baseline arms the paper's trade-off study
+// evaluates, in table order.
+var FixedModes = []alloc.Mode{
+	alloc.CB, alloc.CBProfiled, alloc.CBDup, alloc.FullDup, alloc.Ideal,
+}
+
+// FixedRow is one fixed mode's measurement and Table 3 metrics.
+type FixedRow struct {
+	Mode       alloc.Mode   `json:"mode"`
+	Cycles     int64        `json:"cycles"`
+	Cost       int          `json:"cost"`
+	Metrics    cost.Metrics `json:"metrics"`
+	Duplicated []string     `json:"duplicated,omitempty"`
+}
+
+// Fixed measures p under the single-bank baseline and every fixed
+// mode through h (a private harness when nil), returning the baseline
+// and one row per mode.
+func Fixed(ctx context.Context, p bench.Program, h *bench.Harness) (base bench.Result, rows []FixedRow, err error) {
+	if h == nil {
+		h = bench.NewHarness(1)
+	}
+	base, _, err = h.RunCtx(ctx, p, alloc.SingleBank, bench.RunOptions{})
+	if err != nil {
+		return bench.Result{}, nil, err
+	}
+	for _, mode := range FixedModes {
+		res, _, err := h.RunCtx(ctx, p, mode, bench.RunOptions{})
+		if err != nil {
+			return bench.Result{}, nil, err
+		}
+		rows = append(rows, FixedRow{
+			Mode:       mode,
+			Cycles:     res.Cycles,
+			Cost:       res.Mem.Total(),
+			Metrics:    cost.Compare(base.Cycles, res.Cycles, base.Mem, res.Mem),
+			Duplicated: res.Duplicated,
+		})
+	}
+	return base, rows, nil
+}

@@ -1,0 +1,109 @@
+package explore
+
+import "sort"
+
+// Point is one candidate on (or considered for) a cycles-vs-cost
+// frontier: the configuration's key, its cycle count, and its total
+// memory cost in words under the paper's model Cost = X + Y + 2·S + I.
+// PG/CI/PCR are the Table 3 metrics relative to the benchmark's
+// single-bank baseline, filled in by the engine.
+type Point struct {
+	Config string `json:"config"`
+	Cycles int64  `json:"cycles"`
+	Cost   int    `json:"cost"`
+
+	PG  float64 `json:"pg"`
+	CI  float64 `json:"ci"`
+	PCR float64 `json:"pcr"`
+}
+
+// dominates reports whether a is at least as good as b on both axes
+// and strictly better on at least one (minimizing cycles and cost).
+func dominates(a, b Point) bool {
+	if a.Cycles > b.Cycles || a.Cost > b.Cost {
+		return false
+	}
+	return a.Cycles < b.Cycles || a.Cost < b.Cost
+}
+
+// Frontier maintains the exact Pareto frontier of a point stream,
+// minimizing both coordinates. Insertion order is the tie-breaker:
+// when a new point ties an existing one on both axes, the incumbent
+// stays — so a frontier built from a deterministic candidate order is
+// itself deterministic, regardless of how many workers produced the
+// evaluations. The zero value is an empty frontier.
+type Frontier struct {
+	// pts is kept sorted by cost ascending; because dominated points
+	// are evicted, cycles are then strictly descending.
+	pts []Point
+}
+
+// Len returns the number of frontier points.
+func (f *Frontier) Len() int { return len(f.pts) }
+
+// Points returns the frontier sorted by cost ascending (cycles
+// strictly descending). The slice is a copy.
+func (f *Frontier) Points() []Point {
+	return append([]Point(nil), f.pts...)
+}
+
+// Add offers one point. It returns true when the point joins the
+// frontier (evicting whatever it dominates), false when an existing
+// point dominates or ties it.
+func (f *Frontier) Add(p Point) bool {
+	// Find the insertion slot by cost; among equal costs the incumbent
+	// with fewer cycles makes the new point redundant.
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].Cost >= p.Cost })
+	// Anything at or left of the slot has cost <= p.Cost; the
+	// rightmost such point has the fewest cycles among them. If it
+	// ties-or-beats p on cycles, p is dominated (or an exact tie).
+	if i > 0 && f.pts[i-1].Cycles <= p.Cycles {
+		return false
+	}
+	if i < len(f.pts) && f.pts[i].Cost == p.Cost && f.pts[i].Cycles <= p.Cycles {
+		return false
+	}
+	// p survives: evict every point it dominates — the run of points
+	// from i rightward with cycles >= p.Cycles (their cost is >=, so
+	// domination reduces to the cycles test).
+	j := i
+	for j < len(f.pts) && f.pts[j].Cycles >= p.Cycles {
+		j++
+	}
+	f.pts = append(f.pts[:i], append([]Point{p}, f.pts[j:]...)...)
+	return true
+}
+
+// Dominating returns the frontier points that strictly dominate ref —
+// fewer cycles at no greater cost, or lower cost at no more cycles —
+// in frontier order (cost ascending).
+func (f *Frontier) Dominating(ref Point) []Point {
+	var out []Point
+	for _, p := range f.pts {
+		if dominates(p, ref) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// bruteFrontier computes the frontier of pts by pairwise dominance in
+// O(n²) — the reference the property test pins Frontier against.
+// First-come-wins on exact coordinate ties, like Frontier.
+func bruteFrontier(pts []Point) []Point {
+	var out []Point
+	for i, p := range pts {
+		alive := true
+		for j, q := range pts {
+			if dominates(q, p) || (q.Cycles == p.Cycles && q.Cost == p.Cost && j < i) {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out
+}

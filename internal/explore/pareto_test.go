@@ -1,0 +1,79 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestFrontierMatchesBruteForce is the property test: on randomized
+// point sets, the incremental frontier must equal the O(n²) pairwise
+// reference exactly — same points, same order.
+func TestFrontierMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(60)
+		span := 1 + rng.Intn(20) // small spans force coordinate ties
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{
+				Config: fmt.Sprintf("c%d", i),
+				Cycles: int64(rng.Intn(span)),
+				Cost:   rng.Intn(span),
+			}
+		}
+		var f Frontier
+		for _, p := range pts {
+			f.Add(p)
+		}
+		got, want := f.Points(), bruteFrontier(pts)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: frontier size %d, brute force %d\ngot  %v\nwant %v",
+				trial, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: point %d differs\ngot  %v\nwant %v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+// TestFrontierInvariants checks the sorted-and-strictly-improving
+// shape and the dominance query.
+func TestFrontierInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var f Frontier
+	for i := 0; i < 300; i++ {
+		f.Add(Point{Config: fmt.Sprintf("c%d", i), Cycles: int64(rng.Intn(50)), Cost: rng.Intn(50)})
+	}
+	pts := f.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cost <= pts[i-1].Cost || pts[i].Cycles >= pts[i-1].Cycles {
+			t.Fatalf("frontier not strictly improving at %d: %v", i, pts)
+		}
+	}
+	// Every frontier point must dominate a reference worse than all of
+	// them; none dominates a reference better than all of them.
+	if got := f.Dominating(Point{Cycles: 1 << 40, Cost: 1 << 20}); len(got) != len(pts) {
+		t.Errorf("worst-case ref dominated by %d of %d points", len(got), len(pts))
+	}
+	if got := f.Dominating(Point{Cycles: -1, Cost: -1}); len(got) != 0 {
+		t.Errorf("best-case ref dominated by %d points", len(got))
+	}
+}
+
+// TestFrontierTieKeepsIncumbent pins the determinism tie-break: equal
+// coordinates keep the first-inserted point.
+func TestFrontierTieKeepsIncumbent(t *testing.T) {
+	var f Frontier
+	if !f.Add(Point{Config: "first", Cycles: 10, Cost: 10}) {
+		t.Fatal("first add rejected")
+	}
+	if f.Add(Point{Config: "second", Cycles: 10, Cost: 10}) {
+		t.Fatal("coordinate tie displaced the incumbent")
+	}
+	if pts := f.Points(); len(pts) != 1 || pts[0].Config != "first" {
+		t.Fatalf("frontier %v, want the incumbent only", pts)
+	}
+}

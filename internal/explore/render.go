@@ -1,0 +1,85 @@
+package explore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the report as the dspexplore CLI's human-readable
+// output: one frontier table per benchmark, the fixed-CB verdict, and
+// the suite frontier when present.
+func (r *Report) WriteText(w io.Writer) {
+	for i := range r.Benchmarks {
+		br := &r.Benchmarks[i]
+		fmt.Fprintf(w, "%s: %d evals (%d store hits, %d cache hits", br.Bench, br.Evals, br.StoreHits, br.CacheHits)
+		if br.Infeasible > 0 {
+			fmt.Fprintf(w, ", %d infeasible", br.Infeasible)
+		}
+		fmt.Fprintf(w, "), baseline %d cycles / %d words\n", br.BaselineCycles, br.BaselineCost)
+		writeFrontier(w, br.Frontier, br.CB.Config)
+		switch {
+		case len(br.DominatingCB) > 0:
+			d := br.DominatingCB[len(br.DominatingCB)-1]
+			fmt.Fprintf(w, "  verdict: %q dominates fixed CB (%d vs %d cycles at cost %d vs %d)\n",
+				d.Config, d.Cycles, br.CB.Cycles, d.Cost, br.CB.Cost)
+		case br.Exhaustive:
+			fmt.Fprintf(w, "  verdict: exhausted the space (%d configs): no point dominates fixed CB\n", br.Evals)
+		default:
+			fmt.Fprintf(w, "  verdict: no dominating point within budget (space not exhausted)\n")
+		}
+		fmt.Fprintln(w)
+	}
+	if len(r.Suite) > 0 {
+		fmt.Fprintf(w, "suite frontier (shared configs, summed cycles/cost over %d benchmarks):\n", len(r.Benchmarks))
+		writeFrontier(w, r.Suite, "")
+	}
+}
+
+func writeFrontier(w io.Writer, pts []Point, cbKey string) {
+	fmt.Fprintf(w, "  %-40s %10s %8s %6s %6s %6s\n", "config", "cycles", "cost", "PG", "CI", "PCR")
+	for _, p := range pts {
+		mark := " "
+		if cbKey != "" && p.Config == cbKey {
+			mark = "*"
+		}
+		fmt.Fprintf(w, " %s%-40s %10d %8d %6.2f %6.2f %6.2f\n", mark, p.Config, p.Cycles, p.Cost, p.PG, p.CI, p.PCR)
+	}
+}
+
+// WriteCSV renders every frontier point (per benchmark, then the
+// suite rows labelled "suite") as CSV.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bench", "config", "cycles", "cost", "pg", "ci", "pcr"}); err != nil {
+		return err
+	}
+	row := func(benchName string, p Point) error {
+		return cw.Write([]string{
+			benchName, p.Config,
+			strconv.FormatInt(p.Cycles, 10), strconv.Itoa(p.Cost),
+			formatFloat(p.PG), formatFloat(p.CI), formatFloat(p.PCR),
+		})
+	}
+	for i := range r.Benchmarks {
+		br := &r.Benchmarks[i]
+		for _, p := range br.Frontier {
+			if err := row(br.Bench, p); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range r.Suite {
+		if err := row("suite", p); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(strconv.FormatFloat(f, 'f', 4, 64), "0"), ".")
+}

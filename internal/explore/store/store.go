@@ -1,0 +1,151 @@
+// Package store is the design-space explorer's on-disk checkpoint: a
+// content-addressed key/value store of completed evaluations. Keys are
+// the canonical evaluation identity (benchmark × configuration ×
+// machine fingerprint); each record lands in its own JSON file named
+// by the SHA-256 of its key, written atomically (temp file + rename),
+// so a run killed at any instant leaves only whole records behind and
+// a resumed run replays them instead of re-simulating. The store is
+// safe for concurrent use by one process; cross-process writers are
+// safe too because identical keys always carry identical contents.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Record is one checkpointed evaluation. The fields mirror what the
+// explorer needs to rebuild a frontier point without re-running:
+// cycles, the memory-footprint breakdown, and the duplication stats.
+// Err, when non-empty, records an infeasible configuration (e.g. a
+// duplication set that overflows a bank) so resumed runs skip it
+// without retrying.
+type Record struct {
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+	Cycles int64  `json:"cycles"`
+
+	MemXData int `json:"mem_x_data"`
+	MemYData int `json:"mem_y_data"`
+	MemStack int `json:"mem_stack"`
+	MemInstr int `json:"mem_instr"`
+
+	DupStores  int      `json:"dup_stores"`
+	Duplicated []string `json:"duplicated,omitempty"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// Store is a directory of checkpointed evaluations with an in-memory
+// index. The zero value is not usable; call Open.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	recs map[string]Record // key -> record, loaded lazily at Open
+}
+
+// Key builds the canonical content address of one evaluation:
+// benchmark name, configuration key, and the machine-configuration
+// fingerprint the measurement depends on.
+func Key(bench, config, fingerprint string) string {
+	return bench + "|" + config + "|" + fingerprint
+}
+
+// Open creates (if needed) and loads the store rooted at dir. Corrupt
+// or truncated record files — possible only from non-atomic external
+// tampering — are skipped, not fatal: the evaluations re-run.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, recs: make(map[string]Record)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var f file
+		if err := json.Unmarshal(data, &f); err != nil || f.Key == "" {
+			continue
+		}
+		s.recs[f.Key] = f.Record
+	}
+	return s, nil
+}
+
+// file is the on-disk framing: the full key rides along with the
+// record so the index can be rebuilt from the files alone.
+type file struct {
+	Key    string `json:"key"`
+	Record Record `json:"record"`
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of loaded records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Get returns the record stored under key, if any.
+func (s *Store) Get(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[key]
+	return r, ok
+}
+
+// Put checkpoints one evaluation, writing through to disk atomically
+// before indexing it. A later Put of the same key overwrites — keys
+// are content addresses, so the record is necessarily identical and
+// the overwrite is idempotent.
+func (s *Store) Put(key string, r Record) error {
+	data, err := json.MarshalIndent(file{Key: key, Record: r}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:]) + ".json"
+	tmp, err := os.CreateTemp(s.dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %w", name, firstErr(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	s.recs[key] = r
+	s.mu.Unlock()
+	return nil
+}
+
+func firstErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{
+		Bench: "fir_32_1", Config: "part=fm;dup=all", Cycles: 1234,
+		MemXData: 10, MemYData: 12, MemStack: 3, MemInstr: 40,
+		DupStores: 2, Duplicated: []string{"h", "x"},
+	}
+	key := Key(rec.Bench, rec.Config, "units=2")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store returned a record")
+	}
+	if err := s.Put(key, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || got.Cycles != rec.Cycles || got.Config != rec.Config {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+
+	// A fresh Open over the same directory must rebuild the index from
+	// the files alone.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store has %d records, want 1", s2.Len())
+	}
+	got, ok = s2.Get(key)
+	if !ok || got.Cycles != 1234 || len(got.Duplicated) != 2 {
+		t.Fatalf("reopened Get = %+v, %v", got, ok)
+	}
+
+	// Infeasible records round-trip their error.
+	bad := Record{Bench: "b", Config: "part=greedy;dup=all", Err: "bank overflow"}
+	badKey := Key(bad.Bench, bad.Config, "units=2")
+	if err := s.Put(badKey, bad); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(badKey); !ok || got.Err != "bank overflow" {
+		t.Fatalf("infeasible record = %+v, %v", got, ok)
+	}
+}
+
+func TestStoreSkipsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Key("a", "part=greedy", "m"), Record{Bench: "a", Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "zz.json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notjson.txt"), []byte("ignore me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("store loaded %d records, want 1 (corrupt and foreign files skipped)", s2.Len())
+	}
+}
+
+func TestStoreOverwriteIdempotent(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("a", "part=greedy", "m")
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key, Record{Bench: "a", Cycles: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store has %d records after repeated Put, want 1", s.Len())
+	}
+}

@@ -27,11 +27,22 @@ type Options struct {
 	InterruptSafe bool
 	// Opt configures the machine-independent optimizer.
 	Opt opt.Options
-	// DupOnly, when non-nil, restricts CBDup duplication to the named
-	// symbols; used by the selective-duplication refinement.
+	// DupOnly, when non-nil, names the exact CBDup duplication set:
+	// any partitioned array it contains is replicated, whether or not
+	// the interference analysis marked it. Used by the
+	// selective-duplication refinement and the design-space explorer.
 	DupOnly map[string]bool
 	// Partitioner selects the graph-partitioning algorithm.
 	Partitioner core.Method
+	// FMPasses bounds the FM partitioner's refinement passes: 0 means
+	// the library default, negative stops after the greedy-equivalent
+	// first phase. Ignored unless Partitioner is core.MethodFM.
+	FMPasses int
+	// Profiled runs a profiling pass and uses profile-derived
+	// interference-edge weights for any partitioned mode (CBProfiled
+	// implies it). This decouples the weighting policy from the mode so
+	// profiling can combine with duplication.
+	Profiled bool
 }
 
 // Compiled is the result of compiling one program.
@@ -106,7 +117,8 @@ func (cc *Compiler) CompileCtx(ctx context.Context, source, name string, o Optio
 		return nil, err
 	}
 
-	if o.Mode == alloc.CBProfiled {
+	profiled := o.Profiled && o.Mode.Partitioned()
+	if o.Mode == alloc.CBProfiled || profiled {
 		// Profile-driven edge weights: execute the program once at the
 		// IR level to annotate every basic block with its execution
 		// count before building the interference graph.
@@ -117,7 +129,11 @@ func (cc *Compiler) CompileCtx(ctx context.Context, source, name string, o Optio
 		}
 	}
 
-	allocOpts := alloc.Options{Mode: o.Mode, InterruptSafe: o.InterruptSafe, Method: o.Partitioner, Scanner: &cc.scanner}
+	allocOpts := alloc.Options{
+		Mode: o.Mode, InterruptSafe: o.InterruptSafe,
+		Method: o.Partitioner, FMPasses: o.FMPasses, Profiled: profiled,
+		Scanner: &cc.scanner,
+	}
 	if o.DupOnly != nil {
 		filter := o.DupOnly
 		allocOpts.DupFilter = func(s *ir.Symbol) bool { return filter[s.Name] }

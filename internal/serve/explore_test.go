@@ -1,0 +1,257 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dualbank/internal/bench"
+	"dualbank/internal/explore"
+	"dualbank/internal/explore/store"
+	"dualbank/internal/serve"
+)
+
+// exploreServer boots a server configured for exploration tests.
+func exploreServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postExplore(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/explore", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/explore: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// waitDone polls the status endpoint until the job leaves "running".
+func waitDone(t *testing.T, url, id string) serve.ExploreStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body := get(t, url+"/v1/explore/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		var st serve.ExploreStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("status body: %v", err)
+		}
+		if st.State != "running" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running: %+v", id, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExploreEndToEnd submits a job, polls it to completion, fetches
+// the frontier, and checks it matches a direct engine run.
+func TestExploreEndToEnd(t *testing.T) {
+	_, ts := exploreServer(t, serve.Config{Workers: 4})
+
+	code, body := postExplore(t, ts.URL, `{"benchmarks":["fir_32_1"],"budget":30}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st serve.ExploreStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State != "running" && st.State != "done" {
+		t.Fatalf("submit status: %+v", st)
+	}
+
+	// The frontier endpoint answers 409 while the job runs and 200
+	// once it is done.
+	final := waitDone(t, ts.URL, st.ID)
+	if final.State != "done" {
+		t.Fatalf("job finished %q: %s", final.State, final.Error)
+	}
+	if final.Done == 0 || final.Planned == 0 {
+		t.Errorf("no progress counters: %+v", final)
+	}
+	if final.FrontierURL == "" {
+		t.Fatal("done job has no frontier_url")
+	}
+	code, body = get(t, ts.URL+final.FrontierURL)
+	if code != http.StatusOK {
+		t.Fatalf("frontier: %d %s", code, body)
+	}
+	var rep explore.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+
+	p, _ := bench.ByName("fir_32_1")
+	direct, err := explore.Explore(context.Background(), []bench.Program{p}, explore.Options{Budget: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || len(rep.Benchmarks[0].Frontier) != len(direct.Benchmarks[0].Frontier) {
+		t.Fatalf("served frontier differs from direct run:\nserved: %+v\ndirect: %+v",
+			rep.Benchmarks, direct.Benchmarks)
+	}
+	for i, got := range rep.Benchmarks[0].Frontier {
+		want := direct.Benchmarks[0].Frontier[i]
+		if got.Config != want.Config || got.Cycles != want.Cycles || got.Cost != want.Cost {
+			t.Errorf("frontier[%d]: served %+v, direct %+v", i, got, want)
+		}
+	}
+
+	// The exploration's traffic shows up in the metrics exposition.
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		`dspservd_explore_jobs_total{event="submitted"} 1`,
+		`dspservd_explore_jobs_total{event="done"} 1`,
+		"dspservd_explore_evals_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestExploreValidation covers the submit endpoint's error paths.
+func TestExploreValidation(t *testing.T) {
+	_, ts := exploreServer(t, serve.Config{Workers: 1})
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{}`, http.StatusBadRequest},
+		{`{"benchmarks":[]}`, http.StatusBadRequest},
+		{`{"benchmarks":["nope"]}`, http.StatusNotFound},
+		{`{"benchmarks":["fir_32_1"],"bogus":1}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, body := postExplore(t, ts.URL, tc.body); code != tc.code {
+			t.Errorf("%s: status %d (want %d): %s", tc.body, code, tc.code, body)
+		}
+	}
+	if code, body := get(t, ts.URL+"/v1/explore/explore-999"); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d %s", code, body)
+	}
+	if code, body := get(t, ts.URL+"/v1/explore/explore-999/frontier"); code != http.StatusNotFound {
+		t.Errorf("unknown job frontier: %d %s", code, body)
+	}
+}
+
+// TestExploreCheckpointResume submits the same exploration twice with
+// a store; the second job must replay checkpoints instead of
+// re-simulating.
+func TestExploreCheckpointResume(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := exploreServer(t, serve.Config{Workers: 2, ExploreStore: st})
+
+	submit := func() serve.ExploreStatus {
+		code, body := postExplore(t, ts.URL, `{"benchmarks":["fir_32_1"],"budget":25}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", code, body)
+		}
+		var s0 serve.ExploreStatus
+		if err := json.Unmarshal(body, &s0); err != nil {
+			t.Fatal(err)
+		}
+		return waitDone(t, ts.URL, s0.ID)
+	}
+	first := submit()
+	if first.State != "done" {
+		t.Fatalf("first job: %+v", first)
+	}
+	if st.Len() == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	second := submit()
+	if second.State != "done" {
+		t.Fatalf("second job: %+v", second)
+	}
+	code, body := get(t, ts.URL+second.FrontierURL)
+	if code != http.StatusOK {
+		t.Fatalf("frontier: %d %s", code, body)
+	}
+	var rep explore.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.StoreHits == 0 {
+		t.Errorf("second job replayed nothing: %+v", rep)
+	}
+}
+
+// TestExploreCloseCancelsJobs pins the drain contract: Close cancels
+// running exploration jobs and returns without waiting for them to
+// finish naturally.
+func TestExploreCloseCancelsJobs(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 1, MaxExploreBudget: 5000})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A wide job on one worker will still be running when Close fires.
+	names := make([]string, 0, 8)
+	for _, p := range bench.Kernels()[:8] {
+		names = append(names, fmt.Sprintf("%q", p.Name))
+	}
+	code, body := postExplore(t, ts.URL,
+		`{"benchmarks":[`+strings.Join(names, ",")+`],"budget":2000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st serve.ExploreStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not cancel the running exploration")
+	}
+	if got := s.Metrics().Snapshot(); got.InFlight != 0 {
+		t.Errorf("in-flight gauge %d after Close", got.InFlight)
+	}
+}

@@ -23,6 +23,12 @@ type Metrics struct {
 	requests map[int]int64
 	compile  histogram
 	simulate histogram
+	// exploreJobs counts exploration jobs by lifecycle event
+	// ("submitted", "done", "failed", "cancelled"); exploreEvals counts
+	// their evaluations by source ("run", "cache", "store",
+	// "infeasible").
+	exploreJobs  map[string]int64
+	exploreEvals map[string]int64
 }
 
 // latencyBounds are the histogram bucket upper bounds in seconds,
@@ -75,7 +81,25 @@ func (h *histogram) quantile(q float64) float64 {
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{requests: make(map[int]int64)}
+	return &Metrics{
+		requests:     make(map[int]int64),
+		exploreJobs:  make(map[string]int64),
+		exploreEvals: make(map[string]int64),
+	}
+}
+
+// ExploreJob counts one exploration-job lifecycle event.
+func (m *Metrics) ExploreJob(event string) {
+	m.mu.Lock()
+	m.exploreJobs[event]++
+	m.mu.Unlock()
+}
+
+// ExploreEval counts one exploration evaluation by result source.
+func (m *Metrics) ExploreEval(source string) {
+	m.mu.Lock()
+	m.exploreEvals[source]++
+	m.mu.Unlock()
 }
 
 // RequestStart marks a request in flight; the returned func undoes it.
@@ -170,8 +194,25 @@ func (m *Metrics) WriteTo(w io.Writer, cache bench.CacheStats, poolActive int64,
 		fmt.Fprintf(w, "dspservd_requests_total{code=%q} %d\n", strconv.Itoa(code), m.requests[code])
 	}
 
+	writeLabeled(w, "dspservd_explore_jobs_total", "Exploration jobs by lifecycle event.", "event", m.exploreJobs)
+	writeLabeled(w, "dspservd_explore_evals_total", "Exploration evaluations by result source.", "source", m.exploreEvals)
+
 	writeHistogram(w, "dspservd_compile_seconds", "Compile-phase latency of executed measurements.", &m.compile)
 	writeHistogram(w, "dspservd_simulate_seconds", "Simulate-phase latency of executed measurements.", &m.simulate)
+}
+
+// writeLabeled renders one counter family with a single string label.
+func writeLabeled(w io.Writer, name, help, label string, counts map[string]int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, counts[k])
+	}
 }
 
 func writeHistogram(w io.Writer, name, help string, h *histogram) {

@@ -40,6 +40,16 @@ type Request struct {
 	// Partitioner picks the graph-partitioning algorithm: greedy
 	// (default), kl, anneal, or fm.
 	Partitioner string `json:"partitioner,omitempty"`
+	// Profiled applies profile-derived edge weights to any partitioned
+	// mode (the Pr mode implies it).
+	Profiled bool `json:"profiled,omitempty"`
+	// FMPasses bounds the fm partitioner's refinement passes: 0 is the
+	// library default, a negative value stops after the first pass, a
+	// positive value is an exact bound. Requires the fm partitioner.
+	FMPasses int `json:"fm_passes,omitempty"`
+	// Dup names the exact arrays to duplicate instead of the paper's
+	// marked-array policy. Requires the Dup mode.
+	Dup []string `json:"dup,omitempty"`
 	// TimeoutMs caps this request's compile+simulate wall clock; zero
 	// means the server default. The server clamps it to its maximum.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -101,6 +111,11 @@ type Job struct {
 	Prog   bench.Program
 	Mode   alloc.Mode
 	Method core.Method
+	// FMPasses, Profiled, and DupOnly are the explorer's knobs (see
+	// Request); they flow into bench.RunOptions and the memo-cache key.
+	FMPasses int
+	Profiled bool
+	DupOnly  []string
 	// Timeout is the request's own deadline; zero means the server
 	// default applies.
 	Timeout time.Duration
@@ -200,6 +215,15 @@ func (req *Request) Job(maxSource int) (Job, error) {
 			return Job{}, fmt.Errorf("unknown partitioner %q (want greedy, kl, anneal, or fm)", req.Partitioner)
 		}
 	}
+	if req.FMPasses != 0 && j.Method != core.MethodFM {
+		return Job{}, fmt.Errorf("fm_passes requires the fm partitioner")
+	}
+	if len(req.Dup) > 0 && j.Mode != alloc.CBDup {
+		return Job{}, fmt.Errorf("dup requires mode %q", alloc.CBDup)
+	}
+	j.FMPasses = req.FMPasses
+	j.Profiled = req.Profiled
+	j.DupOnly = req.Dup
 
 	if req.Bench != "" {
 		p, ok := bench.ByName(req.Bench)

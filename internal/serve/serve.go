@@ -9,9 +9,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dualbank/internal/bench"
+	"dualbank/internal/explore/store"
 	"dualbank/internal/pipeline"
 )
 
@@ -30,23 +33,42 @@ type Config struct {
 	// MaxSourceBytes caps the source field of a request (default 1 MiB);
 	// the request body itself is capped slightly above it.
 	MaxSourceBytes int
+	// ExploreStore, when non-nil, checkpoints /v1/explore evaluations
+	// and resumes submitted explorations from it.
+	ExploreStore *store.Store
+	// MaxExploreBudget clamps a submitted exploration's per-benchmark
+	// evaluation budget (default 500).
+	MaxExploreBudget int
 }
 
 // Server is the dspservd HTTP service: a mux, a worker pool, a
 // single-flight memo cache for named-benchmark results, and a metrics
 // registry.
 //
-//	POST /v1/run        compile and simulate one benchmark or source
-//	GET  /v1/benchmarks list benchmarks, modes, and partitioners
-//	GET  /healthz       liveness
-//	GET  /metrics       Prometheus text exposition
-//	     /debug/pprof/  the standard profiling endpoints
+//	POST /v1/run                   compile and simulate one benchmark or source
+//	POST /v1/explore               submit an async design-space exploration
+//	GET  /v1/explore/{id}          exploration job status
+//	GET  /v1/explore/{id}/frontier completed exploration's Pareto report
+//	GET  /v1/benchmarks            list benchmarks, modes, and partitioners
+//	GET  /healthz                  liveness
+//	GET  /metrics                  Prometheus text exposition
+//	     /debug/pprof/             the standard profiling endpoints
 type Server struct {
 	cfg     Config
 	harness *bench.Harness
 	pool    *Pool
 	metrics *Metrics
 	mux     *http.ServeMux
+
+	// Exploration jobs run in the background, outside the HTTP
+	// handlers: jobsCtx parents every job (Close cancels it), jobsWG
+	// tracks their goroutines, jobs is the id → job registry.
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
+	jobsWG     sync.WaitGroup
+	jobsMu     sync.Mutex
+	jobs       map[string]*exploreJob
+	jobSeq     atomic.Int64
 }
 
 // New builds a ready-to-serve Server; callers must Close it to stop
@@ -67,6 +89,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxSourceBytes <= 0 {
 		cfg.MaxSourceBytes = 1 << 20
 	}
+	if cfg.MaxExploreBudget <= 0 {
+		cfg.MaxExploreBudget = 500
+	}
 	s := &Server{
 		cfg: cfg,
 		// The harness's pool stays unused (the serve pool bounds
@@ -74,10 +99,15 @@ func New(cfg Config) *Server {
 		harness: bench.NewHarness(1),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
+		jobs:    make(map[string]*exploreJob),
 	}
+	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
 	s.pool = NewPool(cfg.Workers, cfg.QueueDepth, s.execute)
 
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExploreSubmit)
+	s.mux.HandleFunc("GET /v1/explore/{id}", s.handleExploreStatus)
+	s.mux.HandleFunc("GET /v1/explore/{id}/frontier", s.handleExploreFrontier)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -101,14 +131,24 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // CacheStats reports the memo cache's traffic.
 func (s *Server) CacheStats() bench.CacheStats { return s.harness.Stats() }
 
-// Close stops the worker pool, cancelling in-flight jobs. Call it
-// after http.Server.Shutdown has drained the handlers.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the server's background work: exploration jobs are
+// cancelled and waited for (their completed evaluations are already
+// checkpointed — the store is write-through), then the worker pool is
+// closed, cancelling in-flight measurements. Call it after
+// http.Server.Shutdown has drained the handlers.
+func (s *Server) Close() {
+	s.jobsCancel()
+	s.jobsWG.Wait()
+	s.pool.Close()
+}
 
 // execute is the pool's RunFunc: named benchmarks flow through the
 // single-flight memo cache, source jobs compile and simulate afresh.
 func (s *Server) execute(ctx context.Context, cc *pipeline.Compiler, j Job) (bench.Result, bool, error) {
-	ro := bench.RunOptions{Compiler: cc, Partitioner: j.Method}
+	ro := bench.RunOptions{
+		Compiler: cc, Partitioner: j.Method,
+		FMPasses: j.FMPasses, Profiled: j.Profiled, DupOnly: j.DupOnly,
+	}
 	if j.Cacheable {
 		return s.harness.RunCtx(ctx, j.Prog, j.Mode, ro)
 	}

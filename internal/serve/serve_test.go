@@ -139,6 +139,44 @@ func TestServeModeAliasesAndPartitioners(t *testing.T) {
 	}
 }
 
+// TestServeExplorerKnobs drives the explorer's run knobs through
+// /v1/run: an exact duplication set, profile weighting, and an FM pass
+// bound, each a distinct cache key.
+func TestServeExplorerKnobs(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, data := postRun(t, ts.Client(), ts.URL, `{"bench":"fir_32_1","mode":"dup","dup":["h"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("exact dup set: status %d: %s", code, data)
+	}
+	var got serve.Response
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Duplicated) != 1 || got.Duplicated[0] != "h" {
+		t.Errorf("dup [h] duplicated %v", got.Duplicated)
+	}
+
+	for _, body := range []string{
+		`{"bench":"fir_32_1","mode":"CB","profiled":true}`,
+		`{"bench":"fir_32_1","mode":"CB","partitioner":"fm","fm_passes":1}`,
+	} {
+		code, data := postRun(t, ts.Client(), ts.URL, body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", body, code, data)
+		}
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Cached {
+			t.Errorf("%s: first request served from cache — cache key ignores the knob", body)
+		}
+	}
+}
+
 // TestServeCacheFlag checks the memo-cache contract over the wire: the
 // first named-benchmark request computes, the second is a hit with an
 // identical measurement, and source requests never cache.
@@ -212,6 +250,8 @@ func TestServeErrors(t *testing.T) {
 		{"unknown mode", `{"bench":"fir_32_1","mode":"zigzag"}`, http.StatusBadRequest},
 		{"unknown partitioner", `{"bench":"fir_32_1","partitioner":"magic"}`, http.StatusBadRequest},
 		{"negative timeout", `{"bench":"fir_32_1","timeout_ms":-5}`, http.StatusBadRequest},
+		{"fm_passes without fm", `{"bench":"fir_32_1","fm_passes":2}`, http.StatusBadRequest},
+		{"dup without Dup mode", `{"bench":"fir_32_1","mode":"CB","dup":["x"]}`, http.StatusBadRequest},
 		{"oversized source", fmt.Sprintf(`{"source":%q}`, strings.Repeat("x", 200)), http.StatusBadRequest},
 		{"compile error", `{"source":"void main( {"}`, http.StatusUnprocessableEntity},
 	}
