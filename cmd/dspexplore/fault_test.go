@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dualbank/internal/explore/store"
+)
+
+// TestFaultProfileGate: -fault-profile without DSP_FAULT_ENABLE=1 must
+// be refused with a usage error, never silently honored.
+func TestFaultProfileGate(t *testing.T) {
+	t.Setenv("DSP_FAULT_ENABLE", "")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-benchmark", "fir_32_1", "-budget", "5", "-quiet",
+		"-checkpoint", t.TempDir(), "-fault-profile", "ioerr=1",
+	}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "DSP_FAULT_ENABLE") {
+		t.Errorf("diagnostic does not name the gate: %s", stderr.String())
+	}
+}
+
+// TestCheckpointDirFailsMidRun models the checkpoint directory going
+// read-only partway through a -resume run (store-failafter lets a few
+// writes land, then fails every one): the CLI must exit non-zero with
+// a diagnostic, and the checkpoints written before the failure must
+// survive intact for the next resume.
+func TestCheckpointDirFailsMidRun(t *testing.T) {
+	t.Setenv("DSP_FAULT_ENABLE", "1")
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-benchmark", "fir_32_1", "-budget", "40", "-workers", "2", "-quiet",
+		"-checkpoint", dir, "-resume",
+		"-fault-profile", "store-failafter=8",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("exit 0 despite the checkpoint store failing mid-run; stderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "dspexplore:") || !strings.Contains(stderr.String(), "injected") {
+		t.Errorf("no diagnostic naming the store failure:\n%s", stderr.String())
+	}
+
+	// The pre-failure checkpoints reload cleanly and seed a successful
+	// fault-free resume.
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() == 0 {
+		t.Fatal("no checkpoints survived the mid-run failure")
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{
+		"-benchmark", "fir_32_1", "-budget", "40", "-workers", "2", "-quiet",
+		"-checkpoint", dir, "-resume",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("fault-free resume exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "resuming from") {
+		t.Errorf("resume did not replay the surviving checkpoints:\n%s", stderr.String())
+	}
+}

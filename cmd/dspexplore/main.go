@@ -15,7 +15,7 @@
 //
 //	dspexplore [-benchmark name[,name...]] [-kernels] [-apps]
 //	           [-budget N] [-workers N] [-exactk K]
-//	           [-checkpoint dir] [-resume=false]
+//	           [-checkpoint dir] [-resume=false] [-fault-profile spec]
 //	           [-json path] [-csv path] [-quiet]
 //	dspexplore -bench-report path
 //	dspexplore -list
@@ -36,6 +36,7 @@ import (
 	"dualbank/internal/bench"
 	"dualbank/internal/explore"
 	"dualbank/internal/explore/store"
+	"dualbank/internal/faultinject"
 )
 
 func main() {
@@ -64,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	exactK := fs.Int("exactk", 4, "exhaustively enumerate duplication subsets up to this many arrays; hill-climb beyond")
 	checkpoint := fs.String("checkpoint", "", "checkpoint completed evaluations to this directory")
 	resume := fs.Bool("resume", true, "replay existing checkpoints instead of re-simulating (needs -checkpoint)")
+	faultProfile := fs.String("fault-profile", "", "inject checkpoint-store faults per this profile (requires DSP_FAULT_ENABLE=1)")
 	jsonPath := fs.String("json", "", "write the full report as JSON to this file")
 	csvPath := fs.String("csv", "", "write the frontier points as CSV to this file")
 	benchReport := fs.String("bench-report", "", "explore the pinned baseline suite and write its report JSON here")
@@ -119,8 +121,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ExactK:   *exactK,
 		NoResume: !*resume,
 	}
+	inj, err := faultinject.FromFlag(*faultProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "dspexplore:", err)
+		return 2
+	}
 	if *checkpoint != "" {
-		st, err := store.Open(*checkpoint)
+		var st *store.Store
+		var err error
+		if inj != nil {
+			fmt.Fprintf(stderr, "dspexplore: FAULT INJECTION ACTIVE on checkpoint store (%s)\n", *faultProfile)
+			st, err = store.OpenFS(*checkpoint, faultinject.NewFaultFS(faultinject.OSFS{}, inj))
+		} else {
+			st, err = store.Open(*checkpoint)
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "dspexplore:", err)
 			return 1

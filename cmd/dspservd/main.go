@@ -14,6 +14,7 @@
 //	GET  /v1/explore/{id}/frontier completed exploration's Pareto report
 //	GET  /v1/benchmarks            benchmark, mode, and partitioner inventory
 //	GET  /healthz                  liveness
+//	GET  /readyz                   readiness (503 once draining)
 //	GET  /metrics                  Prometheus text exposition
 //	     /debug/pprof/             the standard profiling endpoints
 //
@@ -21,11 +22,23 @@
 // given directory as they complete; a job interrupted by shutdown
 // resumes from those checkpoints when resubmitted.
 //
+// Overload protection: -admit-timeout bounds how long a request waits
+// for a worker slot before being shed with 429 + Retry-After (0 keeps
+// unbounded waiting, limited only by the request deadline), and -rate
+// / -rate-burst token-bucket individual clients. On SIGINT/SIGTERM the
+// server flips /readyz to 503 first, then drains.
+//
+// -fault-profile injects deterministic faults (I/O errors, latency
+// spikes, compute errors, starvation bursts) for chaos testing. It is
+// refused unless DSP_FAULT_ENABLE=1 is set in the environment, so a
+// production unit file cannot enable it by accident.
+//
 // Usage:
 //
 //	dspservd [-addr :8357] [-workers N] [-queue N]
 //	         [-timeout 10s] [-max-timeout 60s] [-max-source 1048576]
-//	         [-explore-store dir]
+//	         [-admit-timeout 0] [-rate 0] [-rate-burst 0]
+//	         [-explore-store dir] [-fault-profile spec]
 package main
 
 import (
@@ -42,6 +55,7 @@ import (
 	"time"
 
 	"dualbank/internal/explore/store"
+	"dualbank/internal/faultinject"
 	"dualbank/internal/serve"
 )
 
@@ -61,9 +75,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "upper clamp on requested deadlines")
 	maxSource := fs.Int("max-source", 1<<20, "source size cap in bytes")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	admitTimeout := fs.Duration("admit-timeout", 0, "shed requests (429) that wait longer than this for a worker slot (0 = wait out the deadline)")
+	rate := fs.Float64("rate", 0, "per-client request rate limit in requests/sec (0 = off)")
+	rateBurst := fs.Int("rate-burst", 0, "per-client burst allowance (default ceil(rate))")
 	exploreStore := fs.String("explore-store", "", "checkpoint /v1/explore evaluations to this directory")
+	faultProfile := fs.String("fault-profile", "", "inject faults per this profile (requires DSP_FAULT_ENABLE=1; e.g. seed=1,ioerr=0.05,latency=0.02)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	inj, err := faultinject.FromFlag(*faultProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "dspservd:", err)
+		return 2
+	}
+	if inj != nil {
+		fmt.Fprintf(stderr, "dspservd: FAULT INJECTION ACTIVE (%s)\n", *faultProfile)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -72,7 +99,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var st *store.Store
 	if *exploreStore != "" {
 		var err error
-		if st, err = store.Open(*exploreStore); err != nil {
+		if inj != nil {
+			// Under a fault profile the checkpoint store rides the
+			// injected filesystem too.
+			st, err = store.OpenFS(*exploreStore, faultinject.NewFaultFS(faultinject.OSFS{}, inj))
+		} else {
+			st, err = store.Open(*exploreStore)
+		}
+		if err != nil {
 			fmt.Fprintln(stderr, "dspservd:", err)
 			return 1
 		}
@@ -84,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxTimeout:     *maxTimeout,
 		MaxSourceBytes: *maxSource,
 		ExploreStore:   st,
+		AdmitTimeout:   *admitTimeout,
+		RatePerSec:     *rate,
+		RateBurst:      *rateBurst,
+		Fault:          inj,
 	})
 	defer s.Close()
 
@@ -108,9 +146,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight handlers
-	// within the budget, then cancel whatever is still running by
-	// closing the pool (the deferred Close).
+	// Graceful shutdown: flip /readyz unready so load balancers stop
+	// routing here, stop accepting, drain in-flight handlers within the
+	// budget, then cancel whatever is still running by closing the pool
+	// (the deferred Close).
+	s.BeginDrain()
 	fmt.Fprintln(stdout, "dspservd: shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -122,6 +122,14 @@ type Options struct {
 	// interference-graph construction, so pipelines that allocate many
 	// programs back to back avoid rebuilding it each time.
 	Scanner *core.Scanner
+	// SwapBanks mirrors the whole assignment: every symbol the pass
+	// would place in bank X lands in bank Y and vice versa, including
+	// the save-slot alternation start and the coherence-store pair
+	// order. The banks are architecturally identical, so a swapped
+	// allocation must schedule and simulate to the same cycle count —
+	// the metamorphic test suite relies on this. Modes that do not
+	// steer banks (LowOrder, FullDup, Ideal ports) are unaffected.
+	SwapBanks bool
 }
 
 // Result describes the allocation for reporting and the cost model.
@@ -149,16 +157,21 @@ type Result struct {
 func Run(p *ir.Program, opts Options) (*Result, error) {
 	res := &Result{Mode: opts.Mode, Ports: machine.PortsBanked}
 
+	bankX, bankY := machine.BankX, machine.BankY
+	if opts.SwapBanks {
+		bankX, bankY = bankY, bankX
+	}
+
 	switch opts.Mode {
 	case SingleBank:
 		for _, s := range p.Symbols() {
-			s.Bank = machine.BankX
+			s.Bank = bankX
 			s.Duplicated = false
 		}
 	case Ideal:
 		res.Ports = machine.PortsDualPorted
 		for _, s := range p.Symbols() {
-			s.Bank = machine.BankX
+			s.Bank = bankX
 			s.Duplicated = false
 		}
 	case LowOrder:
@@ -194,11 +207,11 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		part := g.PartitionWithPasses(opts.Method, fmPasses)
 		res.Graph, res.Part = g, part
 		for _, s := range part.SetX {
-			s.Bank = machine.BankX
+			s.Bank = bankX
 			s.Duplicated = false
 		}
 		for _, s := range part.SetY {
-			s.Bank = machine.BankY
+			s.Bank = bankY
 			s.Duplicated = false
 		}
 		if opts.Mode == CBDup {
@@ -227,7 +240,7 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		// Save/restore slots are partitioned mechanically: successive
 		// slots of each function alternate between the banks.
 		for _, f := range p.Funcs {
-			next := machine.BankX
+			next := bankX
 			for _, s := range f.Locals {
 				if !s.Save {
 					continue
@@ -254,22 +267,27 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 
 // insertCoherenceStores doubles every store to a duplicated symbol:
 // the original targets the X copy and a clone, inserted immediately
-// after it, targets the Y copy. The two stores carry different bank
-// tags, so the dependence graph lets them issue in the same long
-// instruction when both memory units are free.
+// after it, targets the Y copy (the pair swaps under opts.SwapBanks).
+// The two stores carry different bank tags, so the dependence graph
+// lets them issue in the same long instruction when both memory units
+// are free.
 func insertCoherenceStores(p *ir.Program, opts Options, res *Result) {
+	bankX, bankY := machine.BankX, machine.BankY
+	if opts.SwapBanks {
+		bankX, bankY = bankY, bankX
+	}
 	for _, f := range p.Funcs {
 		for _, b := range f.Blocks {
 			var out []*ir.Op
 			for _, op := range b.Ops {
 				if op.Kind == ir.OpStore && op.Sym.Duplicated {
-					op.Bank = machine.BankX
+					op.Bank = bankX
 					clone := &ir.Op{
 						Kind: ir.OpStore,
 						Args: op.Args,
 						Idx:  op.Idx,
 						Sym:  op.Sym,
-						Bank: machine.BankY,
+						Bank: bankY,
 					}
 					op.DupPair, clone.DupPair = clone, op
 					if opts.InterruptSafe {

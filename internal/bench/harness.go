@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sort"
@@ -32,6 +33,12 @@ type Harness struct {
 	// Parallel is the maximum number of concurrent compile+simulate
 	// jobs; 1 reproduces the serial harness exactly.
 	Parallel int
+
+	// Intercept, when non-nil, runs before every cache-miss
+	// computation. A non-nil return aborts the measurement with that
+	// error — the fault-injection and instrumentation seam. Set it
+	// before the harness sees traffic; it is read without locking.
+	Intercept func(ctx context.Context, p Program, mode alloc.Mode) error
 
 	mu      sync.Mutex
 	cache   map[runKey]*cacheEntry
@@ -177,7 +184,12 @@ func (h *Harness) run(p Program, mode alloc.Mode, cc *pipeline.Compiler) (Result
 // computing request's context fires mid-measurement the partial result
 // is discarded and the entry removed, so coalesced waiters (and all
 // later requests) recompute rather than inherit a stranger's
-// cancellation error.
+// cancellation error. A waiter taking over re-checks the cache first
+// and verifies its own context is still live — a dead waiter must
+// never start (and then abandon) a fresh computation. Transient
+// failures (errors exposing Transient() bool, e.g. injected faults)
+// are likewise never cached: the entry is removed so the next request
+// retries.
 func (h *Harness) RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (res Result, cached bool, err error) {
 	key := newRunKey(p, mode, ro)
 	for {
@@ -190,7 +202,15 @@ func (h *Harness) RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro Run
 				return Result{}, false, fmt.Errorf("%s/%v: awaiting shared result: %w", p.Name, mode, ctx.Err())
 			}
 			if e.cancelled {
-				continue // the computing request gave up; take over
+				// The computing request gave up (or hit a transient
+				// fault). Loop to re-check the cache — another waiter
+				// may already have republished — but only with a live
+				// context: taking over just to cancel would evict
+				// whatever that other waiter computes.
+				if cerr := ctx.Err(); cerr != nil {
+					return Result{}, false, fmt.Errorf("%s/%v: awaiting shared result: %w", p.Name, mode, cerr)
+				}
+				continue
 			}
 			h.hits.Add(1)
 			return e.res, true, e.err
@@ -199,10 +219,10 @@ func (h *Harness) RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro Run
 		h.cache[key] = e
 		h.mu.Unlock()
 		h.misses.Add(1)
-		e.res, e.err = RunCtx(ctx, p, mode, ro)
+		e.res, e.err = h.compute(ctx, p, mode, ro)
 		h.mu.Lock()
 		switch {
-		case e.err != nil && ctx.Err() != nil:
+		case e.err != nil && (ctx.Err() != nil || isTransient(e.err)):
 			e.cancelled = true
 			delete(h.cache, key)
 		case e.err == nil:
@@ -215,6 +235,25 @@ func (h *Harness) RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro Run
 		close(e.done)
 		return e.res, false, e.err
 	}
+}
+
+// compute is one cache-miss execution: the Intercept hook (fault
+// injection, instrumentation) runs first and may veto the measurement.
+func (h *Harness) compute(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (Result, error) {
+	if h.Intercept != nil {
+		if err := h.Intercept(ctx, p, mode); err != nil {
+			return Result{}, err
+		}
+	}
+	return RunCtx(ctx, p, mode, ro)
+}
+
+// isTransient reports whether err carries the Transient() bool marker
+// anywhere in its chain. The check is structural so this package needs
+// no knowledge of who injected the error.
+func isTransient(err error) bool {
+	var tr interface{ Transient() bool }
+	return errors.As(err, &tr) && tr.Transient()
 }
 
 // Timings returns the compile/simulate split of every measurement the

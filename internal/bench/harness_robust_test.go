@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/faultinject"
+)
+
+// TestCancelStormSingleRecompute is the regression test for the
+// single-flight take-over path: when the computing request is
+// cancelled mid-measurement, exactly ONE live waiter recomputes —
+// dead-context waiters must neither take over nor trigger extra
+// compile invocations, and every live waiter coalesces onto the
+// recomputation.
+func TestCancelStormSingleRecompute(t *testing.T) {
+	h := NewHarness(1)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	h.Intercept = func(ctx context.Context, p Program, mode alloc.Mode) error {
+		computes.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-gate
+		return ctx.Err()
+	}
+
+	prog := FIR(8, 4)
+	mode := alloc.SingleBank
+
+	// The doomed computer: enters Intercept, blocks on gate.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	computerErr := make(chan error, 1)
+	go func() {
+		_, _, err := h.RunCtx(ctx1, prog, mode, RunOptions{})
+		computerErr <- err
+	}()
+	<-started
+
+	// A storm of waiters piles onto the in-flight entry: 8 live ones
+	// that must all succeed, and 8 whose contexts die while waiting —
+	// those must fail without ever starting a computation.
+	var live sync.WaitGroup
+	liveErrs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		live.Add(1)
+		go func(i int) {
+			defer live.Done()
+			_, _, liveErrs[i] = h.RunCtx(context.Background(), prog, mode, RunOptions{})
+		}(i)
+	}
+	deadCtx, cancelDead := context.WithCancel(context.Background())
+	var dead sync.WaitGroup
+	deadErrs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		dead.Add(1)
+		go func(i int) {
+			defer dead.Done()
+			_, _, deadErrs[i] = h.RunCtx(deadCtx, prog, mode, RunOptions{})
+		}(i)
+	}
+
+	// Kill the dead waiters' contexts, then the computer's, then let
+	// every blocked Intercept return: the computer reports Canceled and
+	// evicts its entry; exactly one live waiter takes over and — its
+	// context fine, the gate now open — computes for real.
+	cancelDead()
+	dead.Wait()
+	cancel1()
+	close(gate)
+
+	if err := <-computerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled computer returned %v, want context.Canceled", err)
+	}
+	live.Wait()
+	for i, err := range liveErrs {
+		if err != nil {
+			t.Errorf("live waiter %d failed: %v", i, err)
+		}
+	}
+	for i, err := range deadErrs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("dead waiter %d returned %v, want context.Canceled", i, err)
+		}
+	}
+	// Two compile invocations total: the cancelled original and the one
+	// successful take-over. Any more means a dead waiter took over or
+	// the live waiters failed to coalesce.
+	if got := computes.Load(); got != 2 {
+		t.Errorf("%d compute invocations under cancel storm, want exactly 2", got)
+	}
+	if st := h.Stats(); st.Misses != 2 {
+		t.Errorf("cache recorded %d misses, want 2 (stats %+v)", st.Misses, st)
+	}
+	// The successful recomputation must now be cached.
+	if _, cached, err := h.RunCtx(context.Background(), prog, mode, RunOptions{}); err != nil || !cached {
+		t.Errorf("post-storm request: cached=%v err=%v, want a clean hit", cached, err)
+	}
+}
+
+// TestTransientErrorsNotCached: an injected transient fault must fail
+// the requesting measurement but never poison the cache — the next
+// request retries and, once the fault clears, the result is memoized
+// normally.
+func TestTransientErrorsNotCached(t *testing.T) {
+	h := NewHarness(1)
+	inj := faultinject.New(faultinject.Profile{ComputeError: 1})
+	h.Intercept = func(ctx context.Context, p Program, mode alloc.Mode) error {
+		return inj.Compute("measure")
+	}
+	prog := FIR(8, 4)
+
+	for i := 0; i < 3; i++ {
+		_, cached, err := h.RunCtx(context.Background(), prog, alloc.SingleBank, RunOptions{})
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("attempt %d: err = %v, want injected fault", i, err)
+		}
+		if cached {
+			t.Fatalf("attempt %d: transient failure served from cache", i)
+		}
+	}
+	if st := h.Stats(); st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("stats after 3 transient failures: %+v, want 3 misses 0 hits", h.Stats())
+	}
+
+	// Fault clears; the next request computes and is cached.
+	h.Intercept = nil
+	if _, cached, err := h.RunCtx(context.Background(), prog, alloc.SingleBank, RunOptions{}); err != nil || cached {
+		t.Fatalf("post-fault compute: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := h.RunCtx(context.Background(), prog, alloc.SingleBank, RunOptions{}); err != nil || !cached {
+		t.Fatalf("post-fault hit: cached=%v err=%v", cached, err)
+	}
+	if st := h.Stats(); st.Misses != 4 || st.Hits != 1 {
+		t.Fatalf("final stats %+v, want 4 misses 1 hit", st)
+	}
+}
+
+// TestNonTransientErrorsAreCached pins the complement: a permanent
+// failure (e.g. a benchmark that cannot compile) stays cached so the
+// harness does not grind on a hopeless configuration.
+func TestNonTransientErrorsAreCached(t *testing.T) {
+	h := NewHarness(1)
+	permanent := errors.New("permanent failure")
+	var calls atomic.Int64
+	h.Intercept = func(ctx context.Context, p Program, mode alloc.Mode) error {
+		calls.Add(1)
+		return permanent
+	}
+	prog := FIR(8, 4)
+	if _, _, err := h.RunCtx(context.Background(), prog, alloc.SingleBank, RunOptions{}); !errors.Is(err, permanent) {
+		t.Fatalf("first request: %v", err)
+	}
+	if _, cached, err := h.RunCtx(context.Background(), prog, alloc.SingleBank, RunOptions{}); !errors.Is(err, permanent) || !cached {
+		t.Fatalf("second request: cached=%v err=%v, want cached permanent error", cached, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d compute invocations for a permanent failure, want 1", calls.Load())
+	}
+}

@@ -82,6 +82,13 @@ type Config struct {
 	// Ports is the memory port model: banked (MU0=X, MU1=Y) or
 	// dual-ported (Ideal).
 	Ports machine.PortModel
+	// MirrorBanks flips the unit preference for operations free to use
+	// either memory unit (duplicated loads tagged BankBoth): MU1 is
+	// tried before MU0. Set when the allocation ran with swapped banks,
+	// it makes the schedule of a mirrored allocation the exact mirror
+	// of the unmirrored one — the swap-invariance the metamorphic tests
+	// assert would otherwise be broken by the fixed MU0-first order.
+	MirrorBanks bool
 }
 
 // Scratch holds the scheduler's reusable working state: the
@@ -149,14 +156,22 @@ func ScheduleWith(p *ir.Program, cfg Config, s *Scratch) (*Program, error) {
 	return out, nil
 }
 
+// unitsMemoryMirror is the both-memory-units candidate list in MU1-
+// first order, used when Config.MirrorBanks flips the preference.
+var unitsMemoryMirror = []machine.Unit{machine.MU1, machine.MU0}
+
 // unitsFor lists the functional units that may execute op, most
 // preferred first. The returned slice is shared and read-only.
-func unitsFor(op *ir.Op, ports machine.PortModel) []machine.Unit {
+func unitsFor(op *ir.Op, cfg Config) []machine.Unit {
 	cls := op.Kind.Class()
 	if cls != machine.ClassMemory {
 		return machine.UnitsOf(cls)
 	}
-	return ports.UnitsForBank(op.Bank)
+	units := cfg.Ports.UnitsForBank(op.Bank)
+	if cfg.MirrorBanks && len(units) == 2 {
+		return unitsMemoryMirror
+	}
+	return units
 }
 
 // scheduleBlock list-schedules one block into the scratch arena and
@@ -253,8 +268,8 @@ func (s *Scratch) scheduleBlock(b *ir.Block, cfg Config) (int, error) {
 					if j < 0 || s.scheduled[j] || s.inDRS[j] != s.drsEpoch || !s.compatible(g, j, cycle) {
 						continue
 					}
-					if s.place(g, instr, cfg.Ports, i, cycle) {
-						if s.place(g, instr, cfg.Ports, j, cycle) {
+					if s.place(g, instr, cfg, i, cycle) {
+						if s.place(g, instr, cfg, j, cycle) {
 							placed = true
 						} else {
 							// Undo: both halves wait for the next cycle.
@@ -270,7 +285,7 @@ func (s *Scratch) scheduleBlock(b *ir.Block, cfg Config) (int, error) {
 					}
 					continue
 				}
-				if s.place(g, instr, cfg.Ports, i, cycle) {
+				if s.place(g, instr, cfg, i, cycle) {
 					placed = true
 				}
 			}
@@ -298,8 +313,8 @@ func (s *Scratch) compatible(g *ddg.Graph, i, cycle int) bool {
 }
 
 // place puts op i into the first free unit that can execute it.
-func (s *Scratch) place(g *ddg.Graph, instr *Instr, ports machine.PortModel, i, cycle int) bool {
-	for _, u := range unitsFor(g.Ops[i], ports) {
+func (s *Scratch) place(g *ddg.Graph, instr *Instr, cfg Config, i, cycle int) bool {
+	for _, u := range unitsFor(g.Ops[i], cfg) {
 		if instr.Slots[u] == nil {
 			instr.Slots[u] = g.Ops[i]
 			s.scheduled[i] = true
@@ -342,7 +357,7 @@ func Validate(p *Program) error {
 					cycle[op] = c
 					cls := op.Kind.Class()
 					okUnit := false
-					for _, au := range unitsFor(op, p.Ports) {
+					for _, au := range unitsFor(op, Config{Ports: p.Ports}) {
 						if machine.Unit(u) == au {
 							okUnit = true
 						}

@@ -88,6 +88,16 @@ type Graph struct {
 	// data-ready accesses hit the same symbol.
 	DupMarks map[*ir.Symbol]bool
 
+	// tiePref, when non-nil, replaces the greedy partitioner's
+	// node-index tie-break with a canonical preference: on equal move
+	// deltas the node with the greater preference migrates. BuildGraph
+	// fills it from the order symbols are first referenced in the
+	// program body (functions walked in call order from main), which is
+	// invariant under top-level declaration permutation and identifier
+	// renaming — the node index, being declaration order, is neither.
+	// Graphs assembled directly through NewGraph keep the index rule.
+	tiePref []int32
+
 	csr *CSR // cached adjacency view, invalidated by edge mutation
 }
 
@@ -310,12 +320,64 @@ type Scanner struct {
 // scanner's scratch storage across blocks.
 func (sc *Scanner) BuildGraph(p *ir.Program, policy WeightPolicy) *Graph {
 	g := NewGraph(p.Symbols())
+	g.rankByFirstUse(p)
 	for _, f := range p.Funcs {
 		for _, b := range f.Blocks {
 			g.scanBlock(sc, b, policy)
 		}
 	}
 	return g
+}
+
+// rankByFirstUse assigns the canonical tie-break preference: symbols
+// referenced earlier in the program body are preferred for migration
+// on equal greedy deltas. Functions are walked in call order from
+// main (call sites in body order, each function once), so the ranking
+// does not depend on the order functions or globals were declared, and
+// never on their names. Symbols no operation references keep the
+// lowest preferences; they can have no interference edges, so their
+// mutual order is immaterial.
+func (g *Graph) rankByFirstUse(p *ir.Program) {
+	visited := make(map[*ir.Func]bool, len(p.Funcs))
+	order := make([]*ir.Func, 0, len(p.Funcs))
+	var visit func(f *ir.Func)
+	visit = func(f *ir.Func) {
+		if f == nil || visited[f] {
+			return
+		}
+		visited[f] = true
+		order = append(order, f)
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if op.Kind == ir.OpCall {
+					visit(p.Func(op.Callee))
+				}
+			}
+		}
+	}
+	visit(p.Func("main"))
+	for _, f := range p.Funcs { // unreachable code, if any, ranks last
+		visit(f)
+	}
+
+	pref := int32(len(g.Nodes))
+	g.tiePref = make([]int32, len(g.Nodes))
+	for i := range g.tiePref {
+		g.tiePref[i] = -1
+	}
+	for _, f := range order {
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if op.Sym == nil {
+					continue
+				}
+				if i, ok := g.index[op.Sym]; ok && g.tiePref[i] < 0 {
+					g.tiePref[i] = pref
+					pref--
+				}
+			}
+		}
+	}
 }
 
 // BuildGraph runs the Figure-3 algorithm over every basic block of the

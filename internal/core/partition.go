@@ -30,25 +30,57 @@ type Partition struct {
 //	weight of its edges into set 1 minus the weight of its edges into
 //	set 2 — stopping as soon as no move decreases the cost.
 //
-// Ties are broken in favour of the later node, which reproduces the
-// published walk on the Figure 5 example. The greedy method is O(v²)
-// and, as the paper reports, achieves near-ideal partitions in
-// practice; PartitionFM reaches the same local optimum with gain
-// buckets in near-linear time.
+// Ties are broken in favour of the preferred node. Hand-assembled
+// graphs use the node-index rule ("later node wins"), which reproduces
+// the published walk on the Figure 5 example. Graphs built by the
+// program scanner carry the canonical first-reference ranking
+// (Graph.tiePref) instead, which keeps the walk independent of
+// declaration order and naming: ties go to the earliest-referenced
+// symbol, except on a total tie — every eligible move equally good,
+// the cost model blind — where the walk prefers the candidate
+// referenced farthest (in first-use order) from the symbols already
+// migrated, because operands of a single expression are natural
+// pairing partners and migrating them all together would forfeit
+// exactly the parallelism the partition exists to expose. The greedy
+// method is O(v²) and, as the paper reports, achieves near-ideal
+// partitions in practice; PartitionFM reaches the same local optimum
+// with gain buckets in near-linear time.
 func (g *Graph) Partition() *Partition {
 	n := len(g.Nodes)
 	c := g.CSR()
 	inY := make([]bool, n)
 
+	pref := func(i int) int32 {
+		if g.tiePref != nil {
+			return g.tiePref[i]
+		}
+		return int32(i)
+	}
+	// dist[i] is the first-use distance from node i to the nearest node
+	// already moved to set 2; "infinite" while set 2 is empty. Only
+	// meaningful on scanner-built graphs (tiePref ranks are first-use
+	// positions); hand-assembled graphs skip the diversity criterion.
+	const farAway = int32(1) << 30
+	var dist []int32
+	if g.tiePref != nil {
+		dist = make([]int32, n)
+		for i := range dist {
+			dist[i] = farAway
+		}
+	}
+	deltas := make([]int64, n)
 	cost := c.Total
 	trace := []int64{cost}
 	for {
-		best, bestDelta := -1, int64(0)
+		// Pass 1: compute every node's net decrease — edges into set 1
+		// minus edges into set 2 — and whether the cost model offers any
+		// signal (some eligible move strictly better than another).
+		bestDelta, signal := int64(0), false
 		for i := 0; i < n; i++ {
+			deltas[i] = 0
 			if inY[i] {
 				continue
 			}
-			// Net decrease: edges into set 1 minus edges into set 2.
 			var delta int64
 			for h := c.Start[i]; h < c.Start[i+1]; h++ {
 				if inY[c.Adj[h]] {
@@ -57,16 +89,52 @@ func (g *Graph) Partition() *Partition {
 					delta += c.W[h]
 				}
 			}
-			if delta > 0 && delta >= bestDelta {
-				best, bestDelta = i, delta
+			if delta <= 0 {
+				continue
+			}
+			deltas[i] = delta
+			if bestDelta != 0 && delta != bestDelta {
+				signal = true
+			}
+			if delta > bestDelta {
+				bestDelta = delta
 			}
 		}
-		if best < 0 {
+		if bestDelta == 0 {
 			break
+		}
+		// Pass 2: pick among the best moves. The diversity criterion
+		// applies only on a total tie — every eligible move equally
+		// good — where the model is blind and clustering is the risk.
+		best := -1
+		for i := 0; i < n; i++ {
+			if deltas[i] != bestDelta {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			if dist != nil && !signal && dist[i] != dist[best] {
+				if dist[i] > dist[best] {
+					best = i
+				}
+			} else if pref(i) > pref(best) {
+				best = i
+			}
 		}
 		inY[best] = true
 		cost -= bestDelta
 		trace = append(trace, cost)
+		if dist != nil {
+			for i := 0; i < n; i++ {
+				if d := g.tiePref[i] - g.tiePref[best]; d < 0 && -d < dist[i] {
+					dist[i] = -d
+				} else if d >= 0 && d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
 	}
 
 	part := g.partitionFrom(inY)

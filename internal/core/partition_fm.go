@@ -50,28 +50,51 @@ func (g *Graph) PartitionFMPasses(passes int) *Partition {
 
 	// Phase 1: the greedy walk with incremental gains. A node's gain
 	// starts as its weighted degree (everything is on side X), and
-	// moving b to Y lowers each still-X neighbour's gain by 2w.
+	// moving b to Y lowers each still-X neighbour's gain by 2w. The
+	// walk must replay Graph.Partition move for move, so extraction
+	// uses the same tie-breaks: canonical first-reference ranks on
+	// scanner-built graphs (with the total-tie diversity rule — see
+	// Partition), the node-index rule otherwise.
 	cost := c.Total
-	trace := []int64{cost}
-	for i := 0; i < n; i++ {
-		gain[i] = c.weightedDegree(i)
-		q.insert(int32(i), gain[i])
-	}
-	for {
-		b, ok := q.popMax(true)
-		if !ok {
-			break
+	var trace []int64
+	if q.useHeap && g.tiePref != nil {
+		// Wide-range profiled graph with canonical ranks: the lazy
+		// heap cannot see the whole tied cohort at once, so replay the
+		// reference walk directly instead of teaching it the diversity
+		// rule. This path keeps phase 1 exact on the rare fallback;
+		// phase 2 below is unaffected.
+		seed := g.Partition()
+		for _, s := range seed.SetY {
+			inY[g.index[s]] = true
 		}
-		inY[b] = true
-		cost -= gain[b]
+		cost = seed.Cost
+		trace = seed.Trace
+	} else {
 		trace = append(trace, cost)
-		for h := c.Start[b]; h < c.Start[b+1]; h++ {
-			a := c.Adj[h]
-			if inY[a] {
-				continue
+		var moved []int32
+		for i := 0; i < n; i++ {
+			gain[i] = c.weightedDegree(i)
+			q.insert(int32(i), gain[i])
+		}
+		for {
+			b, ok := q.popGreedy(g.tiePref, moved)
+			if !ok {
+				break
 			}
-			gain[a] -= 2 * c.W[h]
-			q.update(a, gain[a])
+			inY[b] = true
+			cost -= gain[b]
+			trace = append(trace, cost)
+			if g.tiePref != nil {
+				moved = append(moved, g.tiePref[b])
+			}
+			for h := c.Start[b]; h < c.Start[b+1]; h++ {
+				a := c.Adj[h]
+				if inY[a] {
+					continue
+				}
+				gain[a] -= 2 * c.W[h]
+				q.update(a, gain[a])
+			}
 		}
 	}
 
@@ -146,9 +169,14 @@ type gainQueue struct {
 	n   int
 	off int64 // bucket index = gain + off
 
-	// Bucket mode.
+	// Bucket mode. sizes and posCount track the top-bucket population
+	// and the number of queued nodes with strictly positive gain, so
+	// the greedy replay can recognise a total tie (every eligible move
+	// equally good) in O(1).
 	buckets    []int32 // head node of each gain bucket, -1 if empty
 	prev, next []int32
+	sizes      []int32
+	posCount   int
 	maxB       int
 
 	// Heap fallback for very wide gain ranges.
@@ -180,6 +208,8 @@ func (q *gainQueue) init(n int, pmax int64) {
 		}
 		q.prev = make([]int32, n)
 		q.next = make([]int32, n)
+		q.sizes = make([]int32, r)
+		q.posCount = 0
 		q.maxB = -1
 	} else {
 		q.useHeap = true
@@ -199,6 +229,10 @@ func (q *gainQueue) reset() {
 	for i := range q.buckets {
 		q.buckets[i] = -1
 	}
+	for i := range q.sizes {
+		q.sizes[i] = 0
+	}
+	q.posCount = 0
 	q.maxB = -1
 }
 
@@ -216,6 +250,10 @@ func (q *gainQueue) insert(i int32, g int64) {
 		q.prev[q.next[i]] = i
 	}
 	q.buckets[b] = i
+	q.sizes[b]++
+	if g > 0 {
+		q.posCount++
+	}
 	if b > q.maxB {
 		q.maxB = b
 	}
@@ -245,6 +283,10 @@ func (q *gainQueue) unlink(i int32) {
 	if q.next[i] >= 0 {
 		q.prev[q.next[i]] = q.prev[i]
 	}
+	q.sizes[q.gain[i]+q.off]--
+	if q.gain[i] > 0 {
+		q.posCount--
+	}
 }
 
 // popMax extracts the node with the highest gain, ties towards the
@@ -270,6 +312,58 @@ func (q *gainQueue) popMax(positiveOnly bool) (int32, bool) {
 	q.unlink(best)
 	q.inQ[best] = false
 	return best, true
+}
+
+// popGreedy is popMax for the phase-1 replay of the canonical greedy
+// walk: with first-reference ranks (pref non-nil, bucket mode) ties go
+// to the highest rank, except on a total tie — every queued node with
+// positive gain sits in the top bucket — where the candidate whose
+// rank lies farthest from the already-moved nodes wins, exactly as in
+// Graph.Partition. Without ranks it degrades to popMax.
+func (q *gainQueue) popGreedy(pref []int32, moved []int32) (int32, bool) {
+	if q.useHeap || pref == nil {
+		return q.popMax(true)
+	}
+	for q.maxB >= 0 && q.buckets[q.maxB] < 0 {
+		q.maxB--
+	}
+	if q.maxB < 0 || int64(q.maxB)-q.off <= 0 {
+		return 0, false
+	}
+	best := q.buckets[q.maxB]
+	if q.sizes[q.maxB] == int32(q.posCount) {
+		bd := prefDist(pref[best], moved)
+		for i := q.next[best]; i >= 0; i = q.next[i] {
+			if d := prefDist(pref[i], moved); d > bd || (d == bd && pref[i] > pref[best]) {
+				best, bd = i, d
+			}
+		}
+	} else {
+		for i := q.next[best]; i >= 0; i = q.next[i] {
+			if pref[i] > pref[best] {
+				best = i
+			}
+		}
+	}
+	q.unlink(best)
+	q.inQ[best] = false
+	return best, true
+}
+
+// prefDist is the first-use distance from rank p to the nearest moved
+// node's rank; "infinite" while nothing has moved.
+func prefDist(p int32, moved []int32) int32 {
+	d := int32(1) << 30
+	for _, m := range moved {
+		dd := p - m
+		if dd < 0 {
+			dd = -dd
+		}
+		if dd < d {
+			d = dd
+		}
+	}
+	return d
 }
 
 // Heap fallback: a binary max-heap ordered by (gain, index) with lazy

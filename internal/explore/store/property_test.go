@@ -1,0 +1,210 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dualbank/internal/faultinject"
+)
+
+// TestConcurrentWritersOneKey hammers one key from 8 goroutines (under
+// -race this is the store's concurrency audit): afterwards exactly one
+// valid record file exists, it parses whole, and both the live index
+// and a fresh Open agree on its contents.
+func TestConcurrentWritersOneKey(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Bench: "fir_32_1", Config: "part=fm;dup=all", Cycles: 4242, MemXData: 7}
+	key := Key(rec.Bench, rec.Config, "units=2")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := s.Put(key, rec); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonFiles []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			jsonFiles = append(jsonFiles, e.Name())
+		}
+		// Temp files may be stranded by racing renames; they must never
+		// masquerade as records.
+		if strings.Contains(e.Name(), ".tmp") && strings.HasSuffix(e.Name(), ".json") {
+			t.Errorf("stranded temp file %q is loadable as a record", e.Name())
+		}
+	}
+	if len(jsonFiles) != 1 {
+		t.Fatalf("dir holds %d record files after concurrent writes, want exactly 1: %v", len(jsonFiles), jsonFiles)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, jsonFiles[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil || f.Key != key {
+		t.Fatalf("surviving file invalid: %v (key %q)", err, f.Key)
+	}
+	if f.Record.Bench != rec.Bench || f.Record.Config != rec.Config ||
+		f.Record.Cycles != rec.Cycles || f.Record.MemXData != rec.MemXData {
+		t.Fatalf("surviving record %+v, want %+v", f.Record, rec)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store has %d records, want 1", s2.Len())
+	}
+	if got, ok := s2.Get(key); !ok || got.Cycles != rec.Cycles {
+		t.Fatalf("reopened Get = %+v, %v", got, ok)
+	}
+}
+
+// TestTruncationAtEveryOffset writes one real record, then replays
+// every possible torn prefix of its file into a fresh directory: a
+// strict prefix must always be detected and skipped — never
+// half-loaded — while the full bytes (with or without the trailing
+// newline) load the exact record.
+func TestTruncationAtEveryOffset(t *testing.T) {
+	src := t.TempDir()
+	s, err := Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{
+		Bench: "fft_256", Config: "part=greedy;dup=none", Cycles: 987654321,
+		MemXData: 11, MemYData: 13, MemStack: 5, MemInstr: 99,
+		DupStores: 3, Duplicated: []string{"tw", "x"},
+	}
+	key := Key(rec.Bench, rec.Config, "units=2;bank=65536")
+	if err := s.Put(key, rec); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d files, want 1", len(entries))
+	}
+	name := entries[0].Name()
+	data, err := os.ReadFile(filepath.Join(src, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := t.TempDir()
+	path := filepath.Join(dst, name)
+	for cut := 0; cut <= len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dst)
+		if err != nil {
+			t.Fatalf("cut %d: Open failed outright: %v", cut, err)
+		}
+		// Only the complete JSON value may load: the full file, or the
+		// full file minus its trailing newline.
+		complete := cut >= len(data)-1
+		switch got, ok := s2.Get(key); {
+		case !complete && (ok || s2.Len() != 0):
+			t.Fatalf("cut %d of %d: truncated file half-loaded: %d records, rec %+v", cut, len(data), s2.Len(), got)
+		case complete && (!ok || got.Cycles != rec.Cycles || got.DupStores != rec.DupStores ||
+			len(got.Duplicated) != len(rec.Duplicated)):
+			t.Fatalf("cut %d of %d: complete file loaded %+v, %v", cut, len(data), got, ok)
+		}
+	}
+}
+
+// TestPutUnderTornWrites drives Put through a filesystem that tears
+// every write: every Put must fail cleanly, nothing may enter the
+// index, and the directory must reload empty — the atomic-write
+// discipline confines the damage to temp files.
+func TestPutUnderTornWrites(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(faultinject.Profile{PartialWrite: 1})
+	s, err := OpenFS(dir, faultinject.NewFaultFS(faultinject.OSFS{}, inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		err := s.Put(Key("b", "c", "m"), Record{Bench: "b", Cycles: 1})
+		if err == nil {
+			t.Fatal("torn Put reported success")
+		}
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("torn Put error %v does not unwrap to ErrInjected", err)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("index holds %d records after failed Puts", s.Len())
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("directory reloaded %d records after failed Puts, want 0", s2.Len())
+	}
+}
+
+// TestPutStoreFailAfter models the checkpoint directory going
+// read-only (or the disk filling) mid-run: writes succeed up to the
+// threshold and deterministically fail afterwards, and the already
+// published records survive a reload.
+func TestPutStoreFailAfter(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(faultinject.Profile{StoreFailAfter: 6})
+	s, err := OpenFS(dir, faultinject.NewFaultFS(faultinject.OSFS{}, inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open's MkdirAll is write op 1; each Put then costs two write ops
+	// (CreateTemp + Rename). Puts 1-2 use ops 2-5 and succeed; put 3
+	// hits op 6 and every later op fails.
+	var firstErr error
+	ok := 0
+	for i := 0; i < 6; i++ {
+		err := s.Put(Key("b", string(rune('a'+i)), "m"), Record{Bench: "b", Cycles: int64(i)})
+		if err == nil {
+			ok++
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if ok != 2 {
+		t.Fatalf("%d Puts succeeded under store-failafter=5, want 2", ok)
+	}
+	if !errors.Is(firstErr, faultinject.ErrInjected) {
+		t.Fatalf("failafter error %v does not unwrap to ErrInjected", firstErr)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != ok {
+		t.Fatalf("reload found %d records, want %d", s2.Len(), ok)
+	}
+}

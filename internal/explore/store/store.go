@@ -7,6 +7,12 @@
 // a resumed run replays them instead of re-simulating. The store is
 // safe for concurrent use by one process; cross-process writers are
 // safe too because identical keys always carry identical contents.
+//
+// All disk traffic flows through a faultinject.FS, so the robustness
+// suite can open a store over an injected filesystem and verify that
+// I/O errors, latency spikes, and torn writes never publish a corrupt
+// record — the atomic-write discipline confines damage to temp files
+// that a later Open ignores.
 package store
 
 import (
@@ -14,10 +20,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"dualbank/internal/faultinject"
 )
 
 // Record is one checkpointed evaluation. The fields mirror what the
@@ -46,6 +53,7 @@ type Record struct {
 // index. The zero value is not usable; call Open.
 type Store struct {
 	dir string
+	fs  faultinject.FS
 
 	mu   sync.Mutex
 	recs map[string]Record // key -> record, loaded lazily at Open
@@ -58,15 +66,23 @@ func Key(bench, config, fingerprint string) string {
 	return bench + "|" + config + "|" + fingerprint
 }
 
-// Open creates (if needed) and loads the store rooted at dir. Corrupt
-// or truncated record files — possible only from non-atomic external
-// tampering — are skipped, not fatal: the evaluations re-run.
+// Open creates (if needed) and loads the store rooted at dir on the
+// real filesystem.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, faultinject.OSFS{})
+}
+
+// OpenFS is Open over an explicit filesystem — the fault-injection
+// seam. Corrupt or truncated record files — possible only from
+// non-atomic external tampering — are skipped, not fatal: the
+// evaluations re-run. A file that fails to read whole is likewise
+// skipped rather than half-loaded.
+func OpenFS(dir string, fsys faultinject.FS) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, recs: make(map[string]Record)}
-	entries, err := os.ReadDir(dir)
+	s := &Store{dir: dir, fs: fsys, recs: make(map[string]Record)}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -74,7 +90,7 @@ func Open(dir string) (*Store, error) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		data, err := fsys.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			continue
 		}
@@ -112,10 +128,25 @@ func (s *Store) Get(key string) (Record, bool) {
 	return r, ok
 }
 
+// Snapshot copies the whole index. The robustness suite compares it
+// against a fresh Open of the same directory to prove the disk state
+// reloads identically.
+func (s *Store) Snapshot() map[string]Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Record, len(s.recs))
+	for k, r := range s.recs {
+		out[k] = r
+	}
+	return out
+}
+
 // Put checkpoints one evaluation, writing through to disk atomically
 // before indexing it. A later Put of the same key overwrites — keys
 // are content addresses, so the record is necessarily identical and
-// the overwrite is idempotent.
+// the overwrite is idempotent. On any write failure the temp file is
+// discarded and the index is left untouched: a failed Put never
+// publishes a partial record, on disk or in memory.
 func (s *Store) Put(key string, r Record) error {
 	data, err := json.MarshalIndent(file{Key: key, Record: r}, "", "  ")
 	if err != nil {
@@ -123,18 +154,18 @@ func (s *Store) Put(key string, r Record) error {
 	}
 	sum := sha256.Sum256([]byte(key))
 	name := hex.EncodeToString(sum[:]) + ".json"
-	tmp, err := os.CreateTemp(s.dir, name+".tmp*")
+	tmp, err := s.fs.CreateTemp(s.dir, name+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	_, werr := tmp.Write(append(data, '\n'))
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %s: %w", name, firstErr(werr, cerr))
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fs.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
 	s.mu.Lock()

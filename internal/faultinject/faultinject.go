@@ -1,0 +1,382 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// layer for the serving and checkpointing stack. It wraps the three
+// resources the robustness tests stress — the filesystem beneath the
+// explore checkpoint store, the experiment harness's memo-cache
+// computations, and the serve worker pool — and injects I/O errors,
+// latency spikes, partial writes, and pool-slot starvation at
+// configured rates.
+//
+// Injection decisions are quasi-random but count-deterministic: each
+// fault class keeps an accumulator that gains its probability per
+// opportunity and fires whenever it crosses one, with a seed-derived
+// starting phase. Over N opportunities a class with probability p
+// injects floor(N*p)±1 faults no matter how the opportunities
+// interleave across goroutines — so a chaos run can assert on fault
+// counts, not just tolerate whatever a PRNG happened to produce.
+//
+// The package has no hooks into production paths unless explicitly
+// wired in: an Injector reaches the server only through
+// serve.Config.Fault, the harness only through bench.Harness.Intercept,
+// and the store only through store.OpenFS, all of which default to the
+// fault-free implementations.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel all injected faults wrap; errors.Is
+// distinguishes an injected fault from a real failure.
+var ErrInjected = errors.New("injected fault")
+
+// Error is one injected fault. It unwraps to ErrInjected and reports
+// itself transient, which the harness memo cache uses to avoid caching
+// it as if it were a deterministic compile failure.
+type Error struct {
+	// Class is the fault class ("io", "compute", ...); Op is the
+	// operation it fired on.
+	Class, Op string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected %s fault on %s", e.Class, e.Op)
+}
+
+// Unwrap ties the error to the ErrInjected sentinel.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Transient reports that retrying the operation may succeed. The
+// harness checks for this method structurally, so packages that never
+// import faultinject still handle injected faults correctly.
+func (e *Error) Transient() bool { return true }
+
+// Profile configures an Injector. All probabilities are per
+// opportunity, in [0, 1]; zero disables the class. The zero Profile
+// injects nothing.
+type Profile struct {
+	// Seed derives each class's accumulator phase, so distinct seeds
+	// fault different operations at the same rates.
+	Seed int64
+
+	// IOError is the probability an FS operation fails with an
+	// injected *Error before touching the disk.
+	IOError float64
+	// Latency is the probability an FS operation or a pool execution
+	// stalls for LatencyDur first.
+	Latency float64
+	// LatencyDur is the injected stall (default 10ms).
+	LatencyDur time.Duration
+	// PartialWrite is the probability a file write persists only a
+	// prefix and then fails — the torn write an atomic store must
+	// tolerate.
+	PartialWrite float64
+	// ComputeError is the probability a memo-cache computation fails
+	// with an injected transient *Error.
+	ComputeError float64
+	// Starve is the probability a pool execution holds its worker slot
+	// idle for StarveDur before running — a pool-starvation burst.
+	Starve float64
+	// StarveDur is the injected slot hold (default 50ms).
+	StarveDur time.Duration
+	// StoreFailAfter, when positive, fails every FS write operation
+	// after the first StoreFailAfter-1 — the disk filling up (or going
+	// read-only) partway through a run, deterministically.
+	StoreFailAfter int
+}
+
+// Zero reports whether the profile injects nothing.
+func (p Profile) Zero() bool {
+	return p.IOError == 0 && p.Latency == 0 && p.PartialWrite == 0 &&
+		p.ComputeError == 0 && p.Starve == 0 && p.StoreFailAfter == 0
+}
+
+// String renders the profile in ParseProfile's syntax.
+func (p Profile) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	if p.Seed != 0 {
+		add("seed", strconv.FormatInt(p.Seed, 10))
+	}
+	if p.IOError != 0 {
+		add("ioerr", f(p.IOError))
+	}
+	if p.Latency != 0 {
+		add("latency", f(p.Latency))
+	}
+	if p.LatencyDur != 0 {
+		add("latency-ms", strconv.FormatInt(p.LatencyDur.Milliseconds(), 10))
+	}
+	if p.PartialWrite != 0 {
+		add("partial", f(p.PartialWrite))
+	}
+	if p.ComputeError != 0 {
+		add("compute", f(p.ComputeError))
+	}
+	if p.Starve != 0 {
+		add("starve", f(p.Starve))
+	}
+	if p.StarveDur != 0 {
+		add("starve-ms", strconv.FormatInt(p.StarveDur.Milliseconds(), 10))
+	}
+	if p.StoreFailAfter != 0 {
+		add("store-failafter", strconv.Itoa(p.StoreFailAfter))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseProfile parses a comma-separated key=value profile:
+//
+//	seed=7,ioerr=0.05,latency=0.02,latency-ms=10,partial=0.02,
+//	compute=0.05,starve=0.01,starve-ms=50,store-failafter=20
+//
+// Unknown keys, malformed values, and probabilities outside [0, 1] are
+// errors; an empty string is the zero profile.
+func ParseProfile(s string) (Profile, error) {
+	var p Profile
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("faultinject: %q is not key=value", field)
+		}
+		prob := func(dst *float64) error {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil || x < 0 || x > 1 {
+				return fmt.Errorf("faultinject: %s=%q: want a probability in [0,1]", k, v)
+			}
+			*dst = x
+			return nil
+		}
+		ms := func(dst *time.Duration) error {
+			x, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || x < 0 {
+				return fmt.Errorf("faultinject: %s=%q: want non-negative milliseconds", k, v)
+			}
+			*dst = time.Duration(x) * time.Millisecond
+			return nil
+		}
+		var err error
+		switch k {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("faultinject: seed=%q: %v", v, err)
+			}
+		case "ioerr":
+			err = prob(&p.IOError)
+		case "latency":
+			err = prob(&p.Latency)
+		case "latency-ms":
+			err = ms(&p.LatencyDur)
+		case "partial":
+			err = prob(&p.PartialWrite)
+		case "compute":
+			err = prob(&p.ComputeError)
+		case "starve":
+			err = prob(&p.Starve)
+		case "starve-ms":
+			err = ms(&p.StarveDur)
+		case "store-failafter":
+			p.StoreFailAfter, err = strconv.Atoi(v)
+			if err != nil || p.StoreFailAfter < 0 {
+				err = fmt.Errorf("faultinject: store-failafter=%q: want a non-negative count", v)
+			}
+		default:
+			err = fmt.Errorf("faultinject: unknown profile key %q", k)
+		}
+		if err != nil {
+			return Profile{}, err
+		}
+	}
+	return p, nil
+}
+
+// class is one fault class's deterministic trigger: the accumulator
+// gains p per opportunity and fires on crossing 1.
+type class struct {
+	p    float64
+	acc  float64
+	ops  int64 // opportunities seen
+	hits int64 // faults injected
+}
+
+// fire consumes one opportunity and reports whether the fault triggers.
+func (c *class) fire() bool {
+	c.ops++
+	if c.p <= 0 {
+		return false
+	}
+	c.acc += c.p
+	if c.acc >= 1 {
+		c.acc--
+		c.hits++
+		return true
+	}
+	return false
+}
+
+// Injector makes seed-deterministic fault decisions. It is safe for
+// concurrent use; decisions are serialized, so total fault counts
+// depend only on how many opportunities each class sees, never on
+// goroutine interleaving.
+type Injector struct {
+	profile Profile
+
+	mu       sync.Mutex
+	io       class
+	latency  class
+	partial  class
+	compute  class
+	starve   class
+	writes   int64 // FS write operations seen, for StoreFailAfter
+	failHits int64 // StoreFailAfter faults injected
+}
+
+// New builds an Injector for the profile. Durations get defaults
+// (10ms latency, 50ms starvation) when the profile enables the class
+// but leaves its duration zero.
+func New(p Profile) *Injector {
+	if p.LatencyDur <= 0 {
+		p.LatencyDur = 10 * time.Millisecond
+	}
+	if p.StarveDur <= 0 {
+		p.StarveDur = 50 * time.Millisecond
+	}
+	inj := &Injector{profile: p}
+	// Seed each class's accumulator phase so different seeds shift
+	// which opportunities fault while keeping the totals fixed.
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, c := range []*class{&inj.io, &inj.latency, &inj.partial, &inj.compute, &inj.starve} {
+		c.acc = rng.Float64()
+	}
+	inj.io.p = p.IOError
+	inj.latency.p = p.Latency
+	inj.partial.p = p.PartialWrite
+	inj.compute.p = p.ComputeError
+	inj.starve.p = p.Starve
+	return inj
+}
+
+// Profile returns the injector's configuration.
+func (inj *Injector) Profile() Profile { return inj.profile }
+
+// FSOp gives the injector one filesystem-operation opportunity.
+// It returns the injected delay to apply (0 for none) and the injected
+// error (nil for none). write marks mutating operations, which are
+// additionally subject to StoreFailAfter.
+func (inj *Injector) FSOp(op string, write bool) (time.Duration, error) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var d time.Duration
+	if inj.latency.fire() {
+		d = inj.profile.LatencyDur
+	}
+	if write {
+		inj.writes++
+		if n := int64(inj.profile.StoreFailAfter); n > 0 && inj.writes >= n {
+			inj.failHits++
+			return d, &Error{Class: "io", Op: op}
+		}
+	}
+	if inj.io.fire() {
+		return d, &Error{Class: "io", Op: op}
+	}
+	return d, nil
+}
+
+// WriteLen gives the injector one partial-write opportunity for an
+// n-byte write: it returns how many bytes to persist and whether the
+// write must then fail as torn.
+func (inj *Injector) WriteLen(n int) (int, bool) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if !inj.partial.fire() {
+		return n, false
+	}
+	// Persist a deterministic strict prefix: torn exactly in half,
+	// rounding down, so even 1-byte writes lose everything.
+	return n / 2, true
+}
+
+// Compute gives the injector one memo-cache computation opportunity
+// and returns the transient error to fail it with, or nil.
+func (inj *Injector) Compute(op string) error {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.compute.fire() {
+		return &Error{Class: "compute", Op: op}
+	}
+	return nil
+}
+
+// ExecDelay gives the injector one pool-execution opportunity and
+// returns how long the worker slot should stall before running the
+// job: StarveDur for a starvation burst, LatencyDur for a latency
+// spike, 0 for neither (starvation wins when both fire).
+func (inj *Injector) ExecDelay() time.Duration {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var d time.Duration
+	if inj.latency.fire() {
+		d = inj.profile.LatencyDur
+	}
+	if inj.starve.fire() {
+		d = inj.profile.StarveDur
+	}
+	return d
+}
+
+// Stats is a snapshot of the injector's traffic: per-class
+// opportunities seen and faults injected.
+type Stats struct {
+	IOOps, IOFaults           int64
+	LatencyFaults             int64
+	PartialFaults             int64
+	ComputeOps, ComputeFaults int64
+	ExecOps, ExecFaults       int64
+	WriteOps, FailAfterFaults int64
+}
+
+// Stats returns the current counters.
+func (inj *Injector) Stats() Stats {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return Stats{
+		IOOps: inj.io.ops, IOFaults: inj.io.hits,
+		LatencyFaults: inj.latency.hits,
+		PartialFaults: inj.partial.hits,
+		ComputeOps:    inj.compute.ops, ComputeFaults: inj.compute.hits,
+		ExecOps: inj.starve.ops, ExecFaults: inj.starve.hits,
+		WriteOps: inj.writes, FailAfterFaults: inj.failHits,
+	}
+}
+
+// String renders the stats compactly for logs.
+func (s Stats) String() string {
+	type kv struct {
+		k string
+		v int64
+	}
+	pairs := []kv{
+		{"io", s.IOFaults}, {"latency", s.LatencyFaults},
+		{"partial", s.PartialFaults}, {"compute", s.ComputeFaults},
+		{"starve", s.ExecFaults}, {"failafter", s.FailAfterFaults},
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].v > pairs[j].v })
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = fmt.Sprintf("%s=%d", p.k, p.v)
+	}
+	return strings.Join(parts, " ")
+}

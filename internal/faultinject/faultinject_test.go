@@ -1,0 +1,263 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseProfileRoundTrip(t *testing.T) {
+	in := "seed=7,ioerr=0.05,latency=0.02,latency-ms=10,partial=0.02,compute=0.05,starve=0.01,starve-ms=50,store-failafter=20"
+	p, err := ParseProfile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.IOError != 0.05 || p.Latency != 0.02 ||
+		p.LatencyDur != 10*time.Millisecond || p.PartialWrite != 0.02 ||
+		p.ComputeError != 0.05 || p.Starve != 0.01 ||
+		p.StarveDur != 50*time.Millisecond || p.StoreFailAfter != 20 {
+		t.Fatalf("parsed %+v", p)
+	}
+	back, err := ParseProfile(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if back != p {
+		t.Fatalf("round trip drifted: %+v vs %+v", back, p)
+	}
+}
+
+func TestParseProfileZeroAndSpaces(t *testing.T) {
+	p, err := ParseProfile(" ")
+	if err != nil || !p.Zero() {
+		t.Fatalf("blank profile: %+v, %v", p, err)
+	}
+	p, err = ParseProfile("ioerr=0.5, latency=1")
+	if err != nil || p.IOError != 0.5 || p.Latency != 1 {
+		t.Fatalf("spaced profile: %+v, %v", p, err)
+	}
+}
+
+func TestParseProfileRejects(t *testing.T) {
+	for _, s := range []string{
+		"wat=1", "ioerr", "ioerr=1.5", "ioerr=-0.1", "ioerr=x",
+		"latency-ms=-5", "latency-ms=x", "store-failafter=-1",
+		"store-failafter=x", "seed=zz",
+	} {
+		if _, err := ParseProfile(s); err == nil {
+			t.Errorf("ParseProfile(%q) accepted", s)
+		}
+	}
+}
+
+// TestDeterministicCounts is the injector's core contract: over N
+// opportunities a class with probability p fires floor(N*p) or
+// floor(N*p)+1 times, regardless of seed.
+func TestDeterministicCounts(t *testing.T) {
+	const n = 1000
+	for _, seed := range []int64{0, 1, 2, 42} {
+		inj := New(Profile{Seed: seed, ComputeError: 0.05})
+		faults := 0
+		for i := 0; i < n; i++ {
+			if inj.Compute("op") != nil {
+				faults++
+			}
+		}
+		if faults != 50 && faults != 51 {
+			t.Errorf("seed %d: %d faults over %d ops at p=0.05, want 50 or 51", seed, faults, n)
+		}
+		st := inj.Stats()
+		if st.ComputeOps != n || st.ComputeFaults != int64(faults) {
+			t.Errorf("seed %d: stats %+v disagree with observed %d/%d", seed, st, faults, n)
+		}
+	}
+}
+
+// TestSeedShiftsPhase checks distinct seeds fault different
+// opportunities at the same rate.
+func TestSeedShiftsPhase(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		inj := New(Profile{Seed: seed, ComputeError: 0.1})
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = inj.Compute("op") != nil
+		}
+		return out
+	}
+	a, b := pattern(1), pattern(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical fault patterns")
+	}
+}
+
+// TestCountsConcurrencyInvariant: total fault counts must not depend
+// on goroutine interleaving.
+func TestCountsConcurrencyInvariant(t *testing.T) {
+	inj := New(Profile{Seed: 3, ComputeError: 0.2})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	faults := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 125; i++ {
+				if inj.Compute("op") != nil {
+					local++
+				}
+			}
+			mu.Lock()
+			faults += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if faults != 200 && faults != 201 {
+		t.Errorf("%d faults over 1000 concurrent ops at p=0.2, want 200 or 201", faults)
+	}
+}
+
+func TestInjectedErrorIdentity(t *testing.T) {
+	inj := New(Profile{ComputeError: 1})
+	err := inj.Compute("measure")
+	if err == nil {
+		t.Fatal("p=1 compute injected nothing")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("injected error %v is not ErrInjected", err)
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Errorf("injected error %v is not transient", err)
+	}
+}
+
+func TestStoreFailAfter(t *testing.T) {
+	inj := New(Profile{StoreFailAfter: 3})
+	for i := 1; i <= 5; i++ {
+		_, err := inj.FSOp("write", true)
+		if i < 3 && err != nil {
+			t.Errorf("write %d failed early: %v", i, err)
+		}
+		if i >= 3 && err == nil {
+			t.Errorf("write %d succeeded past failafter=3", i)
+		}
+	}
+	// Reads stay unaffected.
+	if _, err := inj.FSOp("read", false); err != nil {
+		t.Errorf("read failed under store-failafter: %v", err)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(Profile{PartialWrite: 1})
+	ffs := NewFaultFS(OSFS{}, inj)
+	f, err := ffs.CreateTemp(dir, "x*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err == nil {
+		t.Fatal("p=1 partial write reported success")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("torn write error %v is not ErrInjected", err)
+	}
+	if n != 5 {
+		t.Errorf("torn write reported %d bytes, want 5", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Errorf("torn file holds %q, want the 5-byte prefix", data)
+	}
+}
+
+func TestFaultFSIOError(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(Profile{IOError: 1})
+	ffs := NewFaultFS(OSFS{}, inj)
+	if _, err := ffs.ReadDir(dir); !errors.Is(err, ErrInjected) {
+		t.Errorf("ReadDir under p=1: %v", err)
+	}
+	if _, err := ffs.CreateTemp(dir, "x*"); !errors.Is(err, ErrInjected) {
+		t.Errorf("CreateTemp under p=1: %v", err)
+	}
+	if err := ffs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Errorf("Rename under p=1: %v", err)
+	}
+	if st := inj.Stats(); st.IOFaults < 3 {
+		t.Errorf("stats recorded %d io faults, want >=3: %+v", st.IOFaults, st)
+	}
+}
+
+// TestFaultFSCleanPassThrough: a zero profile must behave exactly like
+// the OS filesystem.
+func TestFaultFSCleanPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{}, New(Profile{}))
+	f, err := ffs.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "final")
+	if err := ffs.Rename(f.Name(), dst); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ffs.ReadFile(dst)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	ents, err := ffs.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %d entries, %v", len(ents), err)
+	}
+	if err := ffs.Remove(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.MkdirAll(filepath.Join(dir, "sub/dir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{IOFaults: 2, ComputeFaults: 5}
+	out := s.String()
+	for _, want := range []string{"compute=5", "io=2", "starve=0"} {
+		if !contains(out, want) {
+			t.Errorf("Stats.String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

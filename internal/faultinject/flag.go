@@ -1,0 +1,32 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+)
+
+// EnvGate is the environment variable that must be set to "1" before a
+// command-line fault profile is honored. The gate keeps fault
+// injection a deliberate, test-only act: a -fault-profile flag left in
+// a production unit file is an error, not a silent chaos monkey.
+const EnvGate = "DSP_FAULT_ENABLE"
+
+// FromFlag turns a -fault-profile flag value into an Injector,
+// enforcing the EnvGate. An empty or all-zero profile yields (nil,
+// nil) — no injection, no gate required.
+func FromFlag(profile string) (*Injector, error) {
+	if profile == "" {
+		return nil, nil
+	}
+	if os.Getenv(EnvGate) != "1" {
+		return nil, fmt.Errorf("-fault-profile requires %s=1 in the environment", EnvGate)
+	}
+	p, err := ParseProfile(profile)
+	if err != nil {
+		return nil, err
+	}
+	if p.Zero() {
+		return nil, nil
+	}
+	return New(p), nil
+}

@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// FS is the slice of the filesystem the explore checkpoint store uses.
+// The store's atomic-write discipline (temp file + rename) is expressed
+// entirely in these operations, so wrapping them is enough to inject
+// every failure mode the store must survive.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the writable temp-file handle CreateTemp returns.
+type File interface {
+	io.Writer
+	io.Closer
+	Name() string
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (OSFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                     { return os.Remove(name) }
+func (OSFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FaultFS wraps an FS with an Injector: operations may stall, fail
+// before reaching the inner FS, or (for writes) persist only a torn
+// prefix and then fail. Reads and directory listings are never
+// corrupted — torn state enters the disk only through interrupted
+// writes, exactly like a crash.
+type FaultFS struct {
+	inner FS
+	inj   *Injector
+}
+
+// NewFaultFS wraps inner with inj.
+func NewFaultFS(inner FS, inj *Injector) *FaultFS {
+	return &FaultFS{inner: inner, inj: inj}
+}
+
+// op applies the injector's decision for one operation: sleep the
+// injected latency, then fail or proceed.
+func (f *FaultFS) op(name string, write bool) error {
+	d, err := f.inj.FSOp(name, write)
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return err
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.op("mkdir", true); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.op("readdir", false); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.op("readfile", false); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.op("createtemp", true); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: inner, inj: f.inj}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.op("rename", true); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.op("remove", true); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// faultFile tears writes: on an injected partial write it persists a
+// strict prefix through the inner file and reports failure, modelling
+// a write interrupted by a crash or a full disk.
+type faultFile struct {
+	inner File
+	inj   *Injector
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	n, torn := f.inj.WriteLen(len(p))
+	if !torn {
+		return f.inner.Write(p)
+	}
+	if n > 0 {
+		// Best effort: the prefix may itself fail; the caller sees the
+		// injected error either way.
+		f.inner.Write(p[:n])
+	}
+	return n, &Error{Class: "partial-write", Op: "write"}
+}

@@ -1,0 +1,251 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+	"dualbank/internal/compact"
+	"dualbank/internal/minic"
+	"dualbank/internal/pipeline"
+)
+
+// Metamorphic compiler tests: three semantics-preserving source (or
+// option) transformations that must leave the simulated cycle count of
+// every benchmark invariant under every allocation mode —
+//
+//   - renaming every identifier (the compiler must not key any
+//     decision on spelling),
+//   - permuting the top-level declaration order (layout and
+//     partitioning must not depend on which global came first), and
+//   - swapping the X/Y bank assignment wholesale (the banks are
+//     architecturally identical).
+//
+// A divergence here means some pass broke a symmetry the architecture
+// guarantees — typically an order- or name-sensitive tie-break.
+
+// metamorphicModes is the mode slice the invariants are checked under:
+// the unoptimized baseline, compaction-based partitioning, and partial
+// duplication.
+var metamorphicModes = []alloc.Mode{alloc.SingleBank, alloc.CB, alloc.CBDup}
+
+// spellToken renders one token back to compilable source. Identifier
+// spellings run through rename when non-nil ("main" is pinned — the
+// entry point is looked up by name). Literals are re-spelled from
+// their parsed values, which round-trip exactly.
+func spellToken(t *testing.T, tok minic.Token, rename map[string]string) string {
+	switch tok.Kind {
+	case minic.IDENT:
+		if rename == nil || tok.Text == "main" {
+			return tok.Text
+		}
+		r, ok := rename[tok.Text]
+		if !ok {
+			r = fmt.Sprintf("mm%d_%s", len(rename), strings.Repeat("q", 1+len(rename)%3))
+			rename[tok.Text] = r
+		}
+		return r
+	case minic.INTLIT:
+		if tok.Int < 0 {
+			// Only hex literals can parse negative, and the suite has
+			// none; spelling one as "-N" would need expression context.
+			t.Fatalf("negative integer literal %d cannot be re-spelled", tok.Int)
+		}
+		return strconv.FormatInt(tok.Int, 10)
+	case minic.FLOATLIT:
+		s := strconv.FormatFloat(tok.Flt, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0" // keep it a FLOATLIT on re-lex
+		}
+		return s
+	default:
+		return tok.Kind.String()
+	}
+}
+
+// emitTokens joins re-spelled tokens into source the front end accepts.
+func emitTokens(t *testing.T, toks []minic.Token, rename map[string]string) string {
+	var b strings.Builder
+	for i, tok := range toks {
+		if tok.Kind == minic.EOF {
+			break
+		}
+		if i > 0 {
+			if i%32 == 0 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(spellToken(t, tok, rename))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// lexAll tokenizes source, failing the test on any lex error.
+func lexAll(t *testing.T, source string) []minic.Token {
+	t.Helper()
+	toks, err := minic.LexAll(source)
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	return toks
+}
+
+// renameIdents rewrites source with every identifier (except main)
+// replaced by a fresh machine-generated name, first occurrence order.
+func renameIdents(t *testing.T, source string) string {
+	t.Helper()
+	return emitTokens(t, lexAll(t, source), map[string]string{})
+}
+
+// topLevelChunks splits the token stream into top-level declarations.
+// A chunk ends at a depth-0 semicolon (global declarations, including
+// brace-enclosed array initializers) or at a depth-0 closing brace
+// followed by a type keyword or EOF (function bodies).
+func topLevelChunks(t *testing.T, toks []minic.Token) [][]minic.Token {
+	t.Helper()
+	var chunks [][]minic.Token
+	var cur []minic.Token
+	depth := 0
+	for i, tok := range toks {
+		if tok.Kind == minic.EOF {
+			break
+		}
+		cur = append(cur, tok)
+		switch tok.Kind {
+		case minic.LBrace, minic.LParen, minic.LBrack:
+			depth++
+		case minic.RBrace, minic.RParen, minic.RBrack:
+			depth--
+		}
+		if depth != 0 {
+			continue
+		}
+		end := tok.Kind == minic.Semi
+		if tok.Kind == minic.RBrace {
+			switch toks[i+1].Kind {
+			case minic.KwInt, minic.KwFloat, minic.KwVoid, minic.EOF:
+				end = true
+			}
+		}
+		if end {
+			chunks = append(chunks, cur)
+			cur = nil
+		}
+	}
+	if len(cur) != 0 {
+		t.Fatalf("trailing tokens after the last top-level declaration: %v", cur)
+	}
+	return chunks
+}
+
+// permuteDecls rewrites source with its top-level declarations in
+// reverse order — the full mirror permutation, which displaces every
+// declaration and still compiles because MiniC resolves globals and
+// functions in a separate pass before checking bodies.
+func permuteDecls(t *testing.T, source string) string {
+	t.Helper()
+	chunks := topLevelChunks(t, lexAll(t, source))
+	if len(chunks) < 2 {
+		t.Fatalf("only %d top-level declarations; nothing to permute", len(chunks))
+	}
+	var out []minic.Token
+	for i := len(chunks) - 1; i >= 0; i-- {
+		out = append(out, chunks[i]...)
+	}
+	out = append(out, minic.Token{Kind: minic.EOF})
+	return emitTokens(t, out, nil)
+}
+
+// measureCycles compiles source under o, validates the schedule, runs
+// the fast simulator, optionally checks program outputs, and returns
+// the cycle count.
+func measureCycles(t *testing.T, source, name string, o pipeline.Options, check func(bench.Reader) error) int64 {
+	t.Helper()
+	c, err := pipeline.Compile(source, name, o)
+	if err != nil {
+		t.Fatalf("%s/%v: compile: %v", name, o.Mode, err)
+	}
+	if err := compact.Validate(c.Sched); err != nil {
+		t.Fatalf("%s/%v: schedule: %v", name, o.Mode, err)
+	}
+	m, err := c.RunFast()
+	if err != nil {
+		t.Fatalf("%s/%v: run: %v", name, o.Mode, err)
+	}
+	if check != nil {
+		read := func(sym string, idx int) (uint32, error) {
+			g := c.Global(sym)
+			if g == nil {
+				return 0, fmt.Errorf("no global %q", sym)
+			}
+			return m.Word(g, idx)
+		}
+		if err := check(read); err != nil {
+			t.Fatalf("%s/%v: output check: %v", name, o.Mode, err)
+		}
+	}
+	return m.Cycles
+}
+
+// TestMetamorphicInvariants checks all three invariants for all 23
+// benchmarks under {single-bank, CB, Dup}. Renamed variants skip the
+// output check (it reads globals by their original names); the other
+// variants keep it, so the transforms are also validated end to end.
+func TestMetamorphicInvariants(t *testing.T) {
+	progs := append(bench.Kernels(), bench.Applications()...)
+	for _, p := range progs {
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			renamed := renameIdents(t, p.Source)
+			permuted := permuteDecls(t, p.Source)
+			for _, mode := range metamorphicModes {
+				base := measureCycles(t, p.Source, p.Name, pipeline.Options{Mode: mode}, p.Check)
+				if got := measureCycles(t, renamed, p.Name, pipeline.Options{Mode: mode}, nil); got != base {
+					t.Errorf("%s/%v: renaming identifiers changed cycles: %d -> %d", p.Name, mode, base, got)
+				}
+				if got := measureCycles(t, permuted, p.Name, pipeline.Options{Mode: mode}, p.Check); got != base {
+					t.Errorf("%s/%v: permuting declarations changed cycles: %d -> %d", p.Name, mode, base, got)
+				}
+				swapped := pipeline.Options{Mode: mode, SwapBanks: true}
+				if got := measureCycles(t, p.Source, p.Name, swapped, p.Check); got != base {
+					t.Errorf("%s/%v: swapping banks changed cycles: %d -> %d", p.Name, mode, base, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSwapBanksMirrorsAllocation pins the mechanism, not just the
+// cycle count: under CB with swapped banks the partition's X set lands
+// in bank Y and vice versa, and the per-bank word accounting mirrors.
+func TestSwapBanksMirrorsAllocation(t *testing.T) {
+	p, ok := bench.ByName("fir_32_1")
+	if !ok {
+		t.Fatal("fir_32_1 missing from the suite")
+	}
+	plain, err := pipeline.Compile(p.Source, p.Name, pipeline.Options{Mode: alloc.CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := pipeline.Compile(p.Source, p.Name, pipeline.Options{Mode: alloc.CB, SwapBanks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Alloc.GlobalX != swapped.Alloc.GlobalY || plain.Alloc.GlobalY != swapped.Alloc.GlobalX {
+		t.Errorf("global words did not mirror: plain X=%d Y=%d, swapped X=%d Y=%d",
+			plain.Alloc.GlobalX, plain.Alloc.GlobalY, swapped.Alloc.GlobalX, swapped.Alloc.GlobalY)
+	}
+	if plain.Alloc.StackX != swapped.Alloc.StackY || plain.Alloc.StackY != swapped.Alloc.StackX {
+		t.Errorf("stack words did not mirror: plain X=%d Y=%d, swapped X=%d Y=%d",
+			plain.Alloc.StackX, plain.Alloc.StackY, swapped.Alloc.StackX, swapped.Alloc.StackY)
+	}
+	if plain.Alloc.GlobalX+plain.Alloc.GlobalY == 0 {
+		t.Error("degenerate benchmark: no global words at all")
+	}
+}

@@ -43,6 +43,11 @@ type Options struct {
 	// implies it). This decouples the weighting policy from the mode so
 	// profiling can combine with duplication.
 	Profiled bool
+	// SwapBanks mirrors the data allocation wholesale — everything
+	// bound for bank X lands in Y and vice versa. The banks are
+	// architecturally identical, so cycle counts must not change; the
+	// metamorphic tests compile every benchmark both ways to prove it.
+	SwapBanks bool
 }
 
 // Compiled is the result of compiling one program.
@@ -132,7 +137,7 @@ func (cc *Compiler) CompileCtx(ctx context.Context, source, name string, o Optio
 	allocOpts := alloc.Options{
 		Mode: o.Mode, InterruptSafe: o.InterruptSafe,
 		Method: o.Partitioner, FMPasses: o.FMPasses, Profiled: profiled,
-		Scanner: &cc.scanner,
+		Scanner: &cc.scanner, SwapBanks: o.SwapBanks,
 	}
 	if o.DupOnly != nil {
 		filter := o.DupOnly
@@ -142,7 +147,8 @@ func (cc *Compiler) CompileCtx(ctx context.Context, source, name string, o Optio
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	sched, err := compact.ScheduleWith(prog, compact.Config{Ports: allocRes.Ports}, &cc.scratch)
+	sched, err := compact.ScheduleWith(prog,
+		compact.Config{Ports: allocRes.Ports, MirrorBanks: o.SwapBanks}, &cc.scratch)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}

@@ -38,7 +38,7 @@ void main() {
 
 // TestCancelMidSimulate aborts a long simulation via its request
 // deadline: the response must arrive promptly after the deadline (the
-// simulator polls cancellation at block boundaries), report 504, and
+// simulator polls cancellation at block boundaries), report 408, and
 // leave the pool drained.
 func TestCancelMidSimulate(t *testing.T) {
 	s := serve.New(serve.Config{Workers: 1})
@@ -50,8 +50,8 @@ func TestCancelMidSimulate(t *testing.T) {
 	start := time.Now()
 	code, data := postRun(t, ts.Client(), ts.URL, body)
 	elapsed := time.Since(start)
-	if code != http.StatusGatewayTimeout {
-		t.Fatalf("status %d, want 504: %s", code, data)
+	if code != http.StatusRequestTimeout {
+		t.Fatalf("status %d, want 408: %s", code, data)
 	}
 	// The deadline is 100ms; well under a second proves the simulator
 	// actually stopped at a block boundary instead of running out its
@@ -258,8 +258,8 @@ func TestSoak(t *testing.T) {
 	if byStatus[http.StatusOK] != 800 {
 		t.Errorf("status mix %v: want 800 OK", byStatus)
 	}
-	if byStatus[http.StatusGatewayTimeout] != 100 {
-		t.Errorf("status mix %v: want 100 gateway timeouts", byStatus)
+	if byStatus[http.StatusRequestTimeout] != 100 {
+		t.Errorf("status mix %v: want 100 request timeouts", byStatus)
 	}
 	if n := byStatus[http.StatusBadRequest] + byStatus[http.StatusNotFound]; n != 100 {
 		t.Errorf("status mix %v: want 100 rejections", byStatus)

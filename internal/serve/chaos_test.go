@@ -1,0 +1,371 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+	"dualbank/internal/explore/store"
+	"dualbank/internal/faultinject"
+	"dualbank/internal/serve"
+)
+
+// This file is the chaos/soak harness: the full benchmark mix driven
+// through the serve layer while a seeded fault injector fires compute
+// errors, latency spikes, and pool-slot starvation bursts. Faults are
+// count-deterministic (see faultinject), so the assertions are exact:
+// every request ends in exactly one of {200, 408, 429, 499, 500},
+// injected faults and 500s match one-for-one, the memo cache accounts
+// for every success, no goroutine outlives the server, and a
+// fault-injected checkpoint store reloads identically. CI runs it
+// under -race with several CHAOS_SEED values; CHAOS_HISTOGRAM, when
+// set, receives the per-seed status-code histogram as JSON.
+
+// chaosSeed reads CHAOS_SEED (default 1).
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	env := os.Getenv("CHAOS_SEED")
+	if env == "" {
+		return 1
+	}
+	seed, err := strconv.ParseInt(env, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q: %v", env, err)
+	}
+	return seed
+}
+
+// allowedChaosCodes is the exhaustive status set for well-formed run
+// requests under chaos: success, server deadline, shed, client gone,
+// injected fault.
+var allowedChaosCodes = map[int]bool{
+	http.StatusOK:                   true,
+	http.StatusRequestTimeout:       true,
+	http.StatusTooManyRequests:      true,
+	serve.StatusClientClosedRequest: true,
+	http.StatusInternalServerError:  true,
+}
+
+// TestChaosSoak pushes 1000 mixed requests — the full 23-benchmark
+// matrix, deadline-doomed sources, and mid-flight client cancellations
+// — through a fault-injected server and audits the exhaustive failure
+// taxonomy.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in short mode")
+	}
+	seed := chaosSeed(t)
+	inj := faultinject.New(faultinject.Profile{
+		Seed:         seed,
+		ComputeError: 0.05,
+		Latency:      0.02, LatencyDur: 5 * time.Millisecond,
+		Starve: 0.01, StarveDur: 25 * time.Millisecond,
+	})
+
+	before := runtime.NumGoroutine()
+	s := serve.New(serve.Config{
+		Workers:      8,
+		AdmitTimeout: 100 * time.Millisecond,
+		Fault:        inj,
+	})
+
+	var names []string
+	for _, p := range append(bench.Kernels(), bench.Applications()...) {
+		names = append(names, p.Name)
+	}
+	if len(names) != 23 {
+		t.Fatalf("benchmark mix has %d entries, want 23", len(names))
+	}
+	modes := []alloc.Mode{
+		alloc.SingleBank, alloc.CB, alloc.CBProfiled,
+		alloc.CBDup, alloc.FullDup, alloc.Ideal, alloc.LowOrder,
+	}
+
+	// Requests go straight through ServeHTTP so counting is airtight:
+	// no transport layer to drop or retry anything.
+	const requests = 1000
+	serveOne := func(i int) int {
+		var body string
+		var ctx context.Context
+		cancel := func() {}
+		arm := i % 20
+		switch {
+		case arm >= 17: // client hangs up mid-measurement
+			ctx, cancel = context.WithCancel(context.Background())
+			time.AfterFunc(time.Duration(1+i%10)*time.Millisecond, cancel)
+			body = fmt.Sprintf(`{"source":%q,"timeout_ms":60000}`, slowSource)
+		case arm >= 14: // doomed to the server-enforced deadline
+			ctx = context.Background()
+			body = fmt.Sprintf(`{"source":%q,"timeout_ms":%d}`, slowSource, 5+i%25)
+		default: // the benchmark matrix, fuse far beyond the soak
+			ctx = context.Background()
+			body = fmt.Sprintf(`{"bench":%q,"mode":%q,"timeout_ms":60000}`,
+				names[i%len(names)], modes[i%len(modes)])
+		}
+		defer cancel()
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(body)).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		byStatus = map[int]int{}
+	)
+	next := make(chan int)
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				code := serveOne(i)
+				mu.Lock()
+				byStatus[code]++
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// 1. Exhaustive taxonomy: every request in exactly one allowed code.
+	total := 0
+	for code, n := range byStatus {
+		total += n
+		if !allowedChaosCodes[code] {
+			t.Errorf("%d requests ended in unexpected status %d", n, code)
+		}
+	}
+	if total != requests {
+		t.Errorf("accounted for %d of %d requests: %v", total, requests, byStatus)
+	}
+
+	// 2. Server-side accounting matches the client tally per code.
+	snap := s.Metrics().Snapshot()
+	for code, n := range byStatus {
+		if snap.Requests[code] != int64(n) {
+			t.Errorf("metrics count %d for status %d, client saw %d", snap.Requests[code], code, n)
+		}
+	}
+	var metricTotal int64
+	for _, n := range snap.Requests {
+		metricTotal += n
+	}
+	if metricTotal != int64(requests) {
+		t.Errorf("metrics account for %d requests, want %d: %v", metricTotal, requests, snap.Requests)
+	}
+	if shed := snap.Shed["queue"]; shed != int64(byStatus[http.StatusTooManyRequests]) {
+		t.Errorf("shed counter %d != %d observed 429s", shed, byStatus[http.StatusTooManyRequests])
+	}
+
+	// 3. Fault accounting is exact: every injected compute error became
+	// exactly one 500, and nothing else did.
+	st := inj.Stats()
+	if int64(byStatus[http.StatusInternalServerError]) != st.ComputeFaults {
+		t.Errorf("%d responses were 500 but the injector fired %d compute faults",
+			byStatus[http.StatusInternalServerError], st.ComputeFaults)
+	}
+
+	// 4. Cache accounting is exact: only successful named measurements
+	// touch the memo cache (faulted executions are vetoed before it,
+	// cancelled arms run source jobs that bypass it), so hits + misses
+	// equal the 200s.
+	cs := s.CacheStats()
+	if cs.Hits+cs.Misses != int64(byStatus[http.StatusOK]) {
+		t.Errorf("cache traffic %d hits + %d misses != %d successes",
+			cs.Hits, cs.Misses, byStatus[http.StatusOK])
+	}
+
+	// 5. Quiescence and goroutine hygiene.
+	if got := s.Metrics().InFlight(); got != 0 {
+		t.Errorf("in-flight gauge %d after soak", got)
+	}
+	waitDrained(t, s)
+	s.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	writeChaosHistogram(t, seed, byStatus, st)
+}
+
+// writeChaosHistogram dumps the per-seed status histogram to the path
+// in CHAOS_HISTOGRAM (the CI artifact); a no-op when unset.
+func writeChaosHistogram(t *testing.T, seed int64, byStatus map[int]int, st faultinject.Stats) {
+	path := os.Getenv("CHAOS_HISTOGRAM")
+	if path == "" {
+		return
+	}
+	out := struct {
+		Seed     int64          `json:"seed"`
+		Statuses map[string]int `json:"statuses"`
+		Faults   string         `json:"faults"`
+	}{Seed: seed, Statuses: map[string]int{}, Faults: st.String()}
+	for code, n := range byStatus {
+		out.Statuses[strconv.Itoa(code)] = n
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatalf("marshaling histogram: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", path, err)
+	}
+	t.Logf("chaos histogram written to %s", path)
+}
+
+// TestChaosStoreIntegrity runs explorations against a checkpoint store
+// whose filesystem injects I/O errors, latency, and torn writes, then
+// proves no corruption reached the disk: a clean reload of the
+// directory yields exactly the records the live store published.
+func TestChaosStoreIntegrity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos store soak in short mode")
+	}
+	seed := chaosSeed(t)
+	inj := faultinject.New(faultinject.Profile{
+		Seed:    seed,
+		IOError: 0.05, PartialWrite: 0.02,
+		Latency: 0.02, LatencyDur: 2 * time.Millisecond,
+	})
+	dir := t.TempDir()
+	// Open itself runs over the faulted filesystem, so it may be hit by
+	// a transient injected error; retrying is exactly what a resuming
+	// explorer would do.
+	var st *store.Store
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		st, err = store.OpenFS(dir, faultinject.NewFaultFS(faultinject.OSFS{}, inj))
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("store never opened under 5%% I/O faults: %v", err)
+	}
+
+	before := runtime.NumGoroutine()
+	s := serve.New(serve.Config{Workers: 4, ExploreStore: st})
+	ts := httptest.NewServer(s.Handler())
+
+	// Three exploration jobs over small kernels; under injected store
+	// faults each ends "done" (faults missed it) or "failed" (a Put
+	// error aborted it) — either way the disk must stay whole.
+	var jobIDs []string
+	for _, name := range []string{"fir_32_1", "iir_1_1", "mult_4_4"} {
+		body := fmt.Sprintf(`{"benchmarks":[%q],"budget":15}`, name)
+		resp, err := ts.Client().Post(ts.URL+"/v1/explore", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status serve.ExploreStatus
+		if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d", name, resp.StatusCode)
+		}
+		jobIDs = append(jobIDs, status.ID)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, id := range jobIDs {
+		for {
+			resp, err := ts.Client().Get(ts.URL + "/v1/explore/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var status serve.ExploreStatus
+			err = json.NewDecoder(resp.Body).Decode(&status)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if status.State != "running" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still running after 2m", id)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	live := st.Snapshot()
+	s.BeginDrain()
+	ts.Close()
+	s.Close()
+
+	// The reload oracle: a fault-free Open of the same directory must
+	// see exactly the records the live store published — nothing extra
+	// (no torn temp file parsed), nothing missing (no indexed record
+	// unpersisted), nothing altered.
+	fresh, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded := fresh.Snapshot()
+	if len(reloaded) != len(live) {
+		t.Errorf("reload found %d records, live store published %d", len(reloaded), len(live))
+	}
+	for k, want := range live {
+		got, ok := reloaded[k]
+		if !ok {
+			t.Errorf("published record %q missing after reload", k)
+			continue
+		}
+		if !reflect.DeepEqual(normalizeRecord(got), normalizeRecord(want)) {
+			t.Errorf("record %q changed across reload:\n live: %+v\n disk: %+v", k, want, got)
+		}
+	}
+
+	if faults := inj.Stats(); faults.IOFaults == 0 && faults.PartialFaults == 0 {
+		t.Errorf("soak injected no store faults (stats %+v) — the integrity claim is vacuous", faults)
+	}
+
+	gcDeadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(gcDeadline) {
+			t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// normalizeRecord maps empty and nil Duplicated slices together: JSON
+// omitempty erases the distinction on disk.
+func normalizeRecord(r store.Record) store.Record {
+	if len(r.Duplicated) == 0 {
+		r.Duplicated = nil
+	}
+	return r
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client (keyed by the
+// host part of its RemoteAddr, so one client's ephemeral ports share a
+// bucket) accrues rate tokens per second up to burst, and each request
+// spends one. It exists to keep a single aggressive client from
+// monopolizing the admission queue — capacity protection is the
+// queue's job (ErrShed), fairness is this one's.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// clientKey reduces a RemoteAddr to its host; an address that does not
+// parse (unix sockets, tests) is its own key.
+func clientKey(remoteAddr string) string {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		return remoteAddr
+	}
+	return host
+}
+
+// allow spends one token from key's bucket, reporting false when the
+// bucket is dry.
+func (l *rateLimiter) allow(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[key]
+	if !ok {
+		// The table grows one entry per distinct client; shed the
+		// long-idle ones opportunistically before admitting a new one.
+		if len(l.buckets) >= 4096 {
+			for k, old := range l.buckets {
+				if now.Sub(old.last) > time.Minute {
+					delete(l.buckets, k)
+				}
+			}
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens = min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -29,6 +29,9 @@ type Metrics struct {
 	// "infeasible").
 	exploreJobs  map[string]int64
 	exploreEvals map[string]int64
+	// shed counts load-shed requests by reason ("queue" for bounded
+	// admission, "rate" for the per-client limiter).
+	shed map[string]int64
 }
 
 // latencyBounds are the histogram bucket upper bounds in seconds,
@@ -85,7 +88,15 @@ func NewMetrics() *Metrics {
 		requests:     make(map[int]int64),
 		exploreJobs:  make(map[string]int64),
 		exploreEvals: make(map[string]int64),
+		shed:         make(map[string]int64),
 	}
+}
+
+// Shed counts one load-shed request by reason.
+func (m *Metrics) Shed(reason string) {
+	m.mu.Lock()
+	m.shed[reason]++
+	m.mu.Unlock()
 }
 
 // ExploreJob counts one exploration-job lifecycle event.
@@ -130,6 +141,7 @@ func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
 // report generation.
 type Snapshot struct {
 	Requests map[int]int64
+	Shed     map[string]int64
 	InFlight int64
 	// CompileP50/P99 and SimP50/P99 are bucket-interpolated latency
 	// quantiles in seconds; Runs is the number of observed
@@ -145,6 +157,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	defer m.mu.Unlock()
 	s := Snapshot{
 		Requests:   make(map[int]int64, len(m.requests)),
+		Shed:       make(map[string]int64, len(m.shed)),
 		InFlight:   m.inFlight.Load(),
 		CompileP50: m.compile.quantile(0.50),
 		CompileP99: m.compile.quantile(0.99),
@@ -154,6 +167,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for code, n := range m.requests {
 		s.Requests[code] = n
+	}
+	for reason, n := range m.shed {
+		s.Shed[reason] = n
 	}
 	return s
 }
@@ -194,6 +210,7 @@ func (m *Metrics) WriteTo(w io.Writer, cache bench.CacheStats, poolActive int64,
 		fmt.Fprintf(w, "dspservd_requests_total{code=%q} %d\n", strconv.Itoa(code), m.requests[code])
 	}
 
+	writeLabeled(w, "dspservd_shed_total", "Load-shed requests by reason.", "reason", m.shed)
 	writeLabeled(w, "dspservd_explore_jobs_total", "Exploration jobs by lifecycle event.", "event", m.exploreJobs)
 	writeLabeled(w, "dspservd_explore_evals_total", "Exploration evaluations by result source.", "source", m.exploreEvals)
 

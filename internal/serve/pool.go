@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dualbank/internal/bench"
 	"dualbank/internal/pipeline"
@@ -13,6 +14,10 @@ import (
 // ErrStopped is returned for work submitted to (or stranded in) a pool
 // that has been closed; the HTTP layer maps it to 503.
 var ErrStopped = errors.New("serve: pool stopped")
+
+// ErrShed is returned when bounded admission gives up waiting for a
+// queue slot; the HTTP layer maps it to 429 with a Retry-After.
+var ErrShed = errors.New("serve: admission queue full")
 
 // RunFunc executes one job on a worker's private compiler scratch.
 type RunFunc func(ctx context.Context, cc *pipeline.Compiler, j Job) (bench.Result, bool, error)
@@ -86,6 +91,33 @@ func (p *Pool) Do(ctx context.Context, j Job) (bench.Result, bool, error) {
 	t := &task{ctx: ctx, job: j, res: make(chan taskResult, 1)}
 	select {
 	case p.tasks <- t:
+	case <-ctx.Done():
+		return bench.Result{}, false, ctx.Err()
+	case <-p.ctx.Done():
+		return bench.Result{}, false, ErrStopped
+	}
+	select {
+	case r := <-t.res:
+		return r.res, r.cached, r.err
+	case <-p.ctx.Done():
+		return bench.Result{}, false, ErrStopped
+	}
+}
+
+// DoTimeout is Do with bounded admission: if no queue slot frees
+// within admit, the job is shed with ErrShed instead of waiting out
+// the request's whole deadline. Once admitted, the job runs exactly
+// like Do. This is the load-shedding primitive — a saturated server
+// fails fast with a retryable signal rather than stacking up work it
+// will time out on anyway.
+func (p *Pool) DoTimeout(ctx context.Context, j Job, admit time.Duration) (bench.Result, bool, error) {
+	t := &task{ctx: ctx, job: j, res: make(chan taskResult, 1)}
+	timer := time.NewTimer(admit)
+	defer timer.Stop()
+	select {
+	case p.tasks <- t:
+	case <-timer.C:
+		return bench.Result{}, false, ErrShed
 	case <-ctx.Done():
 		return bench.Result{}, false, ctx.Err()
 	case <-p.ctx.Done():

@@ -1,0 +1,160 @@
+package serve_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dualbank/internal/faultinject"
+	"dualbank/internal/serve"
+)
+
+// TestAdmitTimeoutSheds saturates a 1-worker, 0-queue server and
+// checks bounded admission: the second request is shed with 429 and a
+// Retry-After header instead of waiting out its whole deadline.
+func TestAdmitTimeoutSheds(t *testing.T) {
+	s := serve.New(serve.Config{
+		Workers: 1, QueueDepth: -1, // -1: no queue at all (0 means default)
+		AdmitTimeout: 20 * time.Millisecond,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Pin the only worker with a long-running source job.
+	blocker := make(chan struct{})
+	go func() {
+		defer close(blocker)
+		body := fmt.Sprintf(`{"source":%q,"timeout_ms":10000}`, slowSource)
+		postRunStatus(t, ts, body)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Pool().Active() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the blocking job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"bench":"fir_32_1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carried no Retry-After header")
+	}
+	if shed := s.Metrics().Snapshot().Shed["queue"]; shed != 1 {
+		t.Errorf("shed counter %d, want 1", shed)
+	}
+
+	s.Close() // cancels the blocker's measurement
+	<-blocker
+}
+
+// TestRateLimitPerClient: with a one-token bucket and a negligible
+// refill rate, the same client's second request is rejected 429 while
+// the first succeeds.
+func TestRateLimitPerClient(t *testing.T) {
+	s := serve.New(serve.Config{
+		Workers: 1, RatePerSec: 0.0001, RateBurst: 1,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, data := postRun(t, ts.Client(), ts.URL, `{"bench":"fir_32_1"}`); code != http.StatusOK {
+		t.Fatalf("first request: %d %s", code, data)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"bench":"fir_32_1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("rate-limited 429 carried no Retry-After header")
+	}
+	if shed := s.Metrics().Snapshot().Shed["rate"]; shed != 1 {
+		t.Errorf("rate-shed counter %d, want 1", shed)
+	}
+}
+
+// TestReadyzDrain: /readyz flips 200→503 at BeginDrain while /healthz
+// stays 200 — the process is healthy, just leaving the pool.
+func TestReadyzDrain(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("pre-drain /readyz: %d %q", code, body)
+	}
+	if s.Draining() {
+		t.Fatal("server reports draining before BeginDrain")
+	}
+	s.BeginDrain()
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("post-drain /readyz: %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("post-drain /healthz: %d, want 200", code)
+	}
+	// A draining server still serves work that reaches it.
+	if code, data := postRun(t, ts.Client(), ts.URL, `{"bench":"fir_32_1"}`); code != http.StatusOK {
+		t.Fatalf("post-drain run: %d %s", code, data)
+	}
+}
+
+// TestInjectedFaultIs500: a transient injected compute error surfaces
+// as 500 and never enters the memo cache, so the retry succeeds.
+func TestInjectedFaultIs500(t *testing.T) {
+	inj := faultinject.New(faultinject.Profile{ComputeError: 1})
+	s := serve.New(serve.Config{Workers: 1, Fault: inj})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, data := postRun(t, ts.Client(), ts.URL, `{"bench":"fir_32_1"}`); code != http.StatusInternalServerError {
+		t.Fatalf("faulted request: %d %s, want 500", code, data)
+	}
+	if st := s.CacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("faulted request touched the cache: %+v", st)
+	}
+}
+
+// postRunStatus is postRun without failing the test on transport
+// errors — used for requests whose server may shut down under them.
+func postRunStatus(t *testing.T, ts *httptest.Server, body string) int {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}

@@ -15,6 +15,7 @@ import (
 
 	"dualbank/internal/bench"
 	"dualbank/internal/explore/store"
+	"dualbank/internal/faultinject"
 	"dualbank/internal/pipeline"
 )
 
@@ -39,7 +40,26 @@ type Config struct {
 	// MaxExploreBudget clamps a submitted exploration's per-benchmark
 	// evaluation budget (default 500).
 	MaxExploreBudget int
+	// AdmitTimeout bounds how long a request may wait for an admission
+	// (queue) slot before being shed with 429. Zero keeps the legacy
+	// behavior: requests wait out their whole deadline.
+	AdmitTimeout time.Duration
+	// RatePerSec and RateBurst configure the per-client token-bucket
+	// rate limiter. RatePerSec <= 0 disables it; RateBurst defaults
+	// to max(1, ceil(RatePerSec)).
+	RatePerSec float64
+	RateBurst  int
+	// Fault, when non-nil, injects compute errors and execution delays
+	// (latency spikes, pool-slot starvation) into every measurement —
+	// the chaos-testing seam. Production servers leave it nil.
+	Fault *faultinject.Injector
 }
+
+// StatusClientClosedRequest is the non-standard 499 (nginx convention)
+// counted when the client abandons a request mid-measurement; it never
+// reaches the client — nobody is listening — but keeps the status
+// accounting exhaustive: every request ends in exactly one code.
+const StatusClientClosedRequest = 499
 
 // Server is the dspservd HTTP service: a mux, a worker pool, a
 // single-flight memo cache for named-benchmark results, and a metrics
@@ -51,14 +71,17 @@ type Config struct {
 //	GET  /v1/explore/{id}/frontier completed exploration's Pareto report
 //	GET  /v1/benchmarks            list benchmarks, modes, and partitioners
 //	GET  /healthz                  liveness
+//	GET  /readyz                   readiness (503 once draining)
 //	GET  /metrics                  Prometheus text exposition
 //	     /debug/pprof/             the standard profiling endpoints
 type Server struct {
-	cfg     Config
-	harness *bench.Harness
-	pool    *Pool
-	metrics *Metrics
-	mux     *http.ServeMux
+	cfg      Config
+	harness  *bench.Harness
+	pool     *Pool
+	metrics  *Metrics
+	mux      *http.ServeMux
+	limiter  *rateLimiter
+	draining atomic.Bool
 
 	// Exploration jobs run in the background, outside the HTTP
 	// handlers: jobsCtx parents every job (Close cancels it), jobsWG
@@ -101,6 +124,13 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		jobs:    make(map[string]*exploreJob),
 	}
+	if cfg.RatePerSec > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = int(cfg.RatePerSec + 0.999)
+		}
+		s.limiter = newRateLimiter(cfg.RatePerSec, burst)
+	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
 	s.pool = NewPool(cfg.Workers, cfg.QueueDepth, s.execute)
 
@@ -110,6 +140,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/explore/{id}/frontier", s.handleExploreFrontier)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -131,6 +162,15 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // CacheStats reports the memo cache's traffic.
 func (s *Server) CacheStats() bench.CacheStats { return s.harness.Stats() }
 
+// BeginDrain flips /readyz unready so load balancers stop routing new
+// work here; in-flight and newly arriving requests still complete.
+// Call it when shutdown begins, before http.Server.Shutdown drains the
+// handlers.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close stops the server's background work: exploration jobs are
 // cancelled and waited for (their completed evaluations are already
 // checkpointed — the store is write-through), then the worker pool is
@@ -144,7 +184,26 @@ func (s *Server) Close() {
 
 // execute is the pool's RunFunc: named benchmarks flow through the
 // single-flight memo cache, source jobs compile and simulate afresh.
+// With a fault injector configured, every execution first pays the
+// injected delay (a latency spike, or a starvation burst that pins
+// this worker's slot) and may be vetoed with a transient compute
+// error; the memo cache never retains those (they carry Transient()),
+// so a faulted measurement is retried, not replayed.
 func (s *Server) execute(ctx context.Context, cc *pipeline.Compiler, j Job) (bench.Result, bool, error) {
+	if inj := s.cfg.Fault; inj != nil {
+		if d := inj.ExecDelay(); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return bench.Result{}, false, ctx.Err()
+			}
+		}
+		if err := inj.Compute(j.Prog.Name); err != nil {
+			return bench.Result{}, false, err
+		}
+	}
 	ro := bench.RunOptions{
 		Compiler: cc, Partitioner: j.Method,
 		FMPasses: j.FMPasses, Profiled: j.Profiled, DupOnly: j.DupOnly,
@@ -160,6 +219,13 @@ func (s *Server) execute(ctx context.Context, cc *pipeline.Compiler, j Job) (ben
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	done := s.metrics.RequestStart()
 	defer done()
+
+	if s.limiter != nil && !s.limiter.allow(clientKey(r.RemoteAddr)) {
+		s.metrics.Shed("rate")
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, errors.New("client rate limit exceeded"))
+		return
+	}
 
 	// The body cap leaves headroom over the source cap for the JSON
 	// framing and escaping around it.
@@ -188,8 +254,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	res, cached, err := s.pool.Do(ctx, job)
+	var res bench.Result
+	var cached bool
+	if s.cfg.AdmitTimeout > 0 {
+		res, cached, err = s.pool.DoTimeout(ctx, job, s.cfg.AdmitTimeout)
+	} else {
+		res, cached, err = s.pool.Do(ctx, job)
+	}
 	if err != nil {
+		if errors.Is(err, ErrShed) {
+			s.metrics.Shed("queue")
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.AdmitTimeout))
+		}
 		s.fail(w, statusFor(err), err)
 		return
 	}
@@ -197,19 +273,47 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, ResponseFor(res, job.Method, cached))
 }
 
-// statusFor maps an execution error to its HTTP status: deadline
-// overruns are the gateway-timeout family, client disconnects and
-// shutdown are 503 (retry elsewhere), anything else — a compile error,
-// a failed output check — is the request's fault.
+// retryAfterSeconds suggests a backoff of at least one second, scaled
+// to the admission window the request already waited out.
+func retryAfterSeconds(admit time.Duration) string {
+	secs := int(admit / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// statusFor maps an execution error to its HTTP status — the serve
+// layer's exhaustive failure taxonomy:
+//
+//	408  the server-enforced deadline fired mid-measurement
+//	429  bounded admission shed the request (queue full)
+//	499  the client went away; nobody is listening for the reply
+//	500  an injected (or otherwise transient) internal fault
+//	503  the pool is shutting down — retry elsewhere
+//	422  the request's own fault: compile error, failed output check
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled), errors.Is(err, ErrStopped):
+		return http.StatusRequestTimeout
+	case errors.Is(err, ErrStopped):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case isTransientErr(err):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusUnprocessableEntity
 	}
+}
+
+// isTransientErr reports whether err carries the Transient() bool
+// marker (injected faults do) anywhere in its chain.
+func isTransientErr(err error) bool {
+	var tr interface{ Transient() bool }
+	return errors.As(err, &tr) && tr.Transient()
 }
 
 // benchmarksResponse is the body of GET /v1/benchmarks.
@@ -242,6 +346,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	io.WriteString(w, "ok\n")
+	s.metrics.RequestDone(http.StatusOK)
+}
+
+// handleReadyz is the load balancer's routing signal: 200 while the
+// server accepts new work, 503 once BeginDrain has been called.
+// Liveness (/healthz) stays 200 throughout a drain — the process is
+// healthy, just leaving.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		s.metrics.RequestDone(http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
 	s.metrics.RequestDone(http.StatusOK)
 }
 
