@@ -46,10 +46,16 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for the experiment harness")
 	timing := flag.Bool("timing", false, "report per-section wall clock, per-run compile/simulate split, and cache traffic on stderr")
 	partitioner := flag.String("partitioner", "greedy", "graph partitioner for -bench runs: greedy, kl, anneal, or fm")
+	engineName := flag.String("engine", "compiled", "simulation engine: compiled, fast, or machine")
+	simbench := flag.Bool("simbench", false, "measure per-engine simulator throughput (not part of -all)")
+	simcheck := flag.String("simcheck", "", "re-measure simulator throughput and fail if the compiled/fast speedup regressed >10% vs this baseline JSON")
 	jsonPath := flag.String("json", "", "write harness results and timings to this JSON file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	engine, err := bench.ParseEngine(*engineName)
+	check(err)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -72,7 +78,11 @@ func main() {
 		return
 	}
 	if *one != "" {
-		runOne(*one, *partitioner)
+		runOne(*one, *partitioner, engine)
+		return
+	}
+	if *simbench || *simcheck != "" {
+		runSimBench(*simcheck, *jsonPath)
 		return
 	}
 	if !*fig7 && !*fig8 && !*table3 && !*orgs && !*tables && !*sweep {
@@ -80,6 +90,7 @@ func main() {
 	}
 
 	h := bench.NewHarness(*parallel)
+	h.Engine = engine
 	report := &bench.Report{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallel: h.Parallel}
 	start := time.Now()
 
@@ -170,7 +181,7 @@ func main() {
 	}
 }
 
-func runOne(name, partitioner string) {
+func runOne(name, partitioner string, engine bench.Engine) {
 	p, ok := bench.ByName(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "dspbench: unknown benchmark %q (use -list)\n", name)
@@ -185,7 +196,7 @@ func runOne(name, partitioner string) {
 	cc := new(pipeline.Compiler)
 	var base bench.Result
 	for _, m := range modes {
-		res, err := bench.RunWith(p, m, bench.RunOptions{Partitioner: method, Compiler: cc})
+		res, err := bench.RunWith(p, m, bench.RunOptions{Partitioner: method, Compiler: cc, Engine: engine})
 		check(err)
 		if m == alloc.SingleBank {
 			base = res
@@ -195,6 +206,39 @@ func runOne(name, partitioner string) {
 		fmt.Printf("%-12s cycles=%-10d gain=%+6.1f%% cost=%-8d dupStores=%d dup=%v\n",
 			m, res.Cycles, bench.Gain(base, res), res.Mem.Total(), res.DupStores, res.Duplicated)
 	}
+}
+
+// runSimBench measures per-engine simulator throughput over the
+// standard suite, optionally writing a BENCH_sim.json-style report and
+// optionally gating on a committed baseline: with a non-empty
+// checkPath the run exits 1 if any benchmark's compiled-over-fast
+// speedup fell more than 10% below the baseline's. The speedup ratio —
+// not raw ns/run — is what's compared, so the check transfers across
+// host speeds.
+func runSimBench(checkPath, jsonPath string) {
+	rows, err := bench.SimBench(bench.SimBenchSuite, 100*time.Millisecond)
+	check(err)
+	fmt.Print(bench.RenderSimBench(rows))
+	if jsonPath != "" {
+		report := &bench.Report{GOMAXPROCS: runtime.GOMAXPROCS(0), SimBench: rows}
+		check(report.WriteFile(jsonPath))
+	}
+	if checkPath == "" {
+		return
+	}
+	baseline, err := bench.ReadReport(checkPath)
+	check(err)
+	if len(baseline.SimBench) == 0 {
+		fmt.Fprintf(os.Stderr, "dspbench: %s carries no simbench rows\n", checkPath)
+		os.Exit(1)
+	}
+	if fails := bench.SimCheck(rows, baseline.SimBench, 0.10); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "dspbench: REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("simcheck: no compiled-engine regression vs %s\n", checkPath)
 }
 
 // runSelective demonstrates the paper's §5 refinement: duplicate only

@@ -54,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"dualbank/internal/bench"
 	"dualbank/internal/explore/store"
 	"dualbank/internal/faultinject"
 	"dualbank/internal/serve"
@@ -78,9 +79,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	admitTimeout := fs.Duration("admit-timeout", 0, "shed requests (429) that wait longer than this for a worker slot (0 = wait out the deadline)")
 	rate := fs.Float64("rate", 0, "per-client request rate limit in requests/sec (0 = off)")
 	rateBurst := fs.Int("rate-burst", 0, "per-client burst allowance (default ceil(rate))")
+	engineName := fs.String("engine", "compiled", "simulation engine: compiled, fast, or machine")
 	exploreStore := fs.String("explore-store", "", "checkpoint /v1/explore evaluations to this directory")
 	faultProfile := fs.String("fault-profile", "", "inject faults per this profile (requires DSP_FAULT_ENABLE=1; e.g. seed=1,ioerr=0.05,latency=0.02)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	engine, err := bench.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(stderr, "dspservd:", err)
 		return 2
 	}
 
@@ -117,6 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxSourceBytes: *maxSource,
+		Engine:         engine,
 		ExploreStore:   st,
 		AdmitTimeout:   *admitTimeout,
 		RatePerSec:     *rate,

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
 	"dualbank/internal/compact"
 	"dualbank/internal/encode"
 	"dualbank/internal/ir"
@@ -45,7 +46,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	mode := fs.String("mode", "cb", "data allocation mode: single, cb, pr, dup, fulldup, ideal, loworder")
 	print := fs.String("print", "", "comma-separated globals to dump after the run (name or name:count)")
 	image := fs.Bool("image", false, "the input is a binary ROM image produced by dspcc -o")
-	trace := fs.Bool("trace", false, "print one line per retired long instruction")
+	trace := fs.Bool("trace", false, "print one line per retired long instruction (requires -engine machine)")
+	engine := fs.String("engine", "compiled", "simulation engine: compiled, fast, or machine")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,8 +57,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dspsim: unknown mode %q\n", *mode)
 		return 2
 	}
+	eng, err := bench.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(stderr, "dspsim:", err)
+		return 2
+	}
+	// Only the reference interpreter traces, so -trace implies -engine
+	// machine; an explicit conflicting engine is an error rather than a
+	// silently ignored flag.
+	if *trace && eng != bench.EngineMachine {
+		engineSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "engine" {
+				engineSet = true
+			}
+		})
+		if engineSet {
+			fmt.Fprintf(stderr, "dspsim: -trace requires -engine machine (the %s engine does not trace)\n", eng)
+			return 2
+		}
+		eng = bench.EngineMachine
+	}
 	var data []byte
-	var err error
 	name := "stdin"
 	if fs.NArg() == 0 || fs.Arg(0) == "-" {
 		data, err = io.ReadAll(stdin)
@@ -88,17 +110,47 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		globals = c.IR.Globals
 	}
 
-	mach := sim.NewMachine(sched)
-	if *trace {
-		mach.Trace = stdout
+	// The three engines are pinned to identical counters and memory
+	// images by the differential suite; the switch picks dispatch
+	// machinery only. simMachine is the read-back surface the report
+	// and -print need.
+	type simMachine interface {
+		Run() error
+		Counters() sim.Counters
+		Int32(sym *ir.Symbol, idx int) (int32, error)
+		Float32(sym *ir.Symbol, idx int) (float32, error)
+	}
+	var mach simMachine
+	switch eng {
+	case bench.EngineMachine:
+		m := sim.NewMachine(sched)
+		if *trace {
+			m.Trace = stdout
+		}
+		mach = m
+	case bench.EngineFast:
+		pd, err := sim.Predecode(sched)
+		if err != nil {
+			fmt.Fprintln(stderr, "dspsim:", err)
+			return 1
+		}
+		mach = pd.NewMachine()
+	default:
+		cp, err := sim.Compile(sched)
+		if err != nil {
+			fmt.Fprintln(stderr, "dspsim:", err)
+			return 1
+		}
+		mach = cp.NewMachine()
 	}
 	if err := mach.Run(); err != nil {
 		fmt.Fprintln(stderr, "dspsim:", err)
 		return 1
 	}
+	ctr := mach.Counters()
 	fmt.Fprintf(stdout, "ports=%-11s cycles=%d ops=%d instrs=%d dualmem=%d conflicts=%d\n",
-		sched.Ports, mach.Cycles, mach.OpsExecuted, sched.StaticInstrs(),
-		mach.DualMemCycles, mach.BankConflicts)
+		sched.Ports, ctr.Cycles, ctr.OpsExecuted, sched.StaticInstrs(),
+		ctr.DualMemCycles, ctr.BankConflicts)
 
 	if *print == "" {
 		return 0

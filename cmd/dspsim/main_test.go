@@ -44,6 +44,31 @@ func TestRunSimulatesAndPrints(t *testing.T) {
 	}
 }
 
+// TestRunEngines checks that every engine flag value produces the same
+// cycle report and output dump.
+func TestRunEngines(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "add.c")
+	if err := os.WriteFile(src, []byte(smokeSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, engine := range []string{"machine", "fast", "compiled"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-engine", engine, "-print", "z:4", src}, strings.NewReader(""), &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("engine %s: exit %d, stderr: %s", engine, code, stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "z[0:4] = 11 22 33 44") {
+			t.Errorf("engine %s: wrong z dump: %q", engine, stdout.String())
+		}
+		if want == "" {
+			want = stdout.String()
+		} else if stdout.String() != want {
+			t.Errorf("engine %s output diverges:\n got %q\nwant %q", engine, stdout.String(), want)
+		}
+	}
+}
+
 func TestRunFromStdinWithTrace(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"-trace", "-"}, strings.NewReader(smokeSource), &stdout, &stderr)
@@ -90,5 +115,11 @@ func TestRunErrors(t *testing.T) {
 	}
 	if code := run([]string{"-image", "-"}, strings.NewReader("not a rom"), &stdout, &stderr); code != 1 {
 		t.Errorf("bad image: exit %d, want 1", code)
+	}
+	if code := run([]string{"-engine", "bogus"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("unknown engine: exit %d, want 2", code)
+	}
+	if code := run([]string{"-trace", "-engine", "fast", "-"}, strings.NewReader(smokeSource), &stdout, &stderr); code != 2 {
+		t.Errorf("trace with non-machine engine: exit %d, want 2", code)
 	}
 }

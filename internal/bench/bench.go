@@ -20,8 +20,16 @@ import (
 	"dualbank/internal/compact"
 	"dualbank/internal/core"
 	"dualbank/internal/cost"
+	"dualbank/internal/ir"
 	"dualbank/internal/pipeline"
 )
+
+// simMachine is the engine-generic surface a measurement needs: the
+// cycle count and output words. All three engines satisfy it.
+type simMachine interface {
+	Word(sym *ir.Symbol, idx int) (uint32, error)
+	CycleCount() int64
+}
 
 // Kind distinguishes kernels (Table 1) from applications (Table 2).
 type Kind int8
@@ -112,7 +120,8 @@ type Result struct {
 
 	// CompileSeconds and SimSeconds split the measurement's wall clock
 	// into the compile phase (front end through schedule validation)
-	// and the simulation phase (the predecoded fast-path run).
+	// and the simulation phase (lowering plus execution on the
+	// selected engine).
 	CompileSeconds float64
 	SimSeconds     float64
 }
@@ -137,6 +146,12 @@ type RunOptions struct {
 	// policy (duplicate every marked array). Meaningful only under
 	// alloc.CBDup.
 	DupOnly []string
+	// Engine selects the simulation engine. The zero value is the
+	// compiled engine. All engines produce identical measurements (the
+	// differential suite pins them), but the harness still keys its
+	// cache on the engine so a result's recorded timings are always the
+	// requested engine's.
+	Engine Engine
 	// Compiler, when non-nil, supplies reusable compiler scratch so
 	// back-to-back measurements skip re-growing it.
 	Compiler *pipeline.Compiler
@@ -144,8 +159,8 @@ type RunOptions struct {
 
 // Run compiles and executes one benchmark under one allocation mode,
 // validates the schedule and the program outputs, and returns the
-// measurement. Execution uses the predecoded fast-path simulator,
-// which differential tests pin to the reference interpreter.
+// measurement. Execution uses the compiled threaded-code simulator by
+// default, which differential tests pin to the reference interpreter.
 func Run(p Program, mode alloc.Mode) (Result, error) {
 	return RunWith(p, mode, RunOptions{})
 }
@@ -184,9 +199,23 @@ func RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (Res
 	}
 	compileSeconds := time.Since(compileStart).Seconds()
 	simStart := time.Now()
-	m, err := c.RunFastCtx(ctx)
-	if err != nil {
-		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err)
+	// The engines are pinned to identical observable results; the
+	// switch only selects dispatch machinery. The compiled engine
+	// recycles the compiler's batch arena, so its returned machine must
+	// be fully read (cycles, output check) before this compiler runs
+	// anything else — which RunCtx does before returning.
+	var m simMachine
+	var err2 error
+	switch ro.Engine {
+	case EngineMachine:
+		m, err2 = c.RunCtx(ctx)
+	case EngineFast:
+		m, err2 = c.RunFastCtx(ctx)
+	default:
+		m, err2 = c.RunCompiledCtx(ctx, cc.SimBatch())
+	}
+	if err2 != nil {
+		return Result{}, fmt.Errorf("%s/%v: %w", p.Name, mode, err2)
 	}
 	simSeconds := time.Since(simStart).Seconds()
 	if p.Check != nil {
@@ -204,7 +233,7 @@ func RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (Res
 	res := Result{
 		Bench:          p.Name,
 		Mode:           mode,
-		Cycles:         m.Cycles,
+		Cycles:         m.CycleCount(),
 		Mem:            cost.Of(c.Alloc, c.Sched),
 		DupStores:      c.Alloc.DupStores,
 		CompileSeconds: compileSeconds,
@@ -220,4 +249,42 @@ func RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (Res
 // baseline: (base/res - 1) * 100.
 func Gain(base, res Result) float64 {
 	return (float64(base.Cycles)/float64(res.Cycles) - 1) * 100
+}
+
+// BatchItem is one variant of a batched evaluation: an allocation mode
+// plus its run options.
+type BatchItem struct {
+	Mode alloc.Mode
+	Opts RunOptions
+}
+
+// BatchOutcome is one batched variant's measurement. Err is per-item:
+// an infeasible or faulting variant does not abort its siblings.
+// Cached reports a memo-cache hit when the batch ran through a
+// Harness.
+type BatchOutcome struct {
+	Res    Result
+	Cached bool
+	Err    error
+}
+
+// RunBatchCtx measures one benchmark under many configuration variants
+// on a shared compiler: all variants reuse one set of back-end scratch
+// buffers and one recycled simulation arena, so a family of
+// duplication or partition variants costs one warm-up instead of one
+// per variant. Outcomes are returned in item order. A cancelled
+// context fails the remaining items with its error but never corrupts
+// completed outcomes; per-variant failures are recorded in their slot
+// and evaluation continues.
+func RunBatchCtx(ctx context.Context, p Program, items []BatchItem) []BatchOutcome {
+	cc := new(pipeline.Compiler)
+	out := make([]BatchOutcome, len(items))
+	for i, it := range items {
+		ro := it.Opts
+		if ro.Compiler == nil {
+			ro.Compiler = cc
+		}
+		out[i].Res, out[i].Err = RunCtx(ctx, p, it.Mode, ro)
+	}
+	return out
 }

@@ -1,0 +1,50 @@
+package bench
+
+import "fmt"
+
+// Engine selects which simulation engine executes a measurement. All
+// three produce identical cycle counts, bandwidth counters, and memory
+// images — the differential suite pins them to each other — so the
+// choice trades debuggability against throughput, never correctness.
+// The zero value is EngineCompiled: the production default throughout
+// the harness, the explorer, and the service.
+type Engine int8
+
+const (
+	// EngineCompiled is the threaded-code engine: one lowering per
+	// compile, specialized closures per operation, memory arenas sized
+	// to the program. The fastest path and the default.
+	EngineCompiled Engine = iota
+	// EngineFast is the predecoded engine: dense operation records with
+	// a per-operation switch dispatch and full-size bank images.
+	EngineFast
+	// EngineMachine is the interpretive reference engine with the
+	// debugging hooks (tracing, per-instruction callbacks, port
+	// assertions) — the oracle the other two are pinned against.
+	EngineMachine
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineCompiled:
+		return "compiled"
+	case EngineFast:
+		return "fast"
+	case EngineMachine:
+		return "machine"
+	}
+	return fmt.Sprintf("Engine(%d)", int8(e))
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "compiled":
+		return EngineCompiled, nil
+	case "fast":
+		return EngineFast, nil
+	case "machine":
+		return EngineMachine, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want compiled, fast, or machine)", s)
+}

@@ -34,6 +34,12 @@ type Harness struct {
 	// jobs; 1 reproduces the serial harness exactly.
 	Parallel int
 
+	// Engine selects the simulation engine for every measurement the
+	// harness itself schedules (figures, tables, sweeps). The zero value
+	// is the compiled engine; all engines produce identical figures. Set
+	// it before the harness sees traffic.
+	Engine Engine
+
 	// Intercept, when non-nil, runs before every cache-miss
 	// computation. A non-nil return aborts the measurement with that
 	// error — the fault-injection and instrumentation seam. Set it
@@ -74,6 +80,14 @@ type runKey struct {
 	// deduplicated, comma-joined names ("=" alone is the empty set).
 	dup    string
 	config string
+	// engine is the simulation engine that produced the entry. Results
+	// are engine-independent by the differential pinning, but the
+	// recorded timings are not, so entries never alias across engines.
+	engine Engine
+	// batched marks entries produced by a batched dispatch
+	// (RunBatchCtx), whose timings reflect shared-arena amortization;
+	// they never alias single-run entries.
+	batched bool
 }
 
 // newRunKey canonicalizes one measurement request into its cache key.
@@ -91,6 +105,7 @@ func newRunKey(p Program, mode alloc.Mode, ro RunOptions) runKey {
 		profiled: ro.Profiled,
 		dup:      "-",
 		config:   configKey(mode),
+		engine:   ro.Engine,
 	}
 	if key.method != core.MethodFM {
 		key.fmPasses = 0
@@ -172,7 +187,7 @@ func (h *Harness) Run(p Program, mode alloc.Mode) (Result, error) {
 // run is Run with optional reusable compiler scratch (each pool worker
 // owns one).
 func (h *Harness) run(p Program, mode alloc.Mode, cc *pipeline.Compiler) (Result, error) {
-	res, _, err := h.RunCtx(context.Background(), p, mode, RunOptions{Compiler: cc})
+	res, _, err := h.RunCtx(context.Background(), p, mode, RunOptions{Compiler: cc, Engine: h.Engine})
 	return res, err
 }
 
@@ -191,7 +206,34 @@ func (h *Harness) run(p Program, mode alloc.Mode, cc *pipeline.Compiler) (Result
 // are likewise never cached: the entry is removed so the next request
 // retries.
 func (h *Harness) RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (res Result, cached bool, err error) {
-	key := newRunKey(p, mode, ro)
+	return h.runEntry(ctx, newRunKey(p, mode, ro), p, mode, ro)
+}
+
+// RunBatchCtx measures one benchmark under many configuration variants
+// through the single-flight cache, sharing one compiler (back-end
+// scratch plus the compiled engine's recycled simulation arena) across
+// every cache miss in the batch. Entries are keyed as batched, so a
+// batched measurement never aliases a single-run one (their timings
+// reflect different amortization). Outcomes land in item order;
+// per-item failures — including one variant's cancellation — leave the
+// remaining items to run on the same, reset arena.
+func (h *Harness) RunBatchCtx(ctx context.Context, p Program, items []BatchItem) []BatchOutcome {
+	cc := new(pipeline.Compiler)
+	out := make([]BatchOutcome, len(items))
+	for i, it := range items {
+		ro := it.Opts
+		if ro.Compiler == nil {
+			ro.Compiler = cc
+		}
+		key := newRunKey(p, it.Mode, ro)
+		key.batched = true
+		out[i].Res, out[i].Cached, out[i].Err = h.runEntry(ctx, key, p, it.Mode, ro)
+	}
+	return out
+}
+
+// runEntry is the single-flight cache protocol for one key.
+func (h *Harness) runEntry(ctx context.Context, key runKey, p Program, mode alloc.Mode, ro RunOptions) (res Result, cached bool, err error) {
 	for {
 		h.mu.Lock()
 		if e, ok := h.cache[key]; ok {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"time"
 )
@@ -23,6 +24,10 @@ type Report struct {
 	// Runs is the compile/simulate wall-clock split of every executed
 	// (benchmark, mode) measurement, sorted by benchmark then mode.
 	Runs []RunTiming `json:"runs,omitempty"`
+
+	// SimBench is the per-engine simulator throughput suite (`dspbench
+	// -simbench`); BENCH_sim.json is a Report carrying only this field.
+	SimBench []SimBenchRow `json:"simbench,omitempty"`
 
 	// Cache is the memoized run cache's traffic over the whole
 	// invocation; TotalSeconds the end-to-end harness wall clock.
@@ -51,6 +56,20 @@ func (r *Report) WriteFile(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport reads a report previously written by WriteFile — the
+// -simcheck path for loading the committed BENCH_sim.json baseline.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := new(Report)
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
 }
 
 // Timed runs fn and returns its wall-clock duration in seconds.

@@ -37,6 +37,15 @@ import (
 // cached reports a memo-cache hit.
 type EvalFunc func(ctx context.Context, p bench.Program, mode alloc.Mode, ro bench.RunOptions) (res bench.Result, cached bool, err error)
 
+// BatchEvalFunc executes a family of measurements of one benchmark in
+// a single dispatch, returning outcomes in item order. The default
+// runs through bench.Harness.RunBatchCtx, which shares one compiler
+// and one recycled simulation arena across the family — so evaluating
+// a whole duplication-subset round costs one warm-up instead of one
+// per configuration. Per-item errors (infeasible configurations) must
+// come back in their slot, not abort the batch.
+type BatchEvalFunc func(ctx context.Context, p bench.Program, items []bench.BatchItem) []bench.BatchOutcome
+
 // Event is one progress notification: an evaluation finished (or was
 // replayed from a checkpoint).
 type Event struct {
@@ -79,8 +88,14 @@ type Options struct {
 	// Harness supplies the memo cache for the default evaluator; a
 	// private one is created when nil.
 	Harness *bench.Harness
-	// Evaluate overrides the evaluator.
+	// Evaluate overrides the evaluator with a per-measurement function;
+	// setting it disables batched evaluation (the HTTP service routes
+	// every measurement through its worker pool individually, keeping
+	// exploration under the serving path's backpressure).
 	Evaluate EvalFunc
+	// EvaluateBatch overrides the batched evaluator. Ignored when
+	// Evaluate is set.
+	EvaluateBatch BatchEvalFunc
 	// Progress, when non-nil, receives one Event per finished
 	// evaluation, serialized (never concurrently).
 	Progress func(Event)
@@ -161,10 +176,14 @@ type Report struct {
 	CacheHits int `json:"cache_hits"`
 }
 
-// engine carries one exploration's shared state.
+// engine carries one exploration's shared state. Exactly one of eval
+// and evalB is non-nil: a per-measurement override forces the
+// one-at-a-time path, otherwise whole configuration families go
+// through the batched evaluator.
 type engine struct {
-	opts Options
-	eval EvalFunc
+	opts  Options
+	eval  EvalFunc
+	evalB BatchEvalFunc
 
 	mu   sync.Mutex // serializes Progress and per-bench counters
 	done int
@@ -177,22 +196,16 @@ type engine struct {
 // is checkpointed.
 func Explore(ctx context.Context, progs []bench.Program, opts Options) (*Report, error) {
 	opts = opts.withDefaults()
-	e := &engine{opts: opts, eval: opts.Evaluate}
-	if e.eval == nil {
+	e := &engine{opts: opts, eval: opts.Evaluate, evalB: opts.EvaluateBatch}
+	if e.eval != nil {
+		e.evalB = nil
+	} else if e.evalB == nil {
 		h := opts.Harness
 		if h == nil {
 			h = bench.NewHarness(1)
 		}
-		var ccs sync.Pool
-		e.eval = func(ctx context.Context, p bench.Program, mode alloc.Mode, ro bench.RunOptions) (bench.Result, bool, error) {
-			cc, _ := ccs.Get().(*pipeline.Compiler)
-			if cc == nil {
-				cc = new(pipeline.Compiler)
-			}
-			ro.Compiler = cc
-			res, cached, err := h.RunCtx(ctx, p, mode, ro)
-			ccs.Put(cc)
-			return res, cached, err
+		e.evalB = func(ctx context.Context, p bench.Program, items []bench.BatchItem) []bench.BatchOutcome {
+			return h.RunBatchCtx(ctx, p, items)
 		}
 	}
 
@@ -460,10 +473,16 @@ func (e *engine) reportBench(p bench.Program, marked, arrays []string, evals []E
 	return br, nil
 }
 
-// evalBatch evaluates configs concurrently and returns the results in
-// candidate order. Infeasible configurations come back as Evals with
-// Err set; cancellation and other context failures abort the batch.
+// evalBatch evaluates configs and returns the results in candidate
+// order. Infeasible configurations come back as Evals with Err set;
+// cancellation and other context failures abort the batch. The default
+// batched evaluator dispatches whole configuration families per worker
+// (one shared compiler and simulation arena each); a per-measurement
+// override falls back to one-at-a-time dispatch.
 func (e *engine) evalBatch(ctx context.Context, p bench.Program, configs []Config) ([]Eval, error) {
+	if e.evalB != nil {
+		return e.evalBatched(ctx, p, configs)
+	}
 	out := make([]Eval, len(configs))
 	errs := make([]error, len(configs))
 	workers := e.opts.Workers
@@ -494,28 +513,96 @@ func (e *engine) evalBatch(ctx context.Context, p bench.Program, configs []Confi
 	return out, nil
 }
 
+// evalBatched is the batched flow: checkpoint replays resolve first in
+// candidate order, then the remaining configurations split into
+// contiguous per-worker chunks, each dispatched as one batch. Results
+// deposit at their candidate index, so the output order — and with it
+// every downstream frontier and counter — is identical to the
+// one-at-a-time path's.
+func (e *engine) evalBatched(ctx context.Context, p bench.Program, configs []Config) ([]Eval, error) {
+	out := make([]Eval, len(configs))
+	errs := make([]error, len(configs))
+	var pending []int
+	for i := range configs {
+		configs[i] = configs[i].Canon()
+		if ev, ok := e.fromStore(p, configs[i]); ok {
+			out[i] = ev
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) > 0 {
+		workers := e.opts.Workers
+		if workers > len(pending) {
+			workers = len(pending)
+		}
+		chunk := (len(pending) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(pending); lo += chunk {
+			hi := lo + chunk
+			if hi > len(pending) {
+				hi = len(pending)
+			}
+			wg.Add(1)
+			go func(idxs []int) {
+				defer wg.Done()
+				items := make([]bench.BatchItem, len(idxs))
+				for k, i := range idxs {
+					items[k] = bench.BatchItem{Mode: configs[i].Mode(), Opts: configs[i].RunOptions()}
+				}
+				for k, o := range e.evalB(ctx, p, items) {
+					i := idxs[k]
+					out[i], errs[i] = e.record(ctx, p, configs[i], o.Res, o.Cached, o.Err)
+				}
+			}(pending[lo:hi])
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // evalOne measures one configuration: checkpoint replay when
 // available, otherwise execution plus write-through checkpointing.
 func (e *engine) evalOne(ctx context.Context, p bench.Program, c Config) (Eval, error) {
 	c = c.Canon()
-	ev := Eval{Config: c, Key: c.Key()}
-	mode := c.Mode()
-	key := store.Key(p.Name, ev.Key, bench.Fingerprint(mode))
-
-	if e.opts.Store != nil && !e.opts.NoResume {
-		if rec, ok := e.opts.Store.Get(key); ok {
-			ev.Cycles = rec.Cycles
-			ev.Mem = cost.Memory{XData: rec.MemXData, YData: rec.MemYData, Stack: rec.MemStack, Instr: rec.MemInstr}
-			ev.DupStores = rec.DupStores
-			ev.Duplicated = rec.Duplicated
-			ev.Err = rec.Err
-			ev.Source = "store"
-			e.progress(p.Name, ev)
-			return ev, nil
-		}
+	if ev, ok := e.fromStore(p, c); ok {
+		return ev, nil
 	}
+	res, cached, err := e.eval(ctx, p, c.Mode(), c.RunOptions())
+	return e.record(ctx, p, c, res, cached, err)
+}
 
-	res, cached, err := e.eval(ctx, p, mode, c.RunOptions())
+// fromStore replays c's checkpoint if the store holds one.
+func (e *engine) fromStore(p bench.Program, c Config) (Eval, bool) {
+	if e.opts.Store == nil || e.opts.NoResume {
+		return Eval{}, false
+	}
+	rec, ok := e.opts.Store.Get(store.Key(p.Name, c.Key(), bench.Fingerprint(c.Mode())))
+	if !ok {
+		return Eval{}, false
+	}
+	ev := Eval{
+		Config: c, Key: c.Key(),
+		Cycles:     rec.Cycles,
+		Mem:        cost.Memory{XData: rec.MemXData, YData: rec.MemYData, Stack: rec.MemStack, Instr: rec.MemInstr},
+		DupStores:  rec.DupStores,
+		Duplicated: rec.Duplicated,
+		Err:        rec.Err,
+		Source:     "store",
+	}
+	e.progress(p.Name, ev)
+	return ev, true
+}
+
+// record finishes one executed measurement: classify the outcome,
+// write the checkpoint through, and emit progress.
+func (e *engine) record(ctx context.Context, p bench.Program, c Config, res bench.Result, cached bool, err error) (Eval, error) {
+	ev := Eval{Config: c, Key: c.Key()}
 	switch {
 	case err == nil:
 		ev.Cycles = res.Cycles
@@ -542,7 +629,7 @@ func (e *engine) evalOne(ctx context.Context, p bench.Program, c Config) (Eval, 
 			MemStack: ev.Mem.Stack, MemInstr: ev.Mem.Instr,
 			DupStores: ev.DupStores, Duplicated: ev.Duplicated, Err: ev.Err,
 		}
-		if err := e.opts.Store.Put(key, rec); err != nil {
+		if err := e.opts.Store.Put(store.Key(p.Name, ev.Key, bench.Fingerprint(c.Mode())), rec); err != nil {
 			return Eval{}, err
 		}
 	}

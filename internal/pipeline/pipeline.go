@@ -60,15 +60,23 @@ type Compiled struct {
 }
 
 // Compiler carries the reusable scratch state of the back-end passes —
-// the interference-graph scanner and the list scheduler's arena — so a
-// driver compiling many (program, mode) pairs back to back reaches a
-// steady state where the hot passes allocate only their retained
-// output. The zero value is ready to use. A Compiler is not safe for
-// concurrent use; give each worker goroutine its own.
+// the interference-graph scanner, the list scheduler's arena, and the
+// compiled simulation engine's recycled machine — so a driver compiling
+// many (program, mode) pairs back to back reaches a steady state where
+// the hot passes allocate only their retained output. The zero value is
+// ready to use. A Compiler is not safe for concurrent use; give each
+// worker goroutine its own.
 type Compiler struct {
 	scanner core.Scanner
 	scratch compact.Scratch
+	batch   sim.Batch
 }
+
+// SimBatch returns the compiler's recycled simulation arena, for
+// callers running the compiled engine across many measurements on this
+// compiler. Like the compiler itself it is single-owner: a machine
+// obtained through it is invalidated by the next batched run.
+func (cc *Compiler) SimBatch() *sim.Batch { return &cc.batch }
 
 // Compile builds source (a MiniC translation unit) into scheduled VLIW
 // code under the given options.
@@ -189,6 +197,40 @@ func (c *Compiled) RunFastCtx(ctx context.Context) (*sim.FastMachine, error) {
 	}
 	m := pd.NewMachine()
 	if err := m.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("%s (%v): %w", c.Name, c.Alloc.Mode, err)
+	}
+	return m, nil
+}
+
+// RunCompiled executes the program on the compiled threaded-code
+// engine, which produces the same cycle counts, bandwidth counters and
+// memory images as Run and RunFast (differential tests pin all three)
+// but dispatches one specialized closure per operation instead of
+// interpreting, and allocates memory arenas covering only the
+// program's used address range.
+func (c *Compiled) RunCompiled() (*sim.CompiledMachine, error) {
+	return c.RunCompiledCtx(context.Background(), nil)
+}
+
+// RunCompiledCtx is RunCompiled honoring ctx at the simulator's block
+// boundaries. A non-nil batch recycles its machine's arenas across
+// calls — the returned machine then aliases the batch's storage and is
+// invalidated by the batch's next run, so callers must finish reading
+// results first.
+func (c *Compiled) RunCompiledCtx(ctx context.Context, b *sim.Batch) (*sim.CompiledMachine, error) {
+	cp, err := sim.Compile(c.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("%s (%v): %w", c.Name, c.Alloc.Mode, err)
+	}
+	if b == nil {
+		m := cp.NewMachine()
+		if err := m.RunContext(ctx); err != nil {
+			return nil, fmt.Errorf("%s (%v): %w", c.Name, c.Alloc.Mode, err)
+		}
+		return m, nil
+	}
+	m, err := b.Run(ctx, cp)
+	if err != nil {
 		return nil, fmt.Errorf("%s (%v): %w", c.Name, c.Alloc.Mode, err)
 	}
 	return m, nil

@@ -32,6 +32,10 @@ type Metrics struct {
 	// shed counts load-shed requests by reason ("queue" for bounded
 	// admission, "rate" for the per-client limiter).
 	shed map[string]int64
+	// engineRuns counts measurement dispatches by simulation engine
+	// ("compiled", "fast", "machine"), so a deployment's engine mix is
+	// visible at a glance.
+	engineRuns map[string]int64
 }
 
 // latencyBounds are the histogram bucket upper bounds in seconds,
@@ -89,7 +93,15 @@ func NewMetrics() *Metrics {
 		exploreJobs:  make(map[string]int64),
 		exploreEvals: make(map[string]int64),
 		shed:         make(map[string]int64),
+		engineRuns:   make(map[string]int64),
 	}
+}
+
+// EngineRun counts one measurement dispatch by simulation engine.
+func (m *Metrics) EngineRun(engine string) {
+	m.mu.Lock()
+	m.engineRuns[engine]++
+	m.mu.Unlock()
 }
 
 // Shed counts one load-shed request by reason.
@@ -142,7 +154,10 @@ func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
 type Snapshot struct {
 	Requests map[int]int64
 	Shed     map[string]int64
-	InFlight int64
+	// EngineRuns is the measurement-dispatch count by simulation
+	// engine.
+	EngineRuns map[string]int64
+	InFlight   int64
 	// CompileP50/P99 and SimP50/P99 are bucket-interpolated latency
 	// quantiles in seconds; Runs is the number of observed
 	// measurements.
@@ -211,6 +226,7 @@ func (m *Metrics) WriteTo(w io.Writer, cache bench.CacheStats, poolActive int64,
 	}
 
 	writeLabeled(w, "dspservd_shed_total", "Load-shed requests by reason.", "reason", m.shed)
+	writeLabeled(w, "dspservd_engine_runs_total", "Measurement dispatches by simulation engine.", "engine", m.engineRuns)
 	writeLabeled(w, "dspservd_explore_jobs_total", "Exploration jobs by lifecycle event.", "event", m.exploreJobs)
 	writeLabeled(w, "dspservd_explore_evals_total", "Exploration evaluations by result source.", "source", m.exploreEvals)
 

@@ -53,6 +53,11 @@ type Config struct {
 	// (latency spikes, pool-slot starvation) into every measurement —
 	// the chaos-testing seam. Production servers leave it nil.
 	Fault *faultinject.Injector
+	// Engine selects the simulation engine for every measurement. The
+	// zero value is the compiled threaded-code engine — the production
+	// default; the fast and reference engines remain selectable for
+	// cross-checking a deployment.
+	Engine bench.Engine
 }
 
 // StatusClientClosedRequest is the non-standard 499 (nginx convention)
@@ -207,7 +212,9 @@ func (s *Server) execute(ctx context.Context, cc *pipeline.Compiler, j Job) (ben
 	ro := bench.RunOptions{
 		Compiler: cc, Partitioner: j.Method,
 		FMPasses: j.FMPasses, Profiled: j.Profiled, DupOnly: j.DupOnly,
+		Engine: s.cfg.Engine,
 	}
+	s.metrics.EngineRun(ro.Engine.String())
 	if j.Cacheable {
 		return s.harness.RunCtx(ctx, j.Prog, j.Mode, ro)
 	}

@@ -1,0 +1,288 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/machine"
+	"dualbank/internal/sim"
+)
+
+// TestCompiledMatchesMachine cross-checks the compiled engine against
+// the interpretive reference on the local kernel under every port
+// model: counters and the full memory image, including the invariant
+// that the reference never touches a word beyond the compiled arena's
+// high-water mark. The full-suite differential test lives in
+// internal/bench.
+func TestCompiledMatchesMachine(t *testing.T) {
+	for _, mode := range []alloc.Mode{
+		alloc.SingleBank, alloc.CB, alloc.CBDup, alloc.FullDup,
+		alloc.Ideal, alloc.LowOrder,
+	} {
+		sched := compileSched(t, firSource, mode)
+		ref := sim.NewMachine(sched)
+		if err := ref.Run(); err != nil {
+			t.Fatalf("%v: reference: %v", mode, err)
+		}
+		cp, err := sim.Compile(sched)
+		if err != nil {
+			t.Fatalf("%v: compile: %v", mode, err)
+		}
+		cm := cp.NewMachine()
+		if err := cm.Run(); err != nil {
+			t.Fatalf("%v: compiled: %v", mode, err)
+		}
+		if cm.Cycles != ref.Cycles || cm.OpsExecuted != ref.OpsExecuted ||
+			cm.MemAccesses != ref.MemAccesses || cm.DualMemCycles != ref.DualMemCycles ||
+			cm.BankConflicts != ref.BankConflicts {
+			t.Errorf("%v: counters diverge: compiled {cyc %d ops %d mem %d dual %d conf %d} vs reference {cyc %d ops %d mem %d dual %d conf %d}",
+				mode,
+				cm.Cycles, cm.OpsExecuted, cm.MemAccesses, cm.DualMemCycles, cm.BankConflicts,
+				ref.Cycles, ref.OpsExecuted, ref.MemAccesses, ref.DualMemCycles, ref.BankConflicts)
+		}
+		n := cp.MemWords()
+		for i := 0; i < n; i++ {
+			if cm.X[i] != ref.X[i] || cm.Y[i] != ref.Y[i] {
+				t.Fatalf("%v: memory image diverges at word %#x", mode, i)
+			}
+		}
+		for i := n; i < machine.BankWords; i++ {
+			if ref.X[i] != 0 || ref.Y[i] != 0 {
+				t.Fatalf("%v: reference touched word %#x beyond the compiled arena (%d words)", mode, i, n)
+			}
+		}
+	}
+}
+
+// TestCompiledZeroAllocSteadyState enforces the compiled engine's
+// allocation contract: once lowered, Reset+Run allocates nothing.
+func TestCompiledZeroAllocSteadyState(t *testing.T) {
+	cp, err := sim.Compile(compileSched(t, firSource, alloc.CBDup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := cp.NewMachine()
+	if err := cm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		cm.Reset()
+		if err := cm.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Reset+Run allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestBatchAcrossVariants runs one Batch over several allocation
+// variants of the same kernel, checking each run's counters against a
+// fresh machine: the arena recycling must not leak state — memory
+// images, counters, or loop stacks — between variants.
+func TestBatchAcrossVariants(t *testing.T) {
+	var b sim.Batch
+	for round := 0; round < 2; round++ {
+		for _, mode := range []alloc.Mode{
+			alloc.CBDup, alloc.SingleBank, alloc.LowOrder, alloc.Ideal,
+		} {
+			sched := compileSched(t, firSource, mode)
+			cp, err := sim.Compile(sched)
+			if err != nil {
+				t.Fatalf("%v: compile: %v", mode, err)
+			}
+			want := cp.NewMachine()
+			if err := want.Run(); err != nil {
+				t.Fatalf("%v: fresh: %v", mode, err)
+			}
+			got, err := b.Run(context.Background(), cp)
+			if err != nil {
+				t.Fatalf("%v: batch: %v", mode, err)
+			}
+			if got.Cycles != want.Cycles || got.MemAccesses != want.MemAccesses ||
+				got.BankConflicts != want.BankConflicts {
+				t.Errorf("%v round %d: batch run diverges from fresh machine: {cyc %d mem %d conf %d} vs {cyc %d mem %d conf %d}",
+					mode, round,
+					got.Cycles, got.MemAccesses, got.BankConflicts,
+					want.Cycles, want.MemAccesses, want.BankConflicts)
+			}
+			for i := 0; i < cp.MemWords(); i++ {
+				if got.X[i] != want.X[i] || got.Y[i] != want.Y[i] {
+					t.Fatalf("%v round %d: batch memory image diverges at word %#x", mode, round, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSteadyStateAllocs checks the amortization contract: after a
+// warm-up run, re-running a compiled program through a Batch allocates
+// nothing.
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	cp, err := sim.Compile(compileSched(t, firSource, alloc.CBDup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b sim.Batch
+	if _, err := b.Run(context.Background(), cp); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := b.Run(context.Background(), cp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Batch.Run allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// slowSource runs ~3.6e9 cycles — far longer than any test timeout —
+// so a prompt return can only mean the cancellation path worked.
+const slowSource = `
+int out;
+
+void main() {
+	int i;
+	int j;
+	int acc = 0;
+	for (i = 0; i < 60000; i++) {
+		for (j = 0; j < 60000; j++) {
+			acc = acc + 1;
+		}
+	}
+	out = acc;
+}
+`
+
+// TestCompiledCancelMidRun cancels a compiled-engine run mid-flight
+// and requires a prompt ctx.Err()-wrapping error.
+func TestCompiledCancelMidRun(t *testing.T) {
+	cp, err := sim.Compile(compileSched(t, slowSource, alloc.CBDup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	runErr := cp.NewMachine().RunContext(ctx)
+	if runErr == nil {
+		t.Fatal("cancelled run returned nil")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", runErr)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", d)
+	}
+}
+
+// TestBatchCancelDoesNotPoisonSiblings cancels one variant mid-run and
+// then evaluates further variants through the same Batch: the recycled
+// machine must come back clean, with results identical to a fresh
+// machine's.
+func TestBatchCancelDoesNotPoisonSiblings(t *testing.T) {
+	slow, err := sim.Compile(compileSched(t, slowSource, alloc.CBDup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fir, err := sim.Compile(compileSched(t, firSource, alloc.CBDup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fir.NewMachine()
+	if err := want.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var b sim.Batch
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := b.Run(ctx, slow); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled variant returned %v, want context.Canceled", err)
+	}
+
+	for round := 0; round < 3; round++ {
+		got, err := b.Run(context.Background(), fir)
+		if err != nil {
+			t.Fatalf("sibling after cancel: %v", err)
+		}
+		if got.Cycles != want.Cycles || got.MemAccesses != want.MemAccesses {
+			t.Errorf("sibling after cancel diverges: {cyc %d mem %d} vs {cyc %d mem %d}",
+				got.Cycles, got.MemAccesses, want.Cycles, want.MemAccesses)
+		}
+		for i := 0; i < fir.MemWords(); i++ {
+			if got.X[i] != want.X[i] || got.Y[i] != want.Y[i] {
+				t.Fatalf("sibling after cancel: memory diverges at word %#x", i)
+			}
+		}
+	}
+
+	// Cancellation must not leave goroutines behind (the poll is a
+	// channel select, not a watcher goroutine — this pins that).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+1 {
+		t.Errorf("goroutines leaked across cancelled batch run: %d before, %d after", before, n)
+	}
+}
+
+// TestCompiledCycleLimit pins the compiled engine's cycle-limit
+// behaviour to the reference's: same verdict at the same limits, even
+// though the compiled engine checks per block rather than per cycle.
+func TestCompiledCycleLimit(t *testing.T) {
+	sched := compileSched(t, firSource, alloc.CBDup)
+	ref := sim.NewMachine(sched)
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := sim.Compile(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int64{ref.Cycles, ref.Cycles - 1, ref.Cycles / 2, 1} {
+		refM := sim.NewMachine(sched)
+		refM.MaxCycles = limit
+		refErr := refM.Run()
+		cm := cp.NewMachine()
+		cm.MaxCycles = limit
+		cmErr := cm.Run()
+		if (refErr == nil) != (cmErr == nil) {
+			t.Errorf("limit %d: reference err %v, compiled err %v", limit, refErr, cmErr)
+		}
+	}
+}
+
+// BenchmarkCompiledMachine measures the compiled engine's steady-state
+// loop, comparable against BenchmarkMachine and BenchmarkFastMachine.
+func BenchmarkCompiledMachine(b *testing.B) {
+	cp, err := sim.Compile(compileSched(b, firSource, alloc.CBDup))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := cp.NewMachine()
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

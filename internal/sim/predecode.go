@@ -434,9 +434,15 @@ block:
 // access. The bank is predecoded except under the low-order model,
 // where address parity decides.
 func (m *FastMachine) resolveFast(op *pOp, lowOrder bool) (int32, bool, error) {
+	return resolvePOp(&m.Regs, op, lowOrder)
+}
+
+// resolvePOp is resolveFast over an explicit register file, shared with
+// the compiled engine's staged (two-phase) instruction path.
+func resolvePOp(r *[65]uint32, op *pOp, lowOrder bool) (int32, bool, error) {
 	idx := int32(0)
 	if op.idx != 0 {
-		idx = int32(m.Regs[op.idx])
+		idx = int32(r[op.idx])
 	}
 	if idx < 0 || idx >= op.size {
 		return 0, false, fmt.Errorf("index %d out of range (size %d)", idx, op.size)
@@ -451,7 +457,12 @@ func (m *FastMachine) resolveFast(op *pOp, lowOrder bool) (int32, bool, error) {
 // evalFast computes a scalar operation's result from the current
 // register file; semantics match Machine.evalALU exactly.
 func (m *FastMachine) evalFast(op *pOp) (uint32, error) {
-	r := &m.Regs
+	return evalPOp(&m.Regs, op)
+}
+
+// evalPOp is evalFast over an explicit register file, shared with the
+// compiled engine's staged (two-phase) instruction path.
+func evalPOp(r *[65]uint32, op *pOp) (uint32, error) {
 	iv := func(i uint8) int32 { return int32(r[i]) }
 	fv := func(i uint8) float32 { return math.Float32frombits(r[i]) }
 	fb := math.Float32bits
