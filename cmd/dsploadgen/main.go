@@ -1,0 +1,240 @@
+// Command dsploadgen drives load at a dspservd cluster and reports
+// throughput, latency quantiles, the status mix, and — with -verify —
+// the fleet-wide single-flight check: across the whole run, the
+// cluster's cache-miss counters must have grown by exactly the number
+// of distinct keys requested, proving every cold key was computed once
+// no matter how many nodes and requests touched it (the check assumes
+// the fleet shares an L2 result store, as a -store deployment does).
+//
+// Two ways to point it at a fleet:
+//
+//	-targets http://a:8357,http://b:8357   an external cluster
+//	-nodes 4                               a self-contained in-process
+//	                                       fixture on loopback ports
+//
+// In fixture mode, -service-time emulates per-request work with an
+// injected stall inside each node's worker pool: per-node capacity
+// becomes workers/service-time, which makes scaling measurable on one
+// machine (in-process nodes share the CPU, so real compute cannot
+// scale with node count). -service-time 0 runs real compute.
+//
+// Key skew: -skew uniform sprays the benchmark × mode matrix evenly;
+// -skew zipf (-zipf-s exponent) concentrates traffic on a heavy head,
+// the shape hot-key replication exists for.
+//
+// Usage:
+//
+//	dsploadgen [-targets urls | -nodes N] [-requests 1000]
+//	           [-concurrency 32] [-skew uniform|zipf] [-zipf-s 1.2]
+//	           [-seed 1] [-keyspace 161] [-warm] [-verify]
+//	           [-nodes-workers 8] [-service-time 10ms] [-replication 2]
+//	           [-store-dir dir] [-json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dualbank/internal/cluster"
+	"dualbank/internal/faultinject"
+	"dualbank/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsploadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	targets := fs.String("targets", "", "comma-separated node base URLs of an external cluster")
+	nodes := fs.Int("nodes", 0, "spin an in-process fixture with this many nodes instead of -targets")
+	nodeWorkers := fs.Int("nodes-workers", 8, "fixture: worker-pool width per node")
+	serviceTime := fs.Duration("service-time", 10*time.Millisecond, "fixture: injected per-request service time (0 = real compute)")
+	replication := fs.Int("replication", 2, "fixture: replica-set size per key")
+	storeDir := fs.String("store-dir", "", "fixture: shared L2 store directory (default: a temp dir)")
+	requests := fs.Int("requests", 1000, "total request count")
+	concurrency := fs.Int("concurrency", 32, "closed-loop worker count")
+	skew := fs.String("skew", "uniform", "key distribution: uniform or zipf")
+	zipfS := fs.Float64("zipf-s", 1.2, "zipf exponent (>1)")
+	seed := fs.Int64("seed", 1, "key-sequence seed")
+	keyspace := fs.Int("keyspace", 0, "distinct request bodies (default: the whole 161-entry matrix)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	warm := fs.Bool("warm", false, "issue every distinct key once before measuring")
+	verify := fs.Bool("verify", false, "check fleet-wide single-flight via the nodes' miss counters")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var urls []string
+	if *nodes > 0 {
+		dir := *storeDir
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "dsploadgen-store-*"); err != nil {
+				fmt.Fprintln(stderr, "dsploadgen:", err)
+				return 1
+			}
+			defer os.RemoveAll(dir)
+		}
+		lc, err := cluster.StartLocal(cluster.LocalOptions{
+			N:           *nodes,
+			Replication: *replication,
+			StoreDir:    dir,
+			Serve:       serve.Config{Workers: *nodeWorkers},
+			Configure: func(i int, cfg *cluster.Config) {
+				if *serviceTime > 0 {
+					cfg.Serve.Fault = faultinject.New(faultinject.Profile{
+						Seed:    int64(i) + 1,
+						Latency: 1.0, LatencyDur: *serviceTime,
+					})
+				}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "dsploadgen:", err)
+			return 1
+		}
+		defer lc.Close()
+		for i := 0; i < lc.N(); i++ {
+			urls = append(urls, lc.URL(i))
+		}
+		fmt.Fprintf(stdout, "dsploadgen: %d-node fixture up (workers=%d, service-time=%s)\n",
+			*nodes, *nodeWorkers, *serviceTime)
+	} else {
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(urls) == 0 {
+			fmt.Fprintln(stderr, "dsploadgen: one of -targets or -nodes is required")
+			return 2
+		}
+	}
+
+	ctx := context.Background()
+	missesBefore, missErr := scrapeMisses(urls)
+
+	distinctWarmed := 0
+	if *warm {
+		bodies := len(cluster.LoadBodies())
+		if *keyspace > 0 && *keyspace < bodies {
+			bodies = *keyspace
+		}
+		rep, err := cluster.RunLoad(ctx, cluster.LoadOptions{
+			Targets:     urls,
+			Requests:    bodies,
+			Concurrency: *concurrency,
+			Keyspace:    *keyspace,
+			Skew:        "sweep",
+			Seed:        *seed,
+			Timeout:     *timeout,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "dsploadgen: warm:", err)
+			return 1
+		}
+		distinctWarmed = bodies
+		fmt.Fprintf(stdout, "dsploadgen: warm pass done (%d requests, %d distinct keys, %.1fs)\n",
+			rep.Requests, rep.DistinctKeys, rep.Seconds)
+	}
+
+	rep, err := cluster.RunLoad(ctx, cluster.LoadOptions{
+		Targets:     urls,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		Keyspace:    *keyspace,
+		Skew:        *skew,
+		ZipfS:       *zipfS,
+		Seed:        *seed,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "dsploadgen:", err)
+		return 1
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Fprintf(stdout, "dsploadgen: %d requests to %d nodes (%s skew)\n", rep.Requests, rep.Targets, rep.Skew)
+		fmt.Fprintf(stdout, "  throughput   %.0f req/s (%.2fs)\n", rep.Throughput, rep.Seconds)
+		fmt.Fprintf(stdout, "  latency      p50 %.1fms  p99 %.1fms\n", rep.P50Ms, rep.P99Ms)
+		fmt.Fprintf(stdout, "  distinct     %d keys\n", rep.DistinctKeys)
+		codes := make([]int, 0, len(rep.Statuses))
+		for c := range rep.Statuses {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(stdout, "  status %d   %d\n", c, rep.Statuses[c])
+		}
+		if rep.TransportErrors > 0 {
+			fmt.Fprintf(stdout, "  transport    %d errors\n", rep.TransportErrors)
+		}
+	}
+
+	if *verify {
+		if missErr != nil {
+			fmt.Fprintln(stderr, "dsploadgen: verify: scraping before:", missErr)
+			return 1
+		}
+		missesAfter, err := scrapeMisses(urls)
+		if err != nil {
+			fmt.Fprintln(stderr, "dsploadgen: verify:", err)
+			return 1
+		}
+		// Distinct keys across warm + measure: the warm pass covers a
+		// superset of the measured draw when both ran.
+		want := rep.DistinctKeys
+		if distinctWarmed > want {
+			want = distinctWarmed
+		}
+		got := missesAfter - missesBefore
+		if got != int64(want) {
+			fmt.Fprintf(stderr, "dsploadgen: single-flight VIOLATED: fleet computed %d keys, %d were distinct\n", got, want)
+			return 1
+		}
+		fmt.Fprintf(stdout, "dsploadgen: single-flight verified: %d distinct keys, %d fleet-wide computes\n", want, got)
+	}
+	return 0
+}
+
+var missRe = regexp.MustCompile(`(?m)^dspservd_cache_misses_total (\d+)$`)
+
+// scrapeMisses sums dspservd_cache_misses_total across the fleet.
+func scrapeMisses(urls []string) (int64, error) {
+	var total int64
+	for _, u := range urls {
+		resp, err := http.Get(u + "/metrics")
+		if err != nil {
+			return 0, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		m := missRe.FindSubmatch(data)
+		if m == nil {
+			return 0, fmt.Errorf("%s/metrics lacks dspservd_cache_misses_total", u)
+		}
+		v, _ := strconv.ParseInt(string(m[1]), 10, 64)
+		total += v
+	}
+	return total, nil
+}

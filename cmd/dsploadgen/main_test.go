@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunFixtureVerify drives the whole tool end to end: a two-node
+// in-process fixture, a warm pass, a small measured run, and the
+// single-flight verification against the fleet's miss counters.
+func TestRunFixtureVerify(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-nodes", "2", "-requests", "100", "-concurrency", "8",
+		"-keyspace", "20", "-warm", "-verify", "-service-time", "0",
+		"-store-dir", t.TempDir(),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"2-node fixture up",
+		"warm pass done",
+		"status 200   100",
+		"single-flight verified: 20 distinct keys, 20 fleet-wide computes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunJSONReport pins the -json schema a dashboard would scrape.
+func TestRunJSONReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-nodes", "1", "-requests", "30", "-concurrency", "4",
+		"-keyspace", "10", "-skew", "zipf", "-service-time", "0", "-json",
+		"-store-dir", t.TempDir(),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	// The fixture banner precedes the JSON document.
+	out := stdout.String()
+	i := strings.Index(out, "{")
+	if i < 0 {
+		t.Fatalf("no JSON in output: %s", out)
+	}
+	var rep struct {
+		Requests   int            `json:"requests"`
+		Throughput float64        `json:"throughput_rps"`
+		Statuses   map[string]int `json:"statuses"`
+		Skew       string         `json:"skew"`
+	}
+	if err := json.Unmarshal([]byte(out[i:]), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, out)
+	}
+	if rep.Requests != 30 || rep.Skew != "zipf" || rep.Statuses["200"] != 30 || rep.Throughput <= 0 {
+		t.Errorf("report fields off: %+v", rep)
+	}
+}
+
+// TestRunFlagErrors pins the exit codes of unusable invocations.
+func TestRunFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no targets: exit %d, want 2", code)
+	}
+	if code := run([]string{"-nodes", "1", "-skew", "bogus", "-service-time", "0"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad skew: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dualbank/internal/explore/store"
+)
+
+// freePorts reserves n distinct loopback ports and releases them, so a
+// test can hand the daemon addresses that double as ring identities.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	lns := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return ports
+}
+
+func awaitListen(t *testing.T, stdout, stderr *syncBuffer) string {
+	t.Helper()
+	re := regexp.MustCompile(`listening on ([0-9.]+:[0-9]+)`)
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if m := re.FindStringSubmatch(stdout.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunClusterMode boots a two-node fleet through the real flag
+// surface (-self/-peers/-store), verifies the nodes see each other on
+// the ring, serves a request through each, and shuts the fleet down
+// with the process manager's signal.
+func TestRunClusterMode(t *testing.T) {
+	ports := freePorts(t, 2)
+	addrs := []string{
+		fmt.Sprintf("127.0.0.1:%d", ports[0]),
+		fmt.Sprintf("127.0.0.1:%d", ports[1]),
+	}
+	dir := t.TempDir()
+
+	var outs, errs [2]syncBuffer
+	done := make(chan int, 2)
+	for i := range addrs {
+		i := i
+		peer := addrs[1-i]
+		go func() {
+			done <- run([]string{
+				"-addr", addrs[i], "-self", addrs[i], "-peers", peer,
+				"-store", dir, "-workers", "2",
+			}, &outs[i], &errs[i])
+		}()
+	}
+	for i := range addrs {
+		awaitListen(t, &outs[i], &errs[i])
+	}
+
+	// Both nodes converge on a two-member ring (join announcements may
+	// still be in flight right after the listen line).
+	for _, addr := range addrs {
+		var ring struct {
+			Members []string `json:"members"`
+		}
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			resp, err := http.Get("http://" + addr + "/v1/cluster/ring")
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&ring)
+			resp.Body.Close()
+			if err == nil && len(ring.Members) == 2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s ring never reached 2 members: %+v", addr, ring)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// A request through either node succeeds and both return the same
+	// measurement (the second ride is the first's cached result, owner
+	// or forwarded).
+	var bodies [2][]byte
+	for i, addr := range addrs {
+		resp, err := http.Post("http://"+addr+"/v1/run", "application/json",
+			strings.NewReader(`{"bench":"fir_32_1","mode":"CB"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d run: %d %s", i, resp.StatusCode, b)
+		}
+		bodies[i] = b
+	}
+	var a, b map[string]any
+	json.Unmarshal(bodies[0], &a)
+	json.Unmarshal(bodies[1], &b)
+	if a["cycles"] != b["cycles"] {
+		t.Fatalf("nodes disagree: %v vs %v", a["cycles"], b["cycles"])
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("exit %d; stderr: %s | %s", code, errs[0].String(), errs[1].String())
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("fleet did not shut down on SIGTERM")
+		}
+	}
+}
+
+// TestRunStorePrune boots the daemon against a result store holding
+// backdated records over the byte budget and asserts the startup prune
+// reports evicting them.
+func TestRunStorePrune(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("prune-smoke-%d", i)
+		if err := st.Put(key, store.Record{Cycles: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		os.Chtimes(dir+"/"+e.Name(), old, old)
+	}
+
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-workers", "1",
+			"-store", dir, "-store-max-bytes", "1",
+		}, &stdout, &stderr)
+	}()
+	awaitListen(t, &stdout, &stderr)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+	if !strings.Contains(stdout.String(), "store prune:") {
+		t.Errorf("no prune report in stdout: %q", stdout.String())
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("%d records survived a 1-byte budget", len(left))
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"dualbank/internal/alloc"
@@ -70,9 +71,23 @@ type Program struct {
 	Check  func(r Reader) error
 }
 
-// Kernels returns the Table 1 suite in figure order (k1..k12).
-func Kernels() []Program {
-	return []Program{
+// suite memoizes the generated benchmark programs. Generating a
+// program renders its whole MiniC source, embedded input data
+// included (FFT(1024) alone formats a thousand floats), which costs
+// milliseconds — far too much to repeat on every ByName lookup in a
+// serving path. The programs are immutable once built (value structs
+// over immutable strings and stateless Check functions), so one
+// generation serves every caller; the accessors hand out fresh slice
+// headers over the shared backing elements.
+var suite struct {
+	once    sync.Once
+	kernels []Program
+	apps    []Program
+	byName  map[string]Program
+}
+
+func initSuite() {
+	suite.kernels = []Program{
 		FFT(1024), FFT(256),
 		FIR(256, 64), FIR(32, 1),
 		IIR(4, 64), IIR(1, 1),
@@ -80,30 +95,37 @@ func Kernels() []Program {
 		LMSFIR(32, 64), LMSFIR(8, 1),
 		MatMult(10), MatMult(4),
 	}
-}
-
-// Applications returns the Table 2 suite in figure order (a1..a11).
-func Applications() []Program {
-	return []Program{
+	suite.apps = []Program{
 		ADPCM(), LPC(), Spectral(), EdgeDetect(), Compress(),
 		Histogram(), V32Encode(), G721MLEncode(), G721MLDecode(),
 		G721WFEncode(), Trellis(),
 	}
+	suite.byName = make(map[string]Program, len(suite.kernels)+len(suite.apps))
+	for _, p := range suite.kernels {
+		suite.byName[p.Name] = p
+	}
+	for _, p := range suite.apps {
+		suite.byName[p.Name] = p
+	}
+}
+
+// Kernels returns the Table 1 suite in figure order (k1..k12).
+func Kernels() []Program {
+	suite.once.Do(initSuite)
+	return append([]Program(nil), suite.kernels...)
+}
+
+// Applications returns the Table 2 suite in figure order (a1..a11).
+func Applications() []Program {
+	suite.once.Do(initSuite)
+	return append([]Program(nil), suite.apps...)
 }
 
 // ByName finds a benchmark in either suite.
 func ByName(name string) (Program, bool) {
-	for _, p := range Kernels() {
-		if p.Name == name {
-			return p, true
-		}
-	}
-	for _, p := range Applications() {
-		if p.Name == name {
-			return p, true
-		}
-	}
-	return Program{}, false
+	suite.once.Do(initSuite)
+	p, ok := suite.byName[name]
+	return p, ok
 }
 
 // Result is one (benchmark, mode) measurement.

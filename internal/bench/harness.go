@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,11 +47,30 @@ type Harness struct {
 	// before the harness sees traffic; it is read without locking.
 	Intercept func(ctx context.Context, p Program, mode alloc.Mode) error
 
+	// L2, when non-nil, is a shared second-level result cache consulted
+	// on every in-memory cache miss before computing and written through
+	// after every successful computation. The lookup happens inside the
+	// single-flight slot, so at most one goroutine per process performs
+	// the (possibly remote or on-disk) L2 round trip for a key. Set it
+	// before the harness sees traffic; it is read without locking.
+	L2 ResultCache
+
 	mu      sync.Mutex
 	cache   map[runKey]*cacheEntry
 	timings []RunTiming
 
-	hits, misses atomic.Int64
+	hits, misses, l2hits atomic.Int64
+}
+
+// ResultCache is a shared second-level result cache — typically the
+// content-addressed explore store promoted to a fleet-wide L2 — keyed
+// by the canonical CacheKey string. Implementations must be safe for
+// concurrent use. Get returns only successful measurements; Put is
+// called only with them. Both are best-effort: a Get miss recomputes
+// and a failed Put loses nothing but a future shortcut.
+type ResultCache interface {
+	Get(key string) (Result, bool)
+	Put(key string, r Result)
 }
 
 // RunTiming is the compile/simulate wall-clock split of one executed
@@ -88,6 +108,33 @@ type runKey struct {
 	// (RunBatchCtx), whose timings reflect shared-arena amortization;
 	// they never alias single-run entries.
 	batched bool
+}
+
+// String renders the key's canonical wire form — the identity the
+// cluster tier hashes for consistent routing and the shared L2 result
+// cache stores under. Every in-memory key field except batched appears
+// (batched only distinguishes timing amortization, never the result,
+// so batched and single-run measurements share one L2 entry).
+func (k runKey) String() string {
+	return "run|" + k.bench +
+		"|mode=" + k.mode.String() +
+		"|part=" + k.method.String() +
+		"|fmp=" + strconv.Itoa(k.fmPasses) +
+		"|prof=" + strconv.FormatBool(k.profiled) +
+		"|dup=" + k.dup +
+		"|engine=" + k.engine.String() +
+		"|" + k.config
+}
+
+// CacheKey returns the canonical string identity of one memoizable
+// measurement: the exact single-flight memo key — benchmark, mode,
+// every result-affecting RunOptions knob including the engine, and the
+// machine-configuration fingerprint. Two requests share a CacheKey if
+// and only if the harness would coalesce them onto one cache entry, so
+// the string is safe to use as a consistent-hash routing key and as a
+// shared-cache address.
+func CacheKey(p Program, mode alloc.Mode, ro RunOptions) string {
+	return newRunKey(p, mode, ro).String()
 }
 
 // newRunKey canonicalizes one measurement request into its cache key.
@@ -167,14 +214,18 @@ func NewHarness(parallel int) *Harness {
 
 // CacheStats reports the memoized cache's traffic: Misses is the
 // number of compile+simulate executions performed, Hits the number of
-// requests served from (or coalesced onto) an existing entry.
+// requests served from (or coalesced onto) an existing in-memory
+// entry, and L2Hits the number of measurements satisfied by the shared
+// second-level cache instead of computing. Hits + Misses + L2Hits
+// accounts for every measurement request when an L2 is configured;
+// without one, L2Hits stays zero.
 type CacheStats struct {
-	Hits, Misses int64
+	Hits, Misses, L2Hits int64
 }
 
 // Stats returns the cache counters.
 func (h *Harness) Stats() CacheStats {
-	return CacheStats{Hits: h.hits.Load(), Misses: h.misses.Load()}
+	return CacheStats{Hits: h.hits.Load(), Misses: h.misses.Load(), L2Hits: h.l2hits.Load()}
 }
 
 // Run measures one (benchmark, mode) pair through the cache: the first
@@ -260,14 +311,29 @@ func (h *Harness) runEntry(ctx context.Context, key runKey, p Program, mode allo
 		e := &cacheEntry{done: make(chan struct{})}
 		h.cache[key] = e
 		h.mu.Unlock()
-		h.misses.Add(1)
-		e.res, e.err = h.compute(ctx, p, mode, ro)
+		// Inside the single-flight slot, try the shared L2 first: a hit
+		// means some node (possibly this one, in a previous life)
+		// already computed the measurement, so only Bench and Mode —
+		// which the L2 does not persist — need restoring. Exactly one
+		// goroutine per process pays the L2 round trip per key.
+		fromL2 := false
+		if h.L2 != nil {
+			if res, ok := h.L2.Get(key.String()); ok {
+				res.Bench, res.Mode = p.Name, mode
+				e.res, fromL2 = res, true
+				h.l2hits.Add(1)
+			}
+		}
+		if !fromL2 {
+			h.misses.Add(1)
+			e.res, e.err = h.compute(ctx, p, mode, ro)
+		}
 		h.mu.Lock()
 		switch {
 		case e.err != nil && (ctx.Err() != nil || isTransient(e.err)):
 			e.cancelled = true
 			delete(h.cache, key)
-		case e.err == nil:
+		case e.err == nil && !fromL2:
 			h.timings = append(h.timings, RunTiming{
 				Bench: p.Name, Mode: mode,
 				CompileSeconds: e.res.CompileSeconds, SimSeconds: e.res.SimSeconds,
@@ -275,7 +341,35 @@ func (h *Harness) runEntry(ctx context.Context, key runKey, p Program, mode allo
 		}
 		h.mu.Unlock()
 		close(e.done)
-		return e.res, false, e.err
+		// Write-through happens after waiters are released: they need
+		// the result, not the L2 persistence, and a slow shared store
+		// must never stall a coalesced request.
+		if e.err == nil && !fromL2 && h.L2 != nil {
+			h.L2.Put(key.String(), e.res)
+		}
+		return e.res, fromL2, e.err
+	}
+}
+
+// Cached reports whether the harness can serve the measurement without
+// a fresh computation: a completed successful entry, or one currently
+// in flight that a request would coalesce onto. It never blocks and
+// never computes — the cluster tier's replica probe, deciding between
+// serving a hot key locally and forwarding its cold miss to the
+// owner.
+func (h *Harness) Cached(p Program, mode alloc.Mode, ro RunOptions) bool {
+	h.mu.Lock()
+	e, ok := h.cache[newRunKey(p, mode, ro)]
+	h.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return !e.cancelled && e.err == nil
+	default:
+		// In flight: a request arriving now coalesces onto it.
+		return true
 	}
 }
 

@@ -1,0 +1,270 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dualbank/internal/cluster"
+	"dualbank/internal/explore/store"
+	"dualbank/internal/faultinject"
+	"dualbank/internal/serve"
+)
+
+// This file soaks a deliberately degraded cluster: node 0 runs under a
+// compute-fault injector, node 1's shared-store handle sits on a slow,
+// error-injecting filesystem, node 2 is partitioned from node 0 (its
+// forwards there fail), and node 1 is killed abruptly halfway through
+// the soak. The cluster must keep answering: every received response
+// is in the serve layer's exhaustive taxonomy {200, 408, 429, 499,
+// 500}, requests cut off by the kill surface only as client-side
+// transport errors, the surviving nodes' own accounting stays in the
+// same taxonomy, and no goroutine outlives the fleet.
+
+// partitionTransport fails every request addressed to one host —
+// a one-way network partition.
+type partitionTransport struct {
+	blocked string
+	inner   http.RoundTripper
+}
+
+func (p partitionTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.URL.Host == p.blocked {
+		return nil, fmt.Errorf("injected partition to %s", p.blocked)
+	}
+	return p.inner.RoundTrip(r)
+}
+
+var allowedClusterCodes = map[int]bool{
+	http.StatusOK:                   true,
+	http.StatusRequestTimeout:       true,
+	http.StatusTooManyRequests:      true,
+	serve.StatusClientClosedRequest: true,
+	http.StatusInternalServerError:  true,
+}
+
+func clusterChaosSeed(t *testing.T) int64 {
+	env := os.Getenv("CHAOS_SEED")
+	if env == "" {
+		return 1
+	}
+	seed, err := strconv.ParseInt(env, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q: %v", env, err)
+	}
+	return seed
+}
+
+func TestClusterChaosDegraded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos soak in short mode")
+	}
+	seed := clusterChaosSeed(t)
+	before := runtime.NumGoroutine()
+
+	dir := t.TempDir()
+	computeInj := faultinject.New(faultinject.Profile{
+		Seed:         seed,
+		ComputeError: 0.05,
+		Latency:      0.02, LatencyDur: 5 * time.Millisecond,
+		Starve: 0.01, StarveDur: 25 * time.Millisecond,
+	})
+	storeInj := faultinject.New(faultinject.Profile{
+		Seed:    seed + 1,
+		IOError: 0.10,
+		Latency: 0.20, LatencyDur: 2 * time.Millisecond,
+	})
+
+	var addrs []string
+	lc, err := cluster.StartLocal(cluster.LocalOptions{
+		N: 3, Replication: 2,
+		StoreDir: dir,
+		Serve:    serve.Config{Workers: 4, AdmitTimeout: 100 * time.Millisecond},
+		Configure: func(i int, cfg *cluster.Config) {
+			addrs = append(addrs, cfg.Self)
+			switch i {
+			case 0:
+				cfg.Serve.Fault = computeInj
+			case 1:
+				// The shared store through an injected filesystem: reads
+				// stall and error. The L2 is a cache — a faulted read is a
+				// miss, never a request failure.
+				st, err := store.OpenFS(dir, faultinject.NewFaultFS(faultinject.OSFS{}, storeInj))
+				if err == nil {
+					cfg.Serve.ResultCache = cluster.NewStoreCache(st)
+				}
+			case 2:
+				cfg.Transport = partitionTransport{
+					blocked: addrs[0],
+					inner:   http.DefaultTransport,
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	bodies := cluster.LoadBodies()
+	const requests = 600
+	const killAt = 300
+
+	var (
+		mu        sync.Mutex
+		byStatus  = map[int]int{}
+		transport int
+		killed    sync.Once
+		wg        sync.WaitGroup
+	)
+	serveOne := func(i int) {
+		// After the kill, steer new requests at the survivors; requests
+		// already in flight to node 1 surface as transport errors.
+		target := i % 3
+		if i >= killAt && target == 1 {
+			target = 2
+		}
+		body := bodies[(i*7)%len(bodies)]
+		ctx := context.Background()
+		cancel := func() {}
+		if i%20 == 19 { // a client that hangs up mid-request
+			ctx, cancel = context.WithCancel(context.Background())
+			time.AfterFunc(time.Duration(1+i%5)*time.Millisecond, cancel)
+		}
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			lc.URL(target)+"/v1/run", strings.NewReader(body))
+		if err != nil {
+			t.Errorf("building request: %v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			transport++
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		byStatus[resp.StatusCode]++
+	}
+
+	next := make(chan int)
+	for w := 0; w < 24; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				serveOne(i)
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		if i == killAt {
+			killed.Do(func() { lc.Kill(1) })
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// 1. Every received response is in the exhaustive taxonomy.
+	total := 0
+	for code, n := range byStatus {
+		total += n
+		if !allowedClusterCodes[code] {
+			t.Errorf("%d responses carried unexpected status %d", n, code)
+		}
+	}
+	if total+transport != requests {
+		t.Errorf("accounted for %d responses + %d transport errors of %d requests", total, transport, requests)
+	}
+	// The kill must actually have bitten: a soak where nothing died
+	// proves nothing.
+	if byStatus[http.StatusOK] == 0 {
+		t.Error("no successes during the degraded soak")
+	}
+
+	// 2. The survivors' own accounting stays inside the taxonomy.
+	for _, i := range []int{0, 2} {
+		snap := lc.Node(i).Server().Metrics().Snapshot()
+		for code := range snap.Requests {
+			if !allowedClusterCodes[code] {
+				t.Errorf("node %d accounted status %d outside the taxonomy", i, code)
+			}
+		}
+	}
+
+	// 3. The partitioned node degraded gracefully: any forward failures
+	// it saw fell back to local compute, never to a client error.
+	cm := lc.Node(2).Metrics().Snapshot()
+	if cm.ForwardErrors > 0 && cm.Local["peer_down"]+cm.Local["fallback"] == 0 {
+		t.Errorf("node 2 saw %d forward errors but never served a fallback", cm.ForwardErrors)
+	}
+
+	writeClusterMetricsArtifact(t, lc, []int{0, 2}, byStatus, transport, seed)
+
+	// 4. Teardown leaks nothing. Idle keep-alive connections are the
+	// client's goroutines, not the fleet's — drop them first.
+	lc.Close()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// writeClusterMetricsArtifact dumps each surviving node's /metrics
+// text plus the client-side histogram to the path in CLUSTER_METRICS
+// (the CI artifact); a no-op when unset.
+func writeClusterMetricsArtifact(t *testing.T, lc *cluster.LocalCluster, nodes []int, byStatus map[int]int, transport int, seed int64) {
+	path := os.Getenv("CLUSTER_METRICS")
+	if path == "" {
+		return
+	}
+	out := struct {
+		Seed            int64             `json:"seed"`
+		Statuses        map[string]int    `json:"statuses"`
+		TransportErrors int               `json:"transport_errors"`
+		Nodes           map[string]string `json:"node_metrics"`
+	}{Seed: seed, Statuses: map[string]int{}, TransportErrors: transport, Nodes: map[string]string{}}
+	for code, n := range byStatus {
+		out.Statuses[strconv.Itoa(code)] = n
+	}
+	for _, i := range nodes {
+		resp, err := http.Get(lc.URL(i) + "/metrics")
+		if err != nil {
+			t.Errorf("scraping node %d: %v", i, err)
+			continue
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		out.Nodes[lc.Addr(i)] = string(data)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", path, err)
+	}
+	t.Logf("cluster metrics artifact written to %s", path)
+}

@@ -1,0 +1,171 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dualbank/internal/cluster"
+	"dualbank/internal/serve"
+)
+
+// normalizeRun strips the fields that legitimately differ between a
+// cluster-served and a single-node /v1/run response — wall-clock
+// timings and the cache flag — and re-marshals canonically. Everything
+// else must match byte-for-byte.
+func normalizeRun(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("normalizing %s: %v", data, err)
+	}
+	delete(m, "compile_seconds")
+	delete(m, "sim_seconds")
+	delete(m, "cached")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestClusterDifferential proves the cluster tier is semantically
+// invisible: for the full 23-benchmark × 7-mode matrix, a 3-node
+// cluster answers /v1/run identically (modulo timings) to a lone
+// server, and a design-space exploration submitted to a cluster node
+// yields a byte-identical frontier report. CI runs this under -race.
+func TestClusterDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix in short mode")
+	}
+	single := serve.New(serve.Config{Workers: 4})
+	defer single.Close()
+	ss := httptest.NewServer(single.Handler())
+	defer ss.Close()
+
+	lc, err := cluster.StartLocal(cluster.LocalOptions{
+		N: 3, Replication: 2,
+		StoreDir: t.TempDir(),
+		Serve:    serve.Config{Workers: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	bodies := cluster.LoadBodies()
+	if len(bodies) != 23*7 {
+		t.Fatalf("matrix has %d bodies, want %d", len(bodies), 23*7)
+	}
+	for i, body := range bodies {
+		sc, sdata := postJSON(t, ss.URL+"/v1/run", body)
+		cc, cdata := postJSON(t, lc.URL(i%lc.N())+"/v1/run", body)
+		if sc != cc {
+			t.Fatalf("%s: single status %d, cluster status %d", body, sc, cc)
+		}
+		if sc != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", body, sc, sdata)
+		}
+		sn, cn := normalizeRun(t, sdata), normalizeRun(t, cdata)
+		if !bytes.Equal(sn, cn) {
+			t.Errorf("%s:\nsingle  %s\ncluster %s", body, sn, cn)
+		}
+	}
+
+	// The exploration differential: same submission, byte-identical
+	// frontier. The explorer is deterministic and the cluster tier
+	// passes explorations through untouched, so no normalization at all.
+	exploreBody := `{"benchmarks":["fir_32_1","lmsfir_8_1"],"budget":25}`
+	sf := runExplore(t, ss.URL, exploreBody)
+	cf := runExplore(t, lc.URL(0), exploreBody)
+	if !bytes.Equal(sf, cf) {
+		t.Errorf("frontier reports differ:\nsingle  %s\ncluster %s", sf, cf)
+	}
+}
+
+// runExplore submits an exploration, polls it to completion, and
+// returns the frontier report bytes.
+func runExplore(t *testing.T, base, body string) []byte {
+	t.Helper()
+	code, data := postJSON(t, base+"/v1/explore", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("explore submit: status %d: %s", code, data)
+	}
+	var st serve.ExploreStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var cur serve.ExploreStatus
+		getJSON(t, base+"/v1/explore/"+st.ID, &cur)
+		if cur.State == "done" {
+			break
+		}
+		if cur.State == "failed" || cur.State == "cancelled" {
+			t.Fatalf("exploration %s: %s (%s)", st.ID, cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("exploration %s still %s after 2m (%d/%d)", st.ID, cur.State, cur.Done, cur.Planned)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/v1/explore/" + st.ID + "/frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frontier: status %d", resp.StatusCode)
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestClusterErrorBytesIdentical: malformed and invalid requests get
+// byte-identical error responses from a cluster node and a lone
+// server — the routing layer must not grow its own error dialect.
+func TestClusterErrorBytesIdentical(t *testing.T) {
+	single := serve.New(serve.Config{Workers: 1})
+	defer single.Close()
+	ss := httptest.NewServer(single.Handler())
+	defer ss.Close()
+
+	lc, err := cluster.StartLocal(cluster.LocalOptions{
+		N: 2, Replication: 2,
+		Serve: serve.Config{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	cases := []string{
+		`{`,
+		`{"bench":"nope"}`,
+		`{"bench":"fir_32_1","mode":"zig"}`,
+		`{"bench":"fir_32_1","engine":"turbo"}`,
+		`{"bench":"fir_32_1","source":"void main() {}"}`,
+		`{"bonch":"fir_32_1"}`,
+		`{"bench":"fir_32_1"}{"bench":"fir_32_1"}`,
+		`{"bench":"fir_32_1","timeout_ms":-4}`,
+		`null`,
+	}
+	for _, body := range cases {
+		sc, sdata := postJSON(t, ss.URL+"/v1/run", body)
+		cc, cdata := postJSON(t, lc.URL(0)+"/v1/run", body)
+		if sc != cc || !bytes.Equal(sdata, cdata) {
+			t.Errorf("%s:\nsingle  %d %s\ncluster %d %s", body, sc, sdata, cc, cdata)
+		}
+		if sc == http.StatusOK {
+			t.Errorf("%s unexpectedly succeeded", body)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// hotTracker finds the hottest keys of the recent past: every request
+// bumps its key's count in the current window, and at each window
+// rotation the top K keys that cleared the threshold become the hot
+// set, served by any replica instead of only the owner. The previous
+// window's set stays in force while the current one fills, so hotness
+// survives rotation instead of flickering off every window boundary.
+type hotTracker struct {
+	k         int
+	threshold int
+	window    time.Duration
+
+	mu      sync.Mutex
+	counts  map[string]int
+	hot     map[string]bool
+	rotated time.Time
+}
+
+func newHotTracker(k, threshold int, window time.Duration) *hotTracker {
+	if k < 1 {
+		k = 16
+	}
+	if threshold < 1 {
+		threshold = 8
+	}
+	if window <= 0 {
+		window = 2 * time.Second
+	}
+	return &hotTracker{
+		k: k, threshold: threshold, window: window,
+		counts:  make(map[string]int),
+		hot:     make(map[string]bool),
+		rotated: time.Now(),
+	}
+}
+
+// Observe counts one request for key and reports whether the key is
+// currently hot. A key that clears the threshold mid-window while the
+// hot set has room is promoted immediately — a flash crowd should not
+// have to wait out the window before replicas start absorbing it.
+func (t *hotTracker) Observe(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if now := time.Now(); now.Sub(t.rotated) >= t.window {
+		t.rotate(now)
+	}
+	t.counts[key]++
+	if !t.hot[key] && t.counts[key] >= t.threshold && len(t.hot) < t.k {
+		t.hot[key] = true
+	}
+	return t.hot[key]
+}
+
+// rotate rebuilds the hot set from the finished window: the top K keys
+// above the threshold, ties broken by key so every node converges on
+// the same set given the same traffic. Caller holds t.mu.
+func (t *hotTracker) rotate(now time.Time) {
+	type kc struct {
+		key string
+		n   int
+	}
+	cleared := make([]kc, 0, len(t.counts))
+	for k, n := range t.counts {
+		if n >= t.threshold {
+			cleared = append(cleared, kc{k, n})
+		}
+	}
+	sort.Slice(cleared, func(i, j int) bool {
+		if cleared[i].n != cleared[j].n {
+			return cleared[i].n > cleared[j].n
+		}
+		return cleared[i].key < cleared[j].key
+	})
+	if len(cleared) > t.k {
+		cleared = cleared[:t.k]
+	}
+	t.hot = make(map[string]bool, len(cleared))
+	for _, c := range cleared {
+		t.hot[c.key] = true
+	}
+	t.counts = make(map[string]int)
+	t.rotated = now
+}
+
+// HotCount returns the current hot-set size.
+func (t *hotTracker) HotCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.hot)
+}

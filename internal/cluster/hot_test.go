@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestHotPromotion: a key clearing the threshold mid-window goes hot
+// immediately; one below it stays cold.
+func TestHotPromotion(t *testing.T) {
+	h := newHotTracker(4, 3, time.Hour)
+	if h.Observe("a") || h.Observe("a") {
+		t.Fatal("key hot below threshold")
+	}
+	if !h.Observe("a") {
+		t.Fatal("key cold at threshold")
+	}
+	if !h.Observe("a") {
+		t.Fatal("hot key went cold within the window")
+	}
+	if h.Observe("b") {
+		t.Fatal("unrelated key hot")
+	}
+	if h.HotCount() != 1 {
+		t.Fatalf("hot count %d, want 1", h.HotCount())
+	}
+}
+
+// TestHotTopK: mid-window promotion stops at K; rotation keeps only
+// the K hottest, deterministically.
+func TestHotTopK(t *testing.T) {
+	h := newHotTracker(2, 2, time.Hour)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		for j := 0; j <= i+2; j++ {
+			h.Observe(key)
+		}
+	}
+	if h.HotCount() != 2 {
+		t.Fatalf("hot count %d, want K=2", h.HotCount())
+	}
+	// Force a rotation: the top-2 by count are k4 (7 obs) and k3 (6).
+	h.mu.Lock()
+	h.rotated = time.Now().Add(-2 * time.Hour)
+	h.mu.Unlock()
+	h.Observe("k0") // triggers rotate, then counts k0 in the new window
+	if !h.hotNow("k4") || !h.hotNow("k3") {
+		t.Errorf("rotation dropped the hottest keys; hot set lacks k4/k3")
+	}
+	if h.hotNow("k0") {
+		t.Errorf("k0 stayed hot through rotation with only rank 5")
+	}
+}
+
+// TestHotWindowReset: a key hot in one window goes cold after a
+// rotation in which it drew no traffic.
+func TestHotWindowReset(t *testing.T) {
+	h := newHotTracker(4, 2, time.Hour)
+	h.Observe("a")
+	h.Observe("a")
+	if !h.Observe("a") {
+		t.Fatal("not hot after clearing threshold")
+	}
+	// Two idle rotations: the first still carries "a" (it cleared the
+	// threshold in the closing window), the second drops it.
+	for i := 0; i < 2; i++ {
+		h.mu.Lock()
+		h.rotated = time.Now().Add(-2 * time.Hour)
+		h.mu.Unlock()
+		h.Observe("b")
+	}
+	if h.hotNow("a") {
+		t.Error("key stayed hot through an idle window")
+	}
+}
+
+// hotNow reads hotness without counting an observation.
+func (t *hotTracker) hotNow(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hot[key]
+}

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dualbank/internal/bench"
+)
+
+// This file is the load generator behind cmd/dsploadgen and the
+// scaling experiments: a closed-loop driver spraying the benchmark ×
+// mode matrix at a set of cluster nodes under a configurable key-skew
+// (uniform or zipf), reporting throughput, latency quantiles, the
+// status mix, and the fleet-wide compute count that verifies
+// cross-node single-flight (distinct keys requested == measurements
+// computed, regardless of request count or fan-out).
+
+// LoadOptions configures one load run.
+type LoadOptions struct {
+	// Targets are the node base URLs ("http://host:port"); requests
+	// round-robin across them.
+	Targets []string
+	// Requests is the total request count (default 1000).
+	Requests int
+	// Concurrency is the closed-loop worker count (default 32).
+	Concurrency int
+	// Keyspace bounds the distinct request bodies drawn from the
+	// benchmark × mode matrix (default and max 161 = 23 benchmarks × 7
+	// modes).
+	Keyspace int
+	// Skew picks the key distribution: "uniform" (default), "zipf", or
+	// "sweep" (round-robin through the whole keyspace in order — the
+	// warm-up pattern that touches every key with minimal requests).
+	Skew string
+	// ZipfS is the zipf exponent (default 1.2; must be > 1).
+	ZipfS float64
+	// Seed seeds the key sequence; runs with equal seeds draw equal
+	// sequences (default 1).
+	Seed int64
+	// Timeout caps each request (default 30s).
+	Timeout time.Duration
+}
+
+// LoadReport is one load run's result.
+type LoadReport struct {
+	Requests        int            `json:"requests"`
+	Seconds         float64        `json:"seconds"`
+	Throughput      float64        `json:"throughput_rps"`
+	Statuses        map[int]int    `json:"statuses"`
+	TransportErrors int            `json:"transport_errors"`
+	P50Ms           float64        `json:"p50_ms"`
+	P99Ms           float64        `json:"p99_ms"`
+	DistinctKeys    int            `json:"distinct_keys"`
+	Skew            string         `json:"skew"`
+	Targets         int            `json:"targets"`
+	TopKeys         map[string]int `json:"top_keys,omitempty"`
+}
+
+// LoadBodies returns the canonical request-body matrix: every built-in
+// benchmark crossed with every allocation mode, in deterministic
+// order.
+func LoadBodies() []string {
+	modes := []string{"single-bank", "CB", "Pr", "Dup", "full-dup", "Ideal", "low-order"}
+	var bodies []string
+	for _, p := range append(bench.Kernels(), bench.Applications()...) {
+		for _, m := range modes {
+			bodies = append(bodies, fmt.Sprintf(`{"bench":%q,"mode":%q}`, p.Name, m))
+		}
+	}
+	return bodies
+}
+
+// RunLoad drives one load run to completion.
+func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
+	if len(opts.Targets) == 0 {
+		return LoadReport{}, fmt.Errorf("loadgen: no targets")
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 1000
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 32
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.Skew == "" {
+		opts.Skew = "uniform"
+	}
+	if opts.ZipfS <= 1 {
+		opts.ZipfS = 1.2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	bodies := LoadBodies()
+	if opts.Keyspace > 0 && opts.Keyspace < len(bodies) {
+		bodies = bodies[:opts.Keyspace]
+	}
+
+	// Pre-draw the whole key sequence so the distribution is exactly
+	// reproducible regardless of worker interleaving.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var draw func() int
+	switch opts.Skew {
+	case "uniform":
+		draw = func() int { return rng.Intn(len(bodies)) }
+	case "zipf":
+		z := rand.NewZipf(rng, opts.ZipfS, 1, uint64(len(bodies)-1))
+		draw = func() int { return int(z.Uint64()) }
+	case "sweep":
+		i := -1
+		draw = func() int { i++; return i % len(bodies) }
+	default:
+		return LoadReport{}, fmt.Errorf("loadgen: unknown skew %q (want uniform, zipf, or sweep)", opts.Skew)
+	}
+	keys := make([]int, opts.Requests)
+	distinct := map[int]int{}
+	for i := range keys {
+		keys[i] = draw()
+		distinct[keys[i]]++
+	}
+
+	// A dedicated transport sized to the worker count: the default
+	// caps idle connections at 2 per host, which forces most of a
+	// 32-worker closed loop onto fresh TCP dials every request and
+	// turns the measurement into a connection-churn benchmark.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = opts.Concurrency * 2
+	tr.MaxIdleConnsPerHost = opts.Concurrency
+	client := &http.Client{Timeout: opts.Timeout, Transport: tr}
+	defer tr.CloseIdleConnections()
+	var (
+		mu         sync.Mutex
+		statuses   = map[int]int{}
+		transport  int
+		latencies  = make([]time.Duration, 0, opts.Requests)
+		wg         sync.WaitGroup
+		next       = make(chan int)
+		targetsLen = len(opts.Targets)
+	)
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body := bodies[keys[i]]
+				url := opts.Targets[i%targetsLen] + "/v1/run"
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+				if err != nil {
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					mu.Lock()
+					transport++
+					mu.Unlock()
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0)
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < opts.Requests; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			close(next)
+			wg.Wait()
+			return LoadReport{}, ctx.Err()
+		}
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quantile := func(q float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	top := map[string]int{}
+	type kc struct {
+		k, n int
+	}
+	var ks []kc
+	for k, n := range distinct {
+		ks = append(ks, kc{k, n})
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].n != ks[j].n {
+			return ks[i].n > ks[j].n
+		}
+		return ks[i].k < ks[j].k
+	})
+	for i := 0; i < len(ks) && i < 5; i++ {
+		top[bodies[ks[i].k]] = ks[i].n
+	}
+	return LoadReport{
+		Requests:        opts.Requests,
+		Seconds:         elapsed.Seconds(),
+		Throughput:      float64(opts.Requests) / elapsed.Seconds(),
+		Statuses:        statuses,
+		TransportErrors: transport,
+		P50Ms:           quantile(0.50),
+		P99Ms:           quantile(0.99),
+		DistinctKeys:    len(distinct),
+		Skew:            opts.Skew,
+		Targets:         targetsLen,
+		TopKeys:         top,
+	}, nil
+}

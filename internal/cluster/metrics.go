@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Metrics counts the routing tier's decisions. Every cacheable request
+// lands in exactly one local{reason=...} or forward{target=...} bucket,
+// so the counters reconstruct the full routing story per node:
+//
+//	local{reason="owner"}        this node owns the key
+//	local{reason="cached"}       replica with the answer (or flight) in memory
+//	local{reason="hot"}          replica absorbing a hot key
+//	local{reason="hop_cap"}      forward chain hit its cap; serve rather than loop
+//	local{reason="peer_down"}    every forward target is cooling down
+//	local{reason="fallback"}     a forward failed mid-request; computed here
+//	local{reason="source"}       source jobs never route — no stable key
+//	forward{target="owner"}      routed to the key's owner
+//	forward{target="replica"}    hot key spread to a replica
+type Metrics struct {
+	mu       sync.Mutex
+	local    map[string]int64
+	forward  map[string]int64
+	fwdErr   int64
+	members  int
+	hotCount func() int
+}
+
+func newClusterMetrics(hotCount func() int) *Metrics {
+	return &Metrics{
+		local:    make(map[string]int64),
+		forward:  make(map[string]int64),
+		hotCount: hotCount,
+	}
+}
+
+func (m *Metrics) Local(reason string) {
+	m.mu.Lock()
+	m.local[reason]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) Forward(target string) {
+	m.mu.Lock()
+	m.forward[target]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) ForwardError() {
+	m.mu.Lock()
+	m.fwdErr++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) setMembers(n int) {
+	m.mu.Lock()
+	m.members = n
+	m.mu.Unlock()
+}
+
+// Snapshot copies the counters for tests.
+type Snapshot struct {
+	Local         map[string]int64
+	Forward       map[string]int64
+	ForwardErrors int64
+}
+
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Local:         make(map[string]int64, len(m.local)),
+		Forward:       make(map[string]int64, len(m.forward)),
+		ForwardErrors: m.fwdErr,
+	}
+	for k, v := range m.local {
+		s.Local[k] = v
+	}
+	for k, v := range m.forward {
+		s.Forward[k] = v
+	}
+	return s
+}
+
+// WritePrometheus appends the cluster counters in Prometheus text
+// format, after the inner server's families.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP dspcluster_members Ring members this node currently knows.\n")
+	fmt.Fprintf(w, "# TYPE dspcluster_members gauge\n")
+	fmt.Fprintf(w, "dspcluster_members %d\n", m.members)
+	fmt.Fprintf(w, "# HELP dspcluster_hot_keys Keys currently in the hot set.\n")
+	fmt.Fprintf(w, "# TYPE dspcluster_hot_keys gauge\n")
+	fmt.Fprintf(w, "dspcluster_hot_keys %d\n", m.hotCount())
+	writeLabeled(w, "dspcluster_local_total", "Requests served locally by reason.", "reason", m.local)
+	writeLabeled(w, "dspcluster_forward_total", "Requests forwarded by target role.", "target", m.forward)
+	fmt.Fprintf(w, "# HELP dspcluster_forward_errors_total Forwards that failed and fell back to local compute.\n")
+	fmt.Fprintf(w, "# TYPE dspcluster_forward_errors_total counter\n")
+	fmt.Fprintf(w, "dspcluster_forward_errors_total %d\n", m.fwdErr)
+}
+
+func writeLabeled(w io.Writer, name, help, label string, counts map[string]int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, counts[k])
+	}
+}

@@ -1,0 +1,123 @@
+// Package cluster is the scale-out tier over dspservd: it shards the
+// measurement keyspace across N nodes with a consistent-hash ring,
+// routes every cacheable /v1/run to the key's owner so the fleet
+// computes each cold key exactly once (the owner's in-memory
+// single-flight cache coalesces every node's forwarded requests), backs
+// all nodes with one shared content-addressed L2 result store, and
+// replicates hot keys — the top of a windowed popularity count — so
+// skewed workloads spread across the key's replica set instead of
+// melting its owner.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerMember is the number of ring positions each member owns.
+// 128 virtual nodes keep the keyspace split within a few percent of
+// even for small fleets while keeping ring rebuilds trivial.
+const vnodesPerMember = 128
+
+// Ring is an immutable consistent-hash ring: members placed at
+// vnodesPerMember pseudo-random points each, keys owned by the first
+// point at or clockwise of the key's hash. Membership changes build a
+// new Ring; lookups are lock-free reads of a sorted slice.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// hash64 is the ring's hash: the first 8 bytes of SHA-256. Every node
+// must agree on key placement byte-for-byte, so the hash is fixed and
+// well-defined rather than seeded.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the given member addresses. Duplicates
+// are collapsed; order does not matter — any two nodes holding the
+// same member set build identical rings.
+func NewRing(members []string) *Ring {
+	set := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m != "" {
+			set[m] = true
+		}
+	}
+	r := &Ring{
+		points:  make([]ringPoint, 0, len(set)*vnodesPerMember),
+		members: make([]string, 0, len(set)),
+	}
+	for m := range set {
+		r.members = append(r.members, m)
+		for v := 0; v < vnodesPerMember; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(m + "#" + strconv.Itoa(v)),
+				member: m,
+			})
+		}
+	}
+	sort.Strings(r.members)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the sorted member list.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Owner returns the member owning key: the first distinct member at or
+// clockwise of the key's hash. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	reps := r.Replicas(key, 1)
+	if len(reps) == 0 {
+		return ""
+	}
+	return reps[0]
+}
+
+// Replicas returns the first n distinct members clockwise of the key's
+// hash — the key's replica set, owner first. n is clamped to the
+// member count.
+func (r *Ring) Replicas(key string, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= h
+	})
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministic: two nodes holding the same member set — in
+// any order — must agree on every key's placement, or the fleet's
+// single-flight guarantee dissolves.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:2", "n3:3", "n4:4"})
+	b := NewRing([]string{"n4:4", "n2:2", "n1:1", "n3:3", "n2:2"})
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("member lists differ: %v vs %v", a.Members(), b.Members())
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("run|bench_%d|mode=CB", i)
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("key %q: owner %q vs %q", key, ao, bo)
+		}
+		if ar, br := a.Replicas(key, 2), b.Replicas(key, 2); !reflect.DeepEqual(ar, br) {
+			t.Fatalf("key %q: replicas %v vs %v", key, ar, br)
+		}
+	}
+}
+
+// TestRingBalance: with 128 virtual nodes per member, a 4-member ring
+// splits 10k keys within a loose 2× band of even.
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1:1", "n2:2", "n3:3", "n4:4"}
+	r := NewRing(members)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("run|key_%d", i))]++
+	}
+	for _, m := range members {
+		n := counts[m]
+		if n < keys/len(members)/2 || n > keys*2/len(members) {
+			t.Errorf("member %s owns %d of %d keys — outside the 2x band: %v", m, n, keys, counts)
+		}
+	}
+}
+
+// TestRingReplicas: replica sets are distinct members, owner first,
+// clamped to the ring size.
+func TestRingReplicas(t *testing.T) {
+	r := NewRing([]string{"n1:1", "n2:2", "n3:3"})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key_%d", i)
+		reps := r.Replicas(key, 2)
+		if len(reps) != 2 {
+			t.Fatalf("key %q: %d replicas, want 2", key, len(reps))
+		}
+		if reps[0] == reps[1] {
+			t.Fatalf("key %q: duplicate replica %v", key, reps)
+		}
+		if reps[0] != r.Owner(key) {
+			t.Fatalf("key %q: replica[0]=%q but owner=%q", key, reps[0], r.Owner(key))
+		}
+	}
+	if got := r.Replicas("k", 99); len(got) != 3 {
+		t.Errorf("over-asking yields %d replicas, want the whole ring (3)", len(got))
+	}
+	if got := NewRing(nil).Replicas("k", 2); got != nil {
+		t.Errorf("empty ring yields %v, want nil", got)
+	}
+	if got := NewRing(nil).Owner("k"); got != "" {
+		t.Errorf("empty ring owner %q, want empty", got)
+	}
+}
+
+// TestRingMinimalChurn: removing one member of four must not move keys
+// between the survivors — only the dead member's keys reassign. This
+// is the property that makes consistent hashing worth its salt over
+// mod-N.
+func TestRingMinimalChurn(t *testing.T) {
+	before := NewRing([]string{"n1:1", "n2:2", "n3:3", "n4:4"})
+	after := NewRing([]string{"n1:1", "n2:2", "n3:3"})
+	const keys = 5000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key_%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob == "n4:4" {
+			continue // had to move
+		}
+		if ob != oa {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving members", moved)
+	}
+}

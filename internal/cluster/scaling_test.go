@@ -1,0 +1,99 @@
+package cluster_test
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"dualbank/internal/cluster"
+	"dualbank/internal/faultinject"
+	"dualbank/internal/serve"
+)
+
+// TestClusterScaling is the scaling acceptance gate, run with
+// DSP_SCALING=1 (the CI cluster job sets it; it is too heavy for every
+// local test run). In-process nodes share one machine's CPU, so real
+// compute cannot scale with node count; instead every node runs under
+// an injected 10ms service time — per-node capacity becomes
+// workers/serviceTime, the model a fleet of real machines would have —
+// and the warm benchmark matrix is driven uniform and zipf. The gates:
+// a 4-node fleet sustains at least 2.5x the single node's warm
+// throughput, and zipf skew (with hot-key replication absorbing the
+// head) lands within 30% of uniform.
+func TestClusterScaling(t *testing.T) {
+	if os.Getenv("DSP_SCALING") != "1" {
+		t.Skip("set DSP_SCALING=1 to run the scaling gate")
+	}
+
+	const workers = 8
+	const serviceTime = 10 * time.Millisecond
+
+	run := func(n int, skew string) float64 {
+		seedBase := int64(100 * n)
+		lc, err := cluster.StartLocal(cluster.LocalOptions{
+			N: n, Replication: 2,
+			StoreDir:     t.TempDir(),
+			HotThreshold: 8,
+			HotWindow:    time.Second,
+			HotK:         16,
+			Serve:        serve.Config{Workers: workers},
+			Configure: func(i int, cfg *cluster.Config) {
+				cfg.Serve.Fault = faultinject.New(faultinject.Profile{
+					Seed:    seedBase + int64(i),
+					Latency: 1.0, LatencyDur: serviceTime,
+				})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lc.Close()
+
+		targets := make([]string, lc.N())
+		for i := range targets {
+			targets[i] = lc.URL(i)
+		}
+		// Warm pass: every distinct key computed once fleet-wide.
+		warm, err := cluster.RunLoad(context.Background(), cluster.LoadOptions{
+			Targets:     targets,
+			Requests:    len(cluster.LoadBodies()),
+			Concurrency: 32,
+			Skew:        "sweep",
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Statuses[200] != warm.Requests {
+			t.Fatalf("warm pass on %d nodes: %+v", n, warm)
+		}
+		rep, err := cluster.RunLoad(context.Background(), cluster.LoadOptions{
+			Targets:     targets,
+			Requests:    2000,
+			Concurrency: 64,
+			Skew:        skew,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Statuses[200] != rep.Requests {
+			t.Fatalf("%s load on %d nodes: %+v", skew, n, rep)
+		}
+		t.Logf("%d nodes, %s: %.0f req/s (p50 %.1fms, p99 %.1fms)",
+			n, skew, rep.Throughput, rep.P50Ms, rep.P99Ms)
+		return rep.Throughput
+	}
+
+	single := run(1, "uniform")
+	quadUniform := run(4, "uniform")
+	quadZipf := run(4, "zipf")
+
+	if quadUniform < 2.5*single {
+		t.Errorf("4-node uniform throughput %.0f req/s < 2.5x single node %.0f req/s", quadUniform, single)
+	}
+	if quadZipf < 0.7*quadUniform {
+		t.Errorf("4-node zipf throughput %.0f req/s < 70%% of uniform %.0f req/s — hot-key replication not absorbing the head", quadZipf, quadUniform)
+	}
+}

@@ -1,0 +1,40 @@
+package cluster_test
+
+import (
+	"context"
+	"testing"
+
+	"dualbank/internal/cluster"
+	"dualbank/internal/serve"
+)
+
+// BenchmarkWarmFixture measures the per-request cost of the warm
+// (cache-hit) serving path through a single-node fixture — the
+// overhead floor every load-generator measurement sits on.
+func BenchmarkWarmFixture(b *testing.B) {
+	lc, err := cluster.StartLocal(cluster.LocalOptions{
+		N: 1, StoreDir: b.TempDir(),
+		Serve: serve.Config{Workers: 8},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	targets := []string{lc.URL(0)}
+	if _, err := cluster.RunLoad(context.Background(), cluster.LoadOptions{
+		Targets: targets, Requests: len(cluster.LoadBodies()),
+		Concurrency: 8, Skew: "sweep",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	rep, err := cluster.RunLoad(context.Background(), cluster.LoadOptions{
+		Targets: targets, Requests: b.N,
+		Concurrency: 32, Skew: "uniform",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rep.Throughput, "req/s")
+	b.ReportMetric(rep.P50Ms, "p50ms")
+}

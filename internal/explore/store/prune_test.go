@@ -1,0 +1,262 @@
+package store_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dualbank/internal/explore/store"
+)
+
+// TestPruneBoundsDisk proves the size bound: after a quiescent Prune,
+// the surviving record files fit maxBytes, the survivors are the most
+// recently written, and every evicted key disappears from the index
+// while every survivor stays readable.
+func TestPruneBoundsDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("prune-key-%02d", i)
+		keys = append(keys, key)
+		if err := s.Put(key, store.Record{Bench: key, Cycles: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so LRU order is unambiguous even on coarse
+		// filesystem timestamps.
+		name := filepath.Join(dir, fileNameOf(t, dir, key))
+		older := time.Now().Add(-time.Duration(40-i) * time.Minute)
+		if err := os.Chtimes(name, older, older); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var perRecord int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		info, _ := e.Info()
+		if info.Size() > perRecord {
+			perRecord = info.Size()
+		}
+	}
+
+	budget := perRecord * 10 // room for ~10 records
+	st, err := s.Prune(budget, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KeptBytes > budget {
+		t.Errorf("kept %d bytes, budget %d", st.KeptBytes, budget)
+	}
+	if st.Removed == 0 || st.Kept == 0 {
+		t.Fatalf("degenerate prune: %+v", st)
+	}
+	// The newest records survive, the oldest are gone — and the index
+	// agrees with the disk exactly.
+	fresh, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range keys {
+		_, onDisk := fresh.Get(key)
+		_, inIndex := s.Get(key)
+		if onDisk != inIndex {
+			t.Errorf("key %s: disk=%v index=%v", key, onDisk, inIndex)
+		}
+		if i >= len(keys)-st.Kept && !onDisk {
+			t.Errorf("recent key %s evicted before older survivors", key)
+		}
+	}
+
+	// Age-based eviction clears everything older than a minute —
+	// every record predates it except none, so the store empties.
+	if _, err := s.Prune(0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n != 0 {
+		t.Errorf("%d records survived a 1-minute max age; all were backdated >= 1 minute", n)
+	}
+}
+
+// TestPruneStaleTempSweep checks Prune removes abandoned temp files
+// once stale, and leaves fresh ones (a live writer's) alone.
+func TestPruneStaleTempSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "deadbeef.json.tmp123")
+	freshTmp := filepath.Join(dir, "cafebabe.json.tmp456")
+	for _, p := range []string{stale, freshTmp} {
+		if err := os.WriteFile(p, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Prune(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TempSwept != 1 {
+		t.Errorf("swept %d temp files, want 1 (only the stale one)", st.TempSwept)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived the sweep")
+	}
+	if _, err := os.Stat(freshTmp); err != nil {
+		t.Error("fresh temp file was swept")
+	}
+}
+
+// TestPruneNeverRacesWriters is the property test the shared L2 cache
+// depends on: pruners running flat out against concurrent writers (in
+// the same store and in a second store over the same directory —
+// another node of the fleet) never corrupt the directory. Afterwards
+// every surviving file parses whole, a fresh Open succeeds, and the
+// store still accepts and serves records.
+func TestPruneNeverRacesWriters(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := store.Open(dir) // a second writer, as another process would be
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	const perWriter = 60
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Pruners: one on each store, spinning with a tight byte budget so
+	// evictions constantly race the writers.
+	for _, ps := range []*store.Store{s, peer} {
+		wg.Add(1)
+		go func(ps *store.Store) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := ps.Prune(4096, 0); err != nil {
+					t.Errorf("prune: %v", err)
+					return
+				}
+			}
+		}(ps)
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			ps := s
+			if w%2 == 1 {
+				ps = peer
+			}
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("race-%d-%d", w, i)
+				if err := ps.Put(key, store.Record{Bench: key, Cycles: int64(i)}); err != nil {
+					t.Errorf("put %s: %v", key, err)
+					return
+				}
+				// Re-put an old key now and then: the evict-then-rewrite
+				// interleaving the content-address argument covers.
+				if i > 0 && i%7 == 0 {
+					old := fmt.Sprintf("race-%d-%d", w, i-1)
+					if err := ps.Put(old, store.Record{Bench: old, Cycles: int64(i - 1)}); err != nil {
+						t.Errorf("re-put %s: %v", old, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Every surviving file parses whole — no prune interleaving tore a
+	// record.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue // evicted between ReadDir and ReadFile
+		}
+		var f struct {
+			Key    string       `json:"key"`
+			Record store.Record `json:"record"`
+		}
+		if err := json.Unmarshal(data, &f); err != nil || f.Key == "" {
+			t.Errorf("file %s is torn after the race: %v", e.Name(), err)
+		}
+	}
+	// The directory still opens and serves.
+	fresh, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Put("post-race", store.Record{Bench: "post-race"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get("post-race"); !ok {
+		t.Error("store unusable after the race")
+	}
+	// And one final quiescent prune lands inside the budget.
+	st, err := fresh.Prune(4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KeptBytes > 4096 {
+		t.Errorf("final prune kept %d bytes over the 4096 budget", st.KeptBytes)
+	}
+}
+
+// fileNameOf recovers a key's on-disk file name by diffing the
+// directory against the store's snapshot — the test has no access to
+// the unexported hashing.
+func fileNameOf(t *testing.T, dir, key string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var f struct {
+			Key string `json:"key"`
+		}
+		if json.Unmarshal(data, &f) == nil && f.Key == key {
+			return e.Name()
+		}
+	}
+	t.Fatalf("no file holds key %q", key)
+	return ""
+}

@@ -21,8 +21,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"dualbank/internal/faultinject"
 )
@@ -128,6 +130,30 @@ func (s *Store) Get(key string) (Record, bool) {
 	return r, ok
 }
 
+// GetOrLoad is Get falling through to disk on an index miss — the
+// cross-process read path. A record another writer published into the
+// same directory after this store opened is read, verified against the
+// key (the file embeds it), indexed, and returned. Because keys are
+// content addresses, a loaded record can never be stale: any file at
+// the key's name holds the key's one value.
+func (s *Store) GetOrLoad(key string) (Record, bool) {
+	if r, ok := s.Get(key); ok {
+		return r, true
+	}
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, fileName(key)))
+	if err != nil {
+		return Record{}, false
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil || f.Key != key {
+		return Record{}, false
+	}
+	s.mu.Lock()
+	s.recs[key] = f.Record
+	s.mu.Unlock()
+	return f.Record, true
+}
+
 // Snapshot copies the whole index. The robustness suite compares it
 // against a fresh Open of the same directory to prove the disk state
 // reloads identically.
@@ -152,8 +178,7 @@ func (s *Store) Put(key string, r Record) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	sum := sha256.Sum256([]byte(key))
-	name := hex.EncodeToString(sum[:]) + ".json"
+	name := fileName(key)
 	tmp, err := s.fs.CreateTemp(s.dir, name+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -179,4 +204,115 @@ func firstErr(a, b error) error {
 		return a
 	}
 	return b
+}
+
+// fileName is the content address on disk: the SHA-256 of the key.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".json"
+}
+
+// PruneStats reports one Prune pass.
+type PruneStats struct {
+	// Kept and Removed count record files; KeptBytes is the surviving
+	// on-disk footprint.
+	Kept, Removed int
+	KeptBytes     int64
+	// TempSwept counts stale temp files cleaned up alongside.
+	TempSwept int
+}
+
+// Prune bounds the store's disk footprint, evicting whole record files
+// least-recently-written first (LRU by modification time) until the
+// total fits maxBytes, and dropping any record older than maxAge. A
+// zero bound disables that dimension; Prune(0, 0) only sweeps stale
+// temp files (leftovers of writers killed mid-Put, eligible once they
+// are an hour old).
+//
+// Prune is safe against concurrent writers, local or in other
+// processes: eviction removes only whole published files, a Put racing
+// an eviction either lands before it (and may be evicted — it is the
+// oldest-cohort loser) or after it (and survives), and a re-Put of an
+// evicted key rewrites the identical content under the identical name,
+// so no interleaving can publish a torn or wrong record. Evicted keys
+// are dropped from this store's index; other stores over the same
+// directory may index them a while longer, which is harmless — a
+// content-addressed record that re-appears is byte-identical.
+func (s *Store) Prune(maxBytes int64, maxAge time.Duration) (PruneStats, error) {
+	var st PruneStats
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return st, fmt.Errorf("store: %w", err)
+	}
+	type rec struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	now := time.Now()
+	var recs []rec
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // vanished mid-scan: a concurrent prune or writer
+		}
+		if !strings.HasSuffix(e.Name(), ".json") {
+			// A temp file. Sweep it only once it is stale: an hour is
+			// far beyond any live Put's temp-file lifetime.
+			if strings.Contains(e.Name(), ".json.tmp") && now.Sub(info.ModTime()) > time.Hour {
+				if s.fs.Remove(filepath.Join(s.dir, e.Name())) == nil {
+					st.TempSwept++
+				}
+			}
+			continue
+		}
+		recs = append(recs, rec{name: e.Name(), size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	// Oldest first; ties broken by name so concurrent pruners converge
+	// on the same victims.
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].mtime.Equal(recs[j].mtime) {
+			return recs[i].mtime.Before(recs[j].mtime)
+		}
+		return recs[i].name < recs[j].name
+	})
+	// Reverse map file name → key, to drop evicted records from the
+	// index; names not in it belong to other writers' records.
+	s.mu.Lock()
+	byName := make(map[string]string, len(s.recs))
+	for k := range s.recs {
+		byName[fileName(k)] = k
+	}
+	s.mu.Unlock()
+	for _, r := range recs {
+		evict := (maxBytes > 0 && total > maxBytes) ||
+			(maxAge > 0 && now.Sub(r.mtime) > maxAge)
+		if !evict {
+			st.Kept++
+			st.KeptBytes += r.size
+			continue
+		}
+		if err := s.fs.Remove(filepath.Join(s.dir, r.name)); err != nil {
+			// Already gone (a concurrent pruner won the race) or an
+			// injected fault: either way the file no longer counts as
+			// ours to evict, but keep its size conservative if it may
+			// still exist.
+			st.Kept++
+			st.KeptBytes += r.size
+			continue
+		}
+		total -= r.size
+		st.Removed++
+		if key, ok := byName[r.name]; ok {
+			s.mu.Lock()
+			delete(s.recs, key)
+			s.mu.Unlock()
+		}
+	}
+	return st, nil
 }

@@ -1,0 +1,64 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dualbank/internal/serve"
+)
+
+// TestServeEngineOverride exercises the per-request engine pin: every
+// valid engine name is accepted and produces the same measurement
+// (the engines are differentially pinned), the dispatch is counted
+// under the requested engine, distinct engines occupy distinct memo
+// entries, and an unknown engine is a 400 before any work happens.
+func TestServeEngineOverride(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var cycles []int64
+	for _, engine := range []string{"", "compiled", "fast", "machine"} {
+		body := `{"bench":"fir_32_1","mode":"CB"`
+		if engine != "" {
+			body += `,"engine":"` + engine + `"`
+		}
+		body += `}`
+		code, data := postRun(t, ts.Client(), ts.URL, body)
+		if code != http.StatusOK {
+			t.Fatalf("engine %q: status %d: %s", engine, code, data)
+		}
+		var resp serve.Response
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatal(err)
+		}
+		cycles = append(cycles, resp.Cycles)
+	}
+	for i, c := range cycles {
+		if c != cycles[0] {
+			t.Errorf("engine arm %d measured %d cycles, arm 0 measured %d", i, c, cycles[0])
+		}
+	}
+
+	// The default ("" → compiled) and the explicit "compiled" share a
+	// memo entry; fast and machine each executed once more.
+	if cs := s.CacheStats(); cs.Misses != 3 || cs.Hits != 1 {
+		t.Errorf("cache stats %+v, want 3 misses (compiled, fast, machine) + 1 hit", cs)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.EngineRuns["compiled"] != 2 || snap.EngineRuns["fast"] != 1 || snap.EngineRuns["machine"] != 1 {
+		t.Errorf("engine dispatch mix %v, want compiled=2 fast=1 machine=1", snap.EngineRuns)
+	}
+
+	code, data := postRun(t, ts.Client(), ts.URL, `{"bench":"fir_32_1","engine":"turbo"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown engine: status %d: %s", code, data)
+	}
+	if !strings.Contains(string(data), "unknown engine") {
+		t.Errorf("unknown-engine error body %s does not name the problem", data)
+	}
+}

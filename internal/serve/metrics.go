@@ -173,6 +173,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		Requests:   make(map[int]int64, len(m.requests)),
 		Shed:       make(map[string]int64, len(m.shed)),
+		EngineRuns: make(map[string]int64, len(m.engineRuns)),
 		InFlight:   m.inFlight.Load(),
 		CompileP50: m.compile.quantile(0.50),
 		CompileP99: m.compile.quantile(0.99),
@@ -185,6 +186,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for reason, n := range m.shed {
 		s.Shed[reason] = n
+	}
+	for engine, n := range m.engineRuns {
+		s.EngineRuns[engine] = n
 	}
 	return s
 }
@@ -210,6 +214,9 @@ func (m *Metrics) WriteTo(w io.Writer, cache bench.CacheStats, poolActive int64,
 	fmt.Fprintf(w, "# HELP dspservd_cache_misses_total Memo-cache misses (executed measurements).\n")
 	fmt.Fprintf(w, "# TYPE dspservd_cache_misses_total counter\n")
 	fmt.Fprintf(w, "dspservd_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "# HELP dspservd_cache_l2_hits_total Measurements served from the shared L2 result cache.\n")
+	fmt.Fprintf(w, "# TYPE dspservd_cache_l2_hits_total counter\n")
+	fmt.Fprintf(w, "dspservd_cache_l2_hits_total %d\n", cache.L2Hits)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

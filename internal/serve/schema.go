@@ -50,6 +50,11 @@ type Request struct {
 	// Dup names the exact arrays to duplicate instead of the paper's
 	// marked-array policy. Requires the Dup mode.
 	Dup []string `json:"dup,omitempty"`
+	// Engine pins the simulation engine for this request: compiled,
+	// fast, or machine. Empty uses the server's configured engine. The
+	// cluster forwarder sets it explicitly so every node computes the
+	// identical memo key for one request.
+	Engine string `json:"engine,omitempty"`
 	// TimeoutMs caps this request's compile+simulate wall clock; zero
 	// means the server default. The server clamps it to its maximum.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -116,6 +121,11 @@ type Job struct {
 	FMPasses int
 	Profiled bool
 	DupOnly  []string
+	// Engine is the request's pinned simulation engine, meaningful only
+	// when EngineSet is true (the zero Engine is a valid engine); when
+	// false the server's configured engine applies.
+	Engine    bench.Engine
+	EngineSet bool
 	// Timeout is the request's own deadline; zero means the server
 	// default applies.
 	Timeout time.Duration
@@ -224,6 +234,12 @@ func (req *Request) Job(maxSource int) (Job, error) {
 	j.FMPasses = req.FMPasses
 	j.Profiled = req.Profiled
 	j.DupOnly = req.Dup
+	if req.Engine != "" {
+		if j.Engine, err = bench.ParseEngine(req.Engine); err != nil {
+			return Job{}, err
+		}
+		j.EngineSet = true
+	}
 
 	if req.Bench != "" {
 		p, ok := bench.ByName(req.Bench)

@@ -56,8 +56,20 @@ type Config struct {
 	// Engine selects the simulation engine for every measurement. The
 	// zero value is the compiled threaded-code engine — the production
 	// default; the fast and reference engines remain selectable for
-	// cross-checking a deployment.
+	// cross-checking a deployment. A request carrying an explicit
+	// "engine" field overrides it per measurement.
 	Engine bench.Engine
+	// ResultCache, when non-nil, is the shared L2 result cache behind
+	// the in-memory memo cache: consulted on every local miss, written
+	// through on every computed success. The cluster tier points every
+	// node's server at one content-addressed store here.
+	ResultCache bench.ResultCache
+	// OnDrain, when non-nil, runs exactly once when BeginDrain first
+	// flips readiness — before any in-flight work is cancelled. The
+	// cluster tier uses it to announce this node's departure to its
+	// peers so the ring stops routing here while the node finishes its
+	// in-flight requests.
+	OnDrain func()
 }
 
 // StatusClientClosedRequest is the non-standard 499 (nginx convention)
@@ -129,6 +141,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		jobs:    make(map[string]*exploreJob),
 	}
+	s.harness.L2 = cfg.ResultCache
 	if cfg.RatePerSec > 0 {
 		burst := cfg.RateBurst
 		if burst <= 0 {
@@ -170,8 +183,14 @@ func (s *Server) CacheStats() bench.CacheStats { return s.harness.Stats() }
 // BeginDrain flips /readyz unready so load balancers stop routing new
 // work here; in-flight and newly arriving requests still complete.
 // Call it when shutdown begins, before http.Server.Shutdown drains the
-// handlers.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// handlers. On the first call only, the OnDrain hook fires after
+// readiness flips — departure is announced while every in-flight
+// request is still running, never after cancellation has begun.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) && s.cfg.OnDrain != nil {
+		s.cfg.OnDrain()
+	}
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -212,7 +231,7 @@ func (s *Server) execute(ctx context.Context, cc *pipeline.Compiler, j Job) (ben
 	ro := bench.RunOptions{
 		Compiler: cc, Partitioner: j.Method,
 		FMPasses: j.FMPasses, Profiled: j.Profiled, DupOnly: j.DupOnly,
-		Engine: s.cfg.Engine,
+		Engine: s.engineFor(j),
 	}
 	s.metrics.EngineRun(ro.Engine.String())
 	if j.Cacheable {
@@ -220,6 +239,32 @@ func (s *Server) execute(ctx context.Context, cc *pipeline.Compiler, j Job) (ben
 	}
 	res, err := bench.RunCtx(ctx, j.Prog, j.Mode, ro)
 	return res, false, err
+}
+
+// engineFor resolves a job's effective simulation engine: its own
+// pinned engine when the request carried one, the server's configured
+// engine otherwise.
+func (s *Server) engineFor(j Job) bench.Engine {
+	if j.EngineSet {
+		return j.Engine
+	}
+	return s.cfg.Engine
+}
+
+// HasCached reports whether this server could answer the job from its
+// own in-memory memo cache — a completed successful entry or an
+// in-flight computation the job would coalesce onto — without fresh
+// work. The cluster tier's replica probe; source jobs are never
+// cached.
+func (s *Server) HasCached(j Job) bool {
+	if !j.Cacheable {
+		return false
+	}
+	return s.harness.Cached(j.Prog, j.Mode, bench.RunOptions{
+		Partitioner: j.Method,
+		FMPasses:    j.FMPasses, Profiled: j.Profiled, DupOnly: j.DupOnly,
+		Engine: s.engineFor(j),
+	})
 }
 
 // handleRun is POST /v1/run.
