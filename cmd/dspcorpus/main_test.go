@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dualbank/internal/genmc/corpus"
+)
+
+// TestRunSmoke drives the whole driver in-process over a small corpus
+// and checks the summary, the JSON report, and the exit code.
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "12", "-seed", "5", "-json", path, "-quiet"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "12 generated programs") {
+		t.Errorf("summary missing program count:\n%s", stdout.String())
+	}
+	rep, err := corpus.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 12 || rep.Seed != 5 || len(rep.Rows) != 12 {
+		t.Errorf("report shape wrong: n=%d seed=%d rows=%d", rep.N, rep.Seed, len(rep.Rows))
+	}
+	if len(rep.Failures) != 0 {
+		t.Errorf("verification failures: %v", rep.Failures)
+	}
+}
+
+// TestRunDeterministic: two runs with equal inputs write byte-identical
+// reports — the property the committed baseline diff relies on.
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	var out bytes.Buffer
+	if code := run([]string{"-n", "9", "-seed", "3", "-workers", "4", "-json", a, "-quiet"}, &out, &out); code != 0 {
+		t.Fatalf("first run exited %d: %s", code, out.String())
+	}
+	if code := run([]string{"-n", "9", "-seed", "3", "-workers", "1", "-json", b, "-quiet"}, &out, &out); code != 0 {
+		t.Fatalf("second run exited %d: %s", code, out.String())
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Error("reports differ across worker widths")
+	}
+}
+
+// TestRunBadFlags: unknown flags exit 2 without panicking.
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &out); code != 2 {
+		t.Errorf("bad flag exited %d, want 2", code)
+	}
+}

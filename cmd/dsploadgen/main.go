@@ -22,11 +22,16 @@
 // -skew zipf (-zipf-s exponent) concentrates traffic on a heavy head,
 // the shape hot-key replication exists for.
 //
+// -generated N mixes N seeded generated-program keys (internal/genmc)
+// into the population. Generated programs are pure functions of their
+// names, so the cluster routes, caches, and single-flights them
+// exactly like built-in benchmarks — -verify covers both kinds.
+//
 // Usage:
 //
 //	dsploadgen [-targets urls | -nodes N] [-requests 1000]
 //	           [-concurrency 32] [-skew uniform|zipf] [-zipf-s 1.2]
-//	           [-seed 1] [-keyspace 161] [-warm] [-verify]
+//	           [-seed 1] [-keyspace 161] [-generated N] [-warm] [-verify]
 //	           [-nodes-workers 8] [-service-time 10ms] [-replication 2]
 //	           [-store-dir dir] [-json]
 package main
@@ -69,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	zipfS := fs.Float64("zipf-s", 1.2, "zipf exponent (>1)")
 	seed := fs.Int64("seed", 1, "key-sequence seed")
 	keyspace := fs.Int("keyspace", 0, "distinct request bodies (default: the whole 161-entry matrix)")
+	generated := fs.Int("generated", 0, "mix this many seeded generated-program keys into the population")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	warm := fs.Bool("warm", false, "issue every distinct key once before measuring")
 	verify := fs.Bool("verify", false, "check fleet-wide single-flight via the nodes' miss counters")
@@ -133,11 +139,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *keyspace > 0 && *keyspace < bodies {
 			bodies = *keyspace
 		}
+		bodies += *generated
 		rep, err := cluster.RunLoad(ctx, cluster.LoadOptions{
 			Targets:     urls,
 			Requests:    bodies,
 			Concurrency: *concurrency,
 			Keyspace:    *keyspace,
+			Generated:   *generated,
 			Skew:        "sweep",
 			Seed:        *seed,
 			Timeout:     *timeout,
@@ -156,6 +164,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Requests:    *requests,
 		Concurrency: *concurrency,
 		Keyspace:    *keyspace,
+		Generated:   *generated,
 		Skew:        *skew,
 		ZipfS:       *zipfS,
 		Seed:        *seed,

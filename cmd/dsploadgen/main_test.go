@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"dualbank/internal/cluster"
 )
 
 // TestRunFixtureVerify drives the whole tool end to end: a two-node
@@ -61,6 +63,53 @@ func TestRunJSONReport(t *testing.T) {
 	}
 	if rep.Requests != 30 || rep.Skew != "zipf" || rep.Statuses["200"] != 30 || rep.Throughput <= 0 {
 		t.Errorf("report fields off: %+v", rep)
+	}
+}
+
+// TestGeneratedBodiesShape: -generated derives canonical gen_* keys
+// paired with rotating modes, deterministically per seed.
+func TestGeneratedBodiesShape(t *testing.T) {
+	a := cluster.GeneratedBodies(8, 1)
+	b := cluster.GeneratedBodies(8, 1)
+	if len(a) != 8 {
+		t.Fatalf("got %d bodies, want 8", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generated bodies not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+		if !strings.Contains(a[i], `"bench":"gen_`) {
+			t.Errorf("body %d is not a generated key: %q", i, a[i])
+		}
+	}
+	if a[0] == cluster.GeneratedBodies(8, 2)[0] {
+		t.Error("different seeds drew the same first key")
+	}
+}
+
+// TestRunGeneratedVerify mixes generated keys into the fixture load:
+// every request must succeed (the cluster routes and computes gen_*
+// keys like built-ins) and the fleet-wide single-flight check must
+// hold across the blended population — warm plus measure compute each
+// distinct key exactly once.
+func TestRunGeneratedVerify(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-nodes", "3", "-requests", "60", "-concurrency", "8",
+		"-keyspace", "7", "-generated", "5", "-service-time", "0",
+		"-warm", "-verify", "-store-dir", t.TempDir(),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"status 200   60",
+		"single-flight verified: 12 distinct keys, 12 fleet-wide computes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, out)
+		}
 	}
 }
 

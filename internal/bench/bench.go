@@ -121,11 +121,15 @@ func Applications() []Program {
 	return append([]Program(nil), suite.apps...)
 }
 
-// ByName finds a benchmark in either suite.
+// ByName finds a benchmark in either suite, or materializes a
+// generated one when name is a canonical "gen_<archetype>_<seed>" key
+// (see internal/genmc).
 func ByName(name string) (Program, bool) {
 	suite.once.Do(initSuite)
-	p, ok := suite.byName[name]
-	return p, ok
+	if p, ok := suite.byName[name]; ok {
+		return p, true
+	}
+	return generatedByName(name)
 }
 
 // Result is one (benchmark, mode) measurement.

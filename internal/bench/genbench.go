@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"sort"
+	"sync"
+
+	"dualbank/internal/genmc"
+)
+
+// Generated-benchmark resolution: any canonical "gen_<archetype>_<seed>"
+// name denotes a program the genmc generator can rebuild on demand, so
+// ByName resolves the whole generated key space the same way it
+// resolves the hand-written suite. A generated Program carries a Check
+// built from the generator's evaluator, so harness runs over generated
+// keys validate outputs exactly like suite runs do — and because the
+// program is a pure function of its name, generated keys flow through
+// the memo cache, the cluster routing ring, and the shared L2
+// unchanged.
+
+// genCacheMax bounds the memo of materialized generated programs.
+// Load generators sweep wide key ranges; regeneration costs well under
+// a millisecond, so when the cache fills it is simply dropped rather
+// than tracking recency.
+const genCacheMax = 1024
+
+var generated struct {
+	mu    sync.Mutex
+	progs map[string]Program
+}
+
+// generatedByName materializes the program a canonical generated name
+// denotes, memoized under generated.mu.
+func generatedByName(name string) (Program, bool) {
+	k, ok := genmc.ParseName(name)
+	if !ok {
+		return Program{}, false
+	}
+	generated.mu.Lock()
+	defer generated.mu.Unlock()
+	if p, ok := generated.progs[name]; ok {
+		return p, true
+	}
+	gp := genmc.Generate(k)
+	p := Program{
+		Name:   gp.Name,
+		Desc:   gp.Desc,
+		Kind:   Kernel,
+		Source: gp.Source,
+		Check:  genCheck(gp.Out),
+	}
+	if generated.progs == nil || len(generated.progs) >= genCacheMax {
+		generated.progs = make(map[string]Program, 64)
+	}
+	generated.progs[name] = p
+	return p, true
+}
+
+// genCheck builds a Check comparing every global array against the
+// generator's expected image, in deterministic name order.
+func genCheck(out map[string][]int32) func(Reader) error {
+	names := make([]string, 0, len(out))
+	for name := range out {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return func(r Reader) error {
+		for _, name := range names {
+			if err := checkI32s(r, name, out[name]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"dualbank/internal/alloc"
+)
+
+// TestByNameResolvesGenerated: canonical generated keys resolve through
+// ByName, run end to end under CB with a passing output check, and hit
+// the harness memo cache like any suite benchmark.
+func TestByNameResolvesGenerated(t *testing.T) {
+	p, ok := ByName("gen_window_12")
+	if !ok {
+		t.Fatal("ByName rejected canonical generated key gen_window_12")
+	}
+	if p.Name != "gen_window_12" || p.Check == nil {
+		t.Fatalf("malformed generated program: %+v", p.Name)
+	}
+	again, ok := ByName("gen_window_12")
+	if !ok || again.Source != p.Source {
+		t.Fatal("second resolution differs — memo broken")
+	}
+
+	h := NewHarness(1)
+	if _, err := h.Run(p, alloc.CB); err != nil {
+		t.Fatalf("generated benchmark failed under CB: %v", err)
+	}
+	if _, err := h.Run(p, alloc.CB); err != nil {
+		t.Fatal(err)
+	}
+	if s := h.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("generated key did not memo-cache: %+v", s)
+	}
+}
+
+// TestByNameRejectsNonCanonical: near-miss names fall through to a
+// plain miss, not a generated program.
+func TestByNameRejectsNonCanonical(t *testing.T) {
+	for _, name := range []string{"gen_window_012", "gen_cube_5", "gen_window", "fir_9999_1"} {
+		if _, ok := ByName(name); ok {
+			t.Errorf("ByName accepted non-canonical name %q", name)
+		}
+	}
+}
+
+// TestGeneratedCacheBounded: sweeping more keys than the cache bound
+// neither grows the memo without limit nor breaks resolution.
+func TestGeneratedCacheBounded(t *testing.T) {
+	for seed := uint64(0); seed < genCacheMax+40; seed++ {
+		p, ok := ByName(fmt.Sprintf("gen_pair_%d", seed))
+		if !ok || p.Check == nil {
+			t.Fatalf("seed %d failed to resolve", seed)
+		}
+	}
+	generated.mu.Lock()
+	n := len(generated.progs)
+	generated.mu.Unlock()
+	if n > genCacheMax {
+		t.Errorf("generated memo grew to %d entries (bound %d)", n, genCacheMax)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dualbank/internal/bench"
+	"dualbank/internal/genmc"
 )
 
 // This file is the load generator behind cmd/dsploadgen and the
@@ -44,6 +45,11 @@ type LoadOptions struct {
 	// Seed seeds the key sequence; runs with equal seeds draw equal
 	// sequences (default 1).
 	Seed int64
+	// Generated mixes this many seeded generated-program keys (see
+	// internal/genmc) into the population after the Keyspace clamp, so
+	// the cluster serves a blend of built-in and generated traffic.
+	// The generated keys derive from Seed, like the key sequence.
+	Generated int
 	// Timeout caps each request (default 30s).
 	Timeout time.Duration
 }
@@ -63,16 +69,32 @@ type LoadReport struct {
 	TopKeys         map[string]int `json:"top_keys,omitempty"`
 }
 
+// loadModes is the allocation-mode vocabulary of the request matrix.
+var loadModes = []string{"single-bank", "CB", "Pr", "Dup", "full-dup", "Ideal", "low-order"}
+
 // LoadBodies returns the canonical request-body matrix: every built-in
 // benchmark crossed with every allocation mode, in deterministic
 // order.
 func LoadBodies() []string {
-	modes := []string{"single-bank", "CB", "Pr", "Dup", "full-dup", "Ideal", "low-order"}
 	var bodies []string
 	for _, p := range append(bench.Kernels(), bench.Applications()...) {
-		for _, m := range modes {
+		for _, m := range loadModes {
 			bodies = append(bodies, fmt.Sprintf(`{"bench":%q,"mode":%q}`, p.Name, m))
 		}
+	}
+	return bodies
+}
+
+// GeneratedBodies returns n generated-program request bodies for a
+// base seed: the canonical genmc population's keys, each paired with a
+// rotating allocation mode. Generated programs are pure functions of
+// their names, so these keys are cacheable and routable exactly like
+// the built-in matrix — the single-flight verification counts them the
+// same way.
+func GeneratedBodies(n int, seed uint64) []string {
+	bodies := make([]string, 0, n)
+	for i, k := range genmc.Population(n, seed) {
+		bodies = append(bodies, fmt.Sprintf(`{"bench":%q,"mode":%q}`, k.Name(), loadModes[i%len(loadModes)]))
 	}
 	return bodies
 }
@@ -103,6 +125,9 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	bodies := LoadBodies()
 	if opts.Keyspace > 0 && opts.Keyspace < len(bodies) {
 		bodies = bodies[:opts.Keyspace]
+	}
+	if opts.Generated > 0 {
+		bodies = append(bodies, GeneratedBodies(opts.Generated, uint64(opts.Seed))...)
 	}
 
 	// Pre-draw the whole key sequence so the distribution is exactly

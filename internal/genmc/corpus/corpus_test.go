@@ -1,0 +1,172 @@
+package corpus_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dualbank/internal/genmc"
+	"dualbank/internal/genmc/corpus"
+	"dualbank/internal/minic"
+	"dualbank/internal/pipeline"
+)
+
+// TestTransformsPreserveValidity: the metamorphic rewrites emit source
+// the front end accepts, renaming actually renames, and permutation
+// actually reorders.
+func TestTransformsPreserveValidity(t *testing.T) {
+	p := genmc.Generate(genmc.Derive(genmc.Window, 11))
+	renamed, err := corpus.RenameIdents(p.Source)
+	if err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if strings.Contains(renamed, "acc0") {
+		t.Error("rename left original identifier acc0 in place")
+	}
+	permuted, err := corpus.PermuteDecls(p.Source)
+	if err != nil {
+		t.Fatalf("permute: %v", err)
+	}
+	if permuted == p.Source {
+		t.Error("permutation returned the original source")
+	}
+	if !strings.HasPrefix(strings.TrimSpace(permuted), "void main") {
+		t.Errorf("reversed program should lead with main:\n%.80s", permuted)
+	}
+	for label, src := range map[string]string{"renamed": renamed, "permuted": permuted} {
+		file, err := minic.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", label, err, src)
+		}
+		if err := minic.Analyze(file); err != nil {
+			t.Fatalf("%s: analyze: %v\n%s", label, err, src)
+		}
+	}
+}
+
+// TestPopulationProperties: populations are deterministic, archetypes
+// round-robin, and distinct base seeds draw disjoint program seeds.
+func TestPopulationProperties(t *testing.T) {
+	a := genmc.Population(30, 1)
+	b := genmc.Population(30, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("population not deterministic at %d", i)
+		}
+	}
+	if a[0].Archetype != genmc.Pair || a[1].Archetype != genmc.Window || a[2].Archetype != genmc.Chain {
+		t.Errorf("archetypes do not round-robin: %v %v %v", a[0].Archetype, a[1].Archetype, a[2].Archetype)
+	}
+	seen := map[uint64]bool{}
+	for _, k := range a {
+		seen[k.Seed] = true
+	}
+	for _, k := range genmc.Population(30, 7) {
+		if seen[k.Seed] {
+			t.Fatalf("base seeds 1 and 7 share program seed %d", k.Seed)
+		}
+	}
+}
+
+// TestVerifyProgramDetectsBrokenOracle: a wrong expectation must fail —
+// the gauntlet is only trustworthy if it can reject.
+func TestVerifyProgramDetectsBrokenOracle(t *testing.T) {
+	p := genmc.Generate(genmc.Derive(genmc.Pair, 3))
+	p.Out["out"][0] ^= 1
+	_, fails := corpus.VerifyProgram(context.Background(), p, new(pipeline.Compiler), false)
+	if len(fails) == 0 {
+		t.Fatal("corrupted expected output verified clean")
+	}
+}
+
+// TestCorpusSample is the always-on gate: a fixed 100-program sample
+// across all three archetypes runs the full differential and
+// metamorphic gauntlet on every `go test ./...`.
+func TestCorpusSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sample in short mode")
+	}
+	r, err := corpus.Run(context.Background(), corpus.Options{N: 100, Seed: 1, Metamorphic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range r.Failures {
+		t.Error(f)
+	}
+	total := 0
+	for _, s := range r.Stats {
+		total += s.Programs
+		if s.Programs == 0 {
+			t.Errorf("archetype %s got no programs", s.Archetype)
+		}
+	}
+	if total != 100 {
+		t.Errorf("stats cover %d programs, want 100", total)
+	}
+}
+
+// TestCorpusFull is the 1k-program nightly gate, opt-in via DSP_CORPUS=1.
+// When CORPUS_REPORT names a path, the full report (including the
+// per-archetype failure counts CI uploads as an artifact) is written
+// there even on failure.
+func TestCorpusFull(t *testing.T) {
+	if os.Getenv("DSP_CORPUS") != "1" {
+		t.Skip("set DSP_CORPUS=1 to run the full 1k-program corpus gate")
+	}
+	seed := uint64(1)
+	if s := os.Getenv("DSP_CORPUS_SEED"); s != "" {
+		var err error
+		if seed, err = strconv.ParseUint(s, 10, 64); err != nil {
+			t.Fatalf("DSP_CORPUS_SEED: %v", err)
+		}
+	}
+	r, err := corpus.Run(context.Background(), corpus.Options{N: 1000, Seed: seed, Metamorphic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path := os.Getenv("CORPUS_REPORT"); path != "" {
+		if err := r.WriteFile(path); err != nil {
+			t.Errorf("writing %s: %v", path, err)
+		}
+	}
+	for _, f := range r.Failures {
+		t.Error(f)
+	}
+}
+
+// TestReportRoundTrip: WriteFile output is stable and ReadReport
+// restores it exactly.
+func TestReportRoundTrip(t *testing.T) {
+	r, err := corpus.Run(context.Background(), corpus.Options{N: 6, Seed: 5, Metamorphic: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := corpus.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("report did not round-trip byte-identically")
+	}
+	if back.N != r.N || back.Seed != r.Seed || len(back.Rows) != len(r.Rows) {
+		t.Errorf("round-trip changed report shape: %+v vs %+v", back, r)
+	}
+}

@@ -1,0 +1,261 @@
+// Package genmc is a deterministic, seed-driven generator of valid
+// MiniC programs with controllable memory-access shape. It exists to
+// widen the repository's test distribution beyond the 23 hand-ported
+// paper benchmarks: every program it emits terminates, stays in
+// bounds, and carries its own expected outputs, so corpus-scale
+// differential and metamorphic suites can run over thousands of
+// programs instead of a fixed handful.
+//
+// The package mirrors the compact front-to-back pipeline shape of a
+// small compiler: a seed expands into a plan (knobs plus drawn
+// parameters), the plan builds a tiny statement IR, and two backends
+// consume that IR — a code generator rendering MiniC source and an
+// evaluator computing the expected final memory image in Go. Because
+// both backends walk the same IR in the same order, the evaluator is
+// an independent oracle for the whole compile-and-simulate stack.
+//
+// Programs are integer-only: every operation the generator emits
+// (add, sub, mul, and, or, xor) wraps in 32 bits identically in Go
+// and on the simulated machine, so expected outputs compare exactly,
+// with no float tolerance to hide single-bit divergence.
+//
+// Three archetypes control the access shape the paper's allocation
+// modes care about:
+//
+//   - Pair: loop bodies pair loads across distinct arrays — the
+//     partitioning-friendly shape where compaction-based (CB) bank
+//     assignment approaches the dual-ported ideal.
+//   - Window: loop bodies read two offsets of one array per statement
+//     (autocorrelation windows) — the duplication-friendly shape where
+//     CB alone cannot parallelize the conflicting same-array reads.
+//   - Chain: loop bodies chase data-dependent index chains through a
+//     scrambled successor array — the irregular, DAG-structured
+//     low-locality shape where banking is hardest.
+//
+// A program is a pure function of its canonical name
+// ("gen_<archetype>_<seed>"), the same property the hand-written
+// suite has (fir_256_64 encodes its generator parameters), so
+// generated programs flow through the harness memo cache, the cluster
+// routing ring, and the shared L2 exactly like built-in benchmarks.
+package genmc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Archetype selects the memory-access shape of a generated program.
+type Archetype int8
+
+const (
+	// Pair emits co-accessed distinct-array pairs (partitioning-friendly).
+	Pair Archetype = iota
+	// Window emits same-array autocorrelation windows (duplication-friendly).
+	Window
+	// Chain emits irregular data-dependent index chains (poor locality).
+	Chain
+)
+
+// Archetypes returns all archetypes in canonical order.
+func Archetypes() []Archetype { return []Archetype{Pair, Window, Chain} }
+
+func (a Archetype) String() string {
+	switch a {
+	case Pair:
+		return "pair"
+	case Window:
+		return "window"
+	case Chain:
+		return "chain"
+	}
+	return fmt.Sprintf("Archetype(%d)", int8(a))
+}
+
+// ParseArchetype resolves an archetype name.
+func ParseArchetype(s string) (Archetype, bool) {
+	for _, a := range Archetypes() {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Knobs are the generator's controls. Derive fills them from a seed;
+// tests may also construct them directly. Generate clamps every field
+// into its valid range, so arbitrary (fuzzed) knob values are safe.
+type Knobs struct {
+	Archetype Archetype
+	// Seed drives every random draw. Equal knobs generate equal
+	// programs, byte for byte.
+	Seed uint64
+	// Arrays is the data-array count (clamped to 2..6).
+	Arrays int
+	// Size is the data-array length in words, rounded down to a power
+	// of two (clamped to 16..128) so every index can be masked in
+	// bounds.
+	Size int
+	// Loops is the number of top-level loop nests (clamped to 1..3).
+	Loops int
+	// Depth is the nesting depth of each nest (clamped to 1..2).
+	Depth int
+	// Stmts is the statement count per innermost body (clamped to 1..3).
+	Stmts int
+}
+
+// Derive expands a seed into the canonical knob setting for an
+// archetype — the setting Name/ParseName round-trip, and the one the
+// corpus and load-generator populations draw from.
+func Derive(a Archetype, seed uint64) Knobs {
+	r := rng{state: seed ^ 0xd1b54a32d192ed03}
+	return Knobs{
+		Archetype: a,
+		Seed:      seed,
+		Arrays:    2 + int(r.n(5)),
+		Size:      16 << r.n(4),
+		Loops:     1 + int(r.n(3)),
+		Depth:     1 + int(r.n(2)),
+		Stmts:     1 + int(r.n(3)),
+	}
+}
+
+// Name returns the canonical benchmark name of the program these
+// knobs derive from: "gen_<archetype>_<seed>". Only seed-derived knob
+// settings have names; ParseName(k.Name()) returns Derive(k.Archetype,
+// k.Seed), which equals k exactly when k came from Derive.
+func (k Knobs) Name() string {
+	return fmt.Sprintf("gen_%s_%d", k.Archetype, k.Seed)
+}
+
+// ParseName resolves a canonical generated-benchmark name. It is
+// strict: only names Name itself produces parse (no leading zeros, no
+// unknown archetypes), so the resolvable key space is exactly the
+// generatable program space.
+func ParseName(name string) (Knobs, bool) {
+	rest, ok := strings.CutPrefix(name, "gen_")
+	if !ok {
+		return Knobs{}, false
+	}
+	archName, seedStr, ok := strings.Cut(rest, "_")
+	if !ok {
+		return Knobs{}, false
+	}
+	a, ok := ParseArchetype(archName)
+	if !ok {
+		return Knobs{}, false
+	}
+	seed, err := strconv.ParseUint(seedStr, 10, 64)
+	if err != nil || strconv.FormatUint(seed, 10) != seedStr {
+		return Knobs{}, false
+	}
+	return Derive(a, seed), true
+}
+
+// Program is one generated benchmark: MiniC source plus the expected
+// final contents of every global array, computed by the evaluator
+// backend over the same IR the source was rendered from.
+type Program struct {
+	Name   string
+	Desc   string
+	Knobs  Knobs
+	Source string
+	// Out maps every global array name to its expected final contents.
+	// A simulation whose memory image disagrees at any word diverged
+	// from the generator's evaluator.
+	Out map[string][]int32
+}
+
+// FromName generates the program a canonical name denotes.
+func FromName(name string) (Program, bool) {
+	k, ok := ParseName(name)
+	if !ok {
+		return Program{}, false
+	}
+	return Generate(k), true
+}
+
+// Population returns the canonical n-program knob population for a
+// base seed: archetypes round-robin and per-program seeds are
+// decorrelated across base seeds, so runs with different base seeds
+// cover disjoint populations. The corpus harness and the cluster load
+// generator both draw from this, so a corpus-verified program and a
+// load-generated key with the same position and base seed are the
+// same program.
+func Population(n int, seed uint64) []Knobs {
+	pop := make([]Knobs, 0, n)
+	arch := Archetypes()
+	for i := 0; i < n; i++ {
+		pop = append(pop, Derive(arch[i%len(arch)], seed*1000003+uint64(i)))
+	}
+	return pop
+}
+
+// rng is splitmix64 — self-contained so generated sources are stable
+// across Go releases, like the benchmark suite's xorshift32.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// n returns a draw in [0, n).
+func (r *rng) n(n uint64) uint64 { return r.next() % n }
+
+// i32 returns a value in [-32768, 32767] — small enough to keep
+// generated sources readable, wide enough that products exercise the
+// full 32-bit wrap.
+func (r *rng) i32() int32 { return int32(r.n(65536)) - 32768 }
+
+// pick returns a draw from a non-empty slice.
+func pick[T any](r *rng, s []T) T { return s[r.n(uint64(len(s)))] }
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// pow2floor rounds down to a power of two.
+func pow2floor(v int) int {
+	p := 1
+	for p*2 <= v {
+		p *= 2
+	}
+	return p
+}
+
+// Generate builds the program for one knob setting. It is total:
+// every knob is clamped into range, every emitted index is masked in
+// bounds, every loop has a constant trip count, and no division is
+// emitted, so any knob value — including fuzzer-supplied garbage —
+// yields a valid, terminating MiniC program.
+func Generate(k Knobs) Program {
+	k.Arrays = clamp(k.Arrays, 2, 6)
+	k.Size = pow2floor(clamp(k.Size, 16, 128))
+	k.Loops = clamp(k.Loops, 1, 3)
+	k.Depth = clamp(k.Depth, 1, 2)
+	k.Stmts = clamp(k.Stmts, 1, 3)
+
+	r := &rng{state: k.Seed*0x2545f4914f6cdd1d + uint64(k.Archetype) + 1}
+	b := &builder{knobs: k, r: r}
+	b.plan()
+	b.buildLoops()
+	b.finish()
+
+	return Program{
+		Name:   k.Name(),
+		Desc:   fmt.Sprintf("Generated %s-archetype program (seed %d, %d arrays x %d words)", k.Archetype, k.Seed, k.Arrays, k.Size),
+		Knobs:  k,
+		Source: b.render(),
+		Out:    b.eval(),
+	}
+}

@@ -1,0 +1,123 @@
+package genmc_test
+
+import (
+	"strings"
+	"testing"
+
+	"dualbank/internal/genmc"
+	"dualbank/internal/minic"
+)
+
+// TestDeterminism: equal knobs generate byte-identical programs and
+// identical expected outputs; distinct seeds diverge.
+func TestDeterminism(t *testing.T) {
+	for _, a := range genmc.Archetypes() {
+		p1 := genmc.Generate(genmc.Derive(a, 42))
+		p2 := genmc.Generate(genmc.Derive(a, 42))
+		if p1.Source != p2.Source {
+			t.Errorf("%v: same seed generated different sources", a)
+		}
+		if len(p1.Out) != len(p2.Out) {
+			t.Errorf("%v: same seed generated different output sets", a)
+		}
+		for name, want := range p1.Out {
+			got := p2.Out[name]
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: same seed, %s[%d] = %d vs %d", a, name, i, got[i], want[i])
+				}
+			}
+		}
+		p3 := genmc.Generate(genmc.Derive(a, 43))
+		if p3.Source == p1.Source {
+			t.Errorf("%v: seeds 42 and 43 generated identical sources", a)
+		}
+	}
+}
+
+// TestNameRoundTrip: Name/ParseName are inverse on canonical names and
+// ParseName rejects everything else.
+func TestNameRoundTrip(t *testing.T) {
+	for _, a := range genmc.Archetypes() {
+		for _, seed := range []uint64{0, 1, 7, 1069, 1 << 40} {
+			k := genmc.Derive(a, seed)
+			got, ok := genmc.ParseName(k.Name())
+			if !ok {
+				t.Fatalf("ParseName rejected canonical name %q", k.Name())
+			}
+			if got != k {
+				t.Fatalf("round-trip changed knobs: %+v -> %+v", k, got)
+			}
+		}
+	}
+	for _, bad := range []string{
+		"", "gen_", "gen_pair", "gen_pair_", "gen_pair_x", "gen_pair_01",
+		"gen_pair_-1", "gen_tri_5", "fir_32_1", "gen_pair_5_extra",
+		"gen_pair_99999999999999999999999",
+	} {
+		if _, ok := genmc.ParseName(bad); ok {
+			t.Errorf("ParseName accepted %q", bad)
+		}
+	}
+}
+
+// TestGeneratedProgramsAreValidMiniC: the front end accepts every
+// generated program across archetypes and seeds, and the expected
+// outputs cover every declared global array.
+func TestGeneratedProgramsAreValidMiniC(t *testing.T) {
+	for _, a := range genmc.Archetypes() {
+		for seed := uint64(0); seed < 50; seed++ {
+			p := genmc.Generate(genmc.Derive(a, seed))
+			file, err := minic.Parse(p.Source)
+			if err != nil {
+				t.Fatalf("%s: parse: %v\n%s", p.Name, err, p.Source)
+			}
+			if err := minic.Analyze(file); err != nil {
+				t.Fatalf("%s: analyze: %v\n%s", p.Name, err, p.Source)
+			}
+			if len(p.Out) == 0 {
+				t.Fatalf("%s: no expected outputs", p.Name)
+			}
+			for _, d := range file.Decls {
+				want, ok := p.Out[d.Name]
+				if !ok {
+					t.Fatalf("%s: global %s has no expected output", p.Name, d.Name)
+				}
+				if n := d.Sym.Words(); n != len(want) {
+					t.Fatalf("%s: global %s is %d words, expectation has %d", p.Name, d.Name, n, len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestKnobClamping: Generate is total over arbitrary knob values —
+// hostile settings clamp instead of panicking or emitting invalid
+// programs.
+func TestKnobClamping(t *testing.T) {
+	hostile := []genmc.Knobs{
+		{Archetype: genmc.Pair, Seed: 1, Arrays: -5, Size: 0, Loops: -1, Depth: 99, Stmts: -7},
+		{Archetype: genmc.Window, Seed: 2, Arrays: 1 << 30, Size: 1 << 30, Loops: 1 << 20, Depth: 0, Stmts: 1 << 20},
+		{Archetype: genmc.Chain, Seed: 3, Arrays: 2, Size: 17, Loops: 2, Depth: 1, Stmts: 2},
+	}
+	for _, k := range hostile {
+		p := genmc.Generate(k)
+		if _, err := minic.Parse(p.Source); err != nil {
+			t.Errorf("knobs %+v generated invalid MiniC: %v", k, err)
+		}
+	}
+}
+
+// TestSourceShape: archetype fingerprints show up in the source —
+// chain programs chase nxt, window programs read one array twice in a
+// statement, pair programs never do.
+func TestSourceShape(t *testing.T) {
+	chain := genmc.Generate(genmc.Derive(genmc.Chain, 5))
+	if !strings.Contains(chain.Source, "nxt[") {
+		t.Errorf("chain program never chases nxt:\n%s", chain.Source)
+	}
+	pair := genmc.Generate(genmc.Derive(genmc.Pair, 5))
+	if strings.Contains(pair.Source, "nxt[") {
+		t.Errorf("pair program contains a successor array:\n%s", pair.Source)
+	}
+}

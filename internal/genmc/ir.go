@@ -1,0 +1,217 @@
+package genmc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The generator's statement IR. Both backends — the MiniC renderer
+// and the expected-output evaluator — walk these nodes in the same
+// order, so the rendered program and the computed expectation are two
+// views of one computation. The expression language is deliberately
+// closed under safety: the only binary operators are the exact-wrap
+// integer ops (+ - * & | ^), and every array subscript is built by
+// maskedIndex, which ands the index with size-1 before use.
+
+// array is one global int array.
+type array struct {
+	name string
+	init []int32 // initial contents; the declaration embeds them
+	out  bool    // declared zero-initialized (no data), written by the program
+}
+
+func (a *array) size() int { return len(a.init) }
+func (a *array) mask() int32 {
+	return int32(len(a.init) - 1)
+}
+
+// expr is an integer expression node.
+type expr interface {
+	emit(sb *strings.Builder)
+	eval(st *state) int32
+}
+
+// intLit is a literal constant.
+type intLit int32
+
+func (l intLit) emit(sb *strings.Builder) {
+	if l < 0 {
+		fmt.Fprintf(sb, "(%d)", int32(l))
+		return
+	}
+	fmt.Fprintf(sb, "%d", int32(l))
+}
+func (l intLit) eval(*state) int32 { return int32(l) }
+
+// scalarRef reads a scalar variable (loop counter, accumulator, or
+// chain pointer).
+type scalarRef string
+
+func (s scalarRef) emit(sb *strings.Builder) { sb.WriteString(string(s)) }
+func (s scalarRef) eval(st *state) int32     { return st.scalars[string(s)] }
+
+// load reads arr[idx]. The builder only constructs loads whose idx is
+// masked into bounds.
+type load struct {
+	arr *array
+	idx expr
+}
+
+func (l load) emit(sb *strings.Builder) {
+	sb.WriteString(l.arr.name)
+	sb.WriteByte('[')
+	l.idx.emit(sb)
+	sb.WriteByte(']')
+}
+func (l load) eval(st *state) int32 {
+	return st.arrays[l.arr.name][l.idx.eval(st)]
+}
+
+// bin is a binary operation. Every op wraps identically in Go int32
+// arithmetic and in the machine's evalIntBin, which is what makes the
+// evaluator an exact oracle.
+type bin struct {
+	op   byte // one of + - * & | ^
+	l, r expr
+}
+
+func (b bin) emit(sb *strings.Builder) {
+	sb.WriteByte('(')
+	b.l.emit(sb)
+	sb.WriteByte(' ')
+	sb.WriteByte(b.op)
+	sb.WriteByte(' ')
+	b.r.emit(sb)
+	sb.WriteByte(')')
+}
+
+func (b bin) eval(st *state) int32 {
+	return applyOp(b.op, b.l.eval(st), b.r.eval(st))
+}
+
+// applyOp is the evaluator's ALU: the exact-wrap int32 semantics of
+// the machine's integer unit, restricted to the operator set the
+// generator emits.
+func applyOp(op byte, l, r int32) int32 {
+	switch op {
+	case '+':
+		return l + r
+	case '-':
+		return l - r
+	case '*':
+		return l * r
+	case '&':
+		return l & r
+	case '|':
+		return l | r
+	case '^':
+		return l ^ r
+	}
+	panic("genmc: unknown binary op " + string(op))
+}
+
+// stmt is a statement node.
+type stmt interface {
+	emitStmt(sb *strings.Builder, indent int)
+	exec(st *state)
+}
+
+func pad(sb *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		sb.WriteByte('\t')
+	}
+}
+
+// assignScalar is `name op= rhs;` (op 0 renders plain `=`).
+type assignScalar struct {
+	name string
+	op   byte // 0 for =, else one of + - * & | ^ rendered as op=
+	rhs  expr
+}
+
+func (a assignScalar) emitStmt(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	sb.WriteString(a.name)
+	if a.op != 0 {
+		sb.WriteByte(' ')
+		sb.WriteByte(a.op)
+		sb.WriteString("= ")
+	} else {
+		sb.WriteString(" = ")
+	}
+	a.rhs.emit(sb)
+	sb.WriteString(";\n")
+}
+
+func (a assignScalar) exec(st *state) {
+	v := a.rhs.eval(st)
+	if a.op != 0 {
+		v = applyOp(a.op, st.scalars[a.name], v)
+	}
+	st.scalars[a.name] = v
+}
+
+// assignElem is `arr[idx] op= rhs;`.
+type assignElem struct {
+	arr *array
+	idx expr
+	op  byte
+	rhs expr
+}
+
+func (a assignElem) emitStmt(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	load{arr: a.arr, idx: a.idx}.emit(sb)
+	if a.op != 0 {
+		sb.WriteByte(' ')
+		sb.WriteByte(a.op)
+		sb.WriteString("= ")
+	} else {
+		sb.WriteString(" = ")
+	}
+	a.rhs.emit(sb)
+	sb.WriteString(";\n")
+}
+
+func (a assignElem) exec(st *state) {
+	i := a.idx.eval(st)
+	v := a.rhs.eval(st)
+	if a.op != 0 {
+		v = applyOp(a.op, st.arrays[a.arr.name][i], v)
+	}
+	st.arrays[a.arr.name][i] = v
+}
+
+// loop is `for (v = 0; v < n; v++) { body }` over a pre-declared
+// scalar counter.
+type loop struct {
+	v    string
+	n    int
+	body []stmt
+}
+
+func (l loop) emitStmt(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	fmt.Fprintf(sb, "for (%s = 0; %s < %d; %s++) {\n", l.v, l.v, l.n, l.v)
+	for _, s := range l.body {
+		s.emitStmt(sb, indent+1)
+	}
+	pad(sb, indent)
+	sb.WriteString("}\n")
+}
+
+func (l loop) exec(st *state) {
+	for i := 0; i < l.n; i++ {
+		st.scalars[l.v] = int32(i)
+		for _, s := range l.body {
+			s.exec(st)
+		}
+	}
+	st.scalars[l.v] = int32(l.n)
+}
+
+// state is the evaluator's store.
+type state struct {
+	scalars map[string]int32
+	arrays  map[string][]int32
+}

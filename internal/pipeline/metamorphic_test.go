@@ -2,14 +2,12 @@ package pipeline_test
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 	"testing"
 
 	"dualbank/internal/alloc"
 	"dualbank/internal/bench"
 	"dualbank/internal/compact"
-	"dualbank/internal/minic"
+	"dualbank/internal/genmc/corpus"
 	"dualbank/internal/pipeline"
 )
 
@@ -32,116 +30,17 @@ import (
 // duplication.
 var metamorphicModes = []alloc.Mode{alloc.SingleBank, alloc.CB, alloc.CBDup}
 
-// spellToken renders one token back to compilable source. Identifier
-// spellings run through rename when non-nil ("main" is pinned — the
-// entry point is looked up by name). Literals are re-spelled from
-// their parsed values, which round-trip exactly.
-func spellToken(t *testing.T, tok minic.Token, rename map[string]string) string {
-	switch tok.Kind {
-	case minic.IDENT:
-		if rename == nil || tok.Text == "main" {
-			return tok.Text
-		}
-		r, ok := rename[tok.Text]
-		if !ok {
-			r = fmt.Sprintf("mm%d_%s", len(rename), strings.Repeat("q", 1+len(rename)%3))
-			rename[tok.Text] = r
-		}
-		return r
-	case minic.INTLIT:
-		if tok.Int < 0 {
-			// Only hex literals can parse negative, and the suite has
-			// none; spelling one as "-N" would need expression context.
-			t.Fatalf("negative integer literal %d cannot be re-spelled", tok.Int)
-		}
-		return strconv.FormatInt(tok.Int, 10)
-	case minic.FLOATLIT:
-		s := strconv.FormatFloat(tok.Flt, 'g', -1, 64)
-		if !strings.ContainsAny(s, ".eE") {
-			s += ".0" // keep it a FLOATLIT on re-lex
-		}
-		return s
-	default:
-		return tok.Kind.String()
-	}
-}
-
-// emitTokens joins re-spelled tokens into source the front end accepts.
-func emitTokens(t *testing.T, toks []minic.Token, rename map[string]string) string {
-	var b strings.Builder
-	for i, tok := range toks {
-		if tok.Kind == minic.EOF {
-			break
-		}
-		if i > 0 {
-			if i%32 == 0 {
-				b.WriteByte('\n')
-			} else {
-				b.WriteByte(' ')
-			}
-		}
-		b.WriteString(spellToken(t, tok, rename))
-	}
-	b.WriteByte('\n')
-	return b.String()
-}
-
-// lexAll tokenizes source, failing the test on any lex error.
-func lexAll(t *testing.T, source string) []minic.Token {
-	t.Helper()
-	toks, err := minic.LexAll(source)
-	if err != nil {
-		t.Fatalf("lex: %v", err)
-	}
-	return toks
-}
-
 // renameIdents rewrites source with every identifier (except main)
-// replaced by a fresh machine-generated name, first occurrence order.
+// replaced by a fresh machine-generated name. The transform itself
+// lives in the corpus package, where the generated-program suites
+// reuse it; this wrapper adapts its error to the test.
 func renameIdents(t *testing.T, source string) string {
 	t.Helper()
-	return emitTokens(t, lexAll(t, source), map[string]string{})
-}
-
-// topLevelChunks splits the token stream into top-level declarations.
-// A chunk ends at a depth-0 semicolon (global declarations, including
-// brace-enclosed array initializers) or at a depth-0 closing brace
-// followed by a type keyword or EOF (function bodies).
-func topLevelChunks(t *testing.T, toks []minic.Token) [][]minic.Token {
-	t.Helper()
-	var chunks [][]minic.Token
-	var cur []minic.Token
-	depth := 0
-	for i, tok := range toks {
-		if tok.Kind == minic.EOF {
-			break
-		}
-		cur = append(cur, tok)
-		switch tok.Kind {
-		case minic.LBrace, minic.LParen, minic.LBrack:
-			depth++
-		case minic.RBrace, minic.RParen, minic.RBrack:
-			depth--
-		}
-		if depth != 0 {
-			continue
-		}
-		end := tok.Kind == minic.Semi
-		if tok.Kind == minic.RBrace {
-			switch toks[i+1].Kind {
-			case minic.KwInt, minic.KwFloat, minic.KwVoid, minic.EOF:
-				end = true
-			}
-		}
-		if end {
-			chunks = append(chunks, cur)
-			cur = nil
-		}
+	out, err := corpus.RenameIdents(source)
+	if err != nil {
+		t.Fatalf("rename: %v", err)
 	}
-	if len(cur) != 0 {
-		t.Fatalf("trailing tokens after the last top-level declaration: %v", cur)
-	}
-	return chunks
+	return out
 }
 
 // permuteDecls rewrites source with its top-level declarations in
@@ -150,16 +49,11 @@ func topLevelChunks(t *testing.T, toks []minic.Token) [][]minic.Token {
 // functions in a separate pass before checking bodies.
 func permuteDecls(t *testing.T, source string) string {
 	t.Helper()
-	chunks := topLevelChunks(t, lexAll(t, source))
-	if len(chunks) < 2 {
-		t.Fatalf("only %d top-level declarations; nothing to permute", len(chunks))
+	out, err := corpus.PermuteDecls(source)
+	if err != nil {
+		t.Fatalf("permute: %v", err)
 	}
-	var out []minic.Token
-	for i := len(chunks) - 1; i >= 0; i-- {
-		out = append(out, chunks[i]...)
-	}
-	out = append(out, minic.Token{Kind: minic.EOF})
-	return emitTokens(t, out, nil)
+	return out
 }
 
 // measureCycles compiles source under o, validates the schedule, runs
