@@ -45,7 +45,7 @@ func main() {
 	list := flag.Bool("list", false, "list benchmark names")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for the experiment harness")
 	timing := flag.Bool("timing", false, "report per-section wall clock, per-run compile/simulate split, and cache traffic on stderr")
-	partitioner := flag.String("partitioner", "greedy", "graph partitioner for -bench runs: greedy, kl, anneal, or fm")
+	partitioner := flag.String("partitioner", "greedy", "graph partitioner for -bench runs: greedy, kl, anneal, fm, or exact")
 	engineName := flag.String("engine", "compiled", "simulation engine: compiled, fast, or machine")
 	simbench := flag.Bool("simbench", false, "measure per-engine simulator throughput (not part of -all)")
 	simcheck := flag.String("simcheck", "", "re-measure simulator throughput and fail if the compiled/fast speedup regressed >10% vs this baseline JSON")

@@ -13,10 +13,18 @@
 //
 //	dspcorpus [-n N] [-seed S] [-workers N] [-metamorphic=false]
 //	          [-json path] [-quiet]
+//	dspcorpus -certify [-n N] [-seed S] [-certify-budget N] [-json path]
+//
+// -certify runs the certified sample instead of the verification
+// gauntlet: each generated program's interference graph goes through
+// the internal/exact branch-and-bound bipartitioner, and the report
+// states what fraction of programs each heuristic arm solves provably
+// optimally, per archetype.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +35,16 @@ import (
 
 	"dualbank/internal/genmc/corpus"
 )
+
+// writeJSON serializes any report deterministically, matching the
+// corpus Report.WriteFile format.
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -42,9 +60,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent verifications (any width is deterministic)")
 	metamorphic := fs.Bool("metamorphic", true, "also check rename/permutation/bank-swap invariances")
 	jsonPath := fs.String("json", "", "write the full report as JSON to this file")
+	certify := fs.Bool("certify", false, "run the certified-optimality sample instead of the verification gauntlet")
+	certifyBudget := fs.Int64("certify-budget", 0, "branch-and-bound node budget per program (0 = library default)")
 	quiet := fs.Bool("quiet", false, "suppress the progress stream on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *certify {
+		copts := corpus.CertifyOptions{N: *n, Seed: *seed, Workers: *workers, NodeBudget: *certifyBudget}
+		if !*quiet {
+			copts.Progress = func(done, total int) {
+				if done%100 == 0 || done == total {
+					fmt.Fprintf(stderr, "dspcorpus: %d/%d programs certified\n", done, total)
+				}
+			}
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		rep, err := corpus.Certify(ctx, copts)
+		if err != nil {
+			fmt.Fprintln(stderr, "dspcorpus:", err)
+			return 1
+		}
+		rep.WriteText(stdout)
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rep); err != nil {
+				fmt.Fprintln(stderr, "dspcorpus:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+		}
+		return 0
 	}
 
 	opts := corpus.Options{

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -66,5 +67,34 @@ func TestRunBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &out, &out); code != 2 {
 		t.Errorf("bad flag exited %d, want 2", code)
+	}
+}
+
+// TestRunCertifySmoke drives the certified-sample mode through the
+// CLI: per-archetype table on stdout, report JSON at the -json path.
+func TestRunCertifySmoke(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "certify.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-certify", "-n", "12", "-seed", "5", "-json", path, "-quiet"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"certified sample: 12 generated programs", "fm-opt", "FM provably optimal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep corpus.CertifyReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("certify report JSON: %v", err)
+	}
+	if rep.N != 12 || rep.Seed != 5 || len(rep.Rows) != 12 {
+		t.Errorf("report shape wrong: n=%d seed=%d rows=%d", rep.N, rep.Seed, len(rep.Rows))
 	}
 }

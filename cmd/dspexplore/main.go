@@ -17,8 +17,17 @@
 //	           [-budget N] [-workers N] [-exactk K]
 //	           [-checkpoint dir] [-resume=false] [-fault-profile spec]
 //	           [-json path] [-csv path] [-quiet]
+//	dspexplore -certify path [-certify-budget N]
 //	dspexplore -bench-report path
 //	dspexplore -list
+//
+// -certify runs the certified-optimality sweep instead of a design-
+// space exploration: every selected benchmark's interference graph
+// (all 23 when none are named) goes through the internal/exact
+// branch-and-bound bipartitioner, and the report states each heuristic
+// arm's proven optimality gap. The node budget makes the report
+// deterministic at any -workers width, so the JSON written to path is
+// a byte-stable baseline fit for version control (BENCH_gaps.json).
 package main
 
 import (
@@ -69,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonPath := fs.String("json", "", "write the full report as JSON to this file")
 	csvPath := fs.String("csv", "", "write the frontier points as CSV to this file")
 	benchReport := fs.String("bench-report", "", "explore the pinned baseline suite and write its report JSON here")
+	certify := fs.String("certify", "", "run the certified-optimality sweep and write its gap report JSON here")
+	certifyBudget := fs.Int64("certify-budget", 0, "branch-and-bound node budget per benchmark (0 = library default)")
 	quiet := fs.Bool("quiet", false, "suppress the progress stream on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +95,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var names []string
 	if *benchReport != "" {
 		names = benchReportSuite
+	} else if *certify != "" {
+		// The certified sweep defaults to the full suite; explicit
+		// selections narrow it.
+		if *kernels || *apps || *benchmarks != "" {
+			if *kernels {
+				for _, p := range bench.Kernels() {
+					names = append(names, p.Name)
+				}
+			}
+			if *apps {
+				for _, p := range bench.Applications() {
+					names = append(names, p.Name)
+				}
+			}
+			for _, n := range strings.Split(*benchmarks, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+		} else {
+			for _, p := range append(bench.Kernels(), bench.Applications()...) {
+				names = append(names, p.Name)
+			}
+		}
 	} else {
 		if *kernels {
 			for _, p := range bench.Kernels() {
@@ -113,6 +148,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		progs = append(progs, p)
+	}
+
+	if *certify != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		copts := explore.CertifyOptions{NodeBudget: *certifyBudget, Workers: *workers}
+		if !*quiet {
+			copts.Progress = func(ev explore.CertifyEvent) {
+				fmt.Fprintf(stderr, "dspexplore: certify %-14s %2d/%-2d %-8s %d B&B nodes\n",
+					ev.Bench, ev.Done, ev.Total, ev.Verdict, ev.BBNodes)
+			}
+		}
+		rep, err := explore.Certify(ctx, progs, copts)
+		if err != nil {
+			fmt.Fprintln(stderr, "dspexplore:", err)
+			return 1
+		}
+		rep.WriteText(stdout)
+		if err := writeJSON(*certify, rep); err != nil {
+			fmt.Fprintln(stderr, "dspexplore:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *certify)
+		return 0
 	}
 
 	opts := explore.Options{
@@ -194,7 +253,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func writeJSON(path string, rep *explore.Report) error {
+func writeJSON(path string, rep any) error {
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

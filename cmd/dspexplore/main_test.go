@@ -151,3 +151,44 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("bad flag: exit %d, want 2", code)
 	}
 }
+
+// TestRunCertifySmoke drives the certified-optimality sweep through
+// the CLI: text table on stdout, gap-report JSON at the -certify path.
+func TestRunCertifySmoke(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gaps.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-certify", path, "-benchmark", "fir_32_1,iir_1_1", "-workers", "2", "-quiet",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"certified optimality gaps", "iir_1_1", "optimal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+
+	var rep explore.CertReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("gap report JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("gap report covers %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	iir := rep.Benchmarks[1]
+	if iir.Bench != "iir_1_1" || iir.Cert.Verdict.String() != "optimal" || iir.Cert.Upper != 12 {
+		t.Errorf("iir_1_1 certification malformed: %+v", iir)
+	}
+	for _, bc := range rep.Benchmarks {
+		if len(bc.Arms) != 3 {
+			t.Errorf("%s: %d arms, want 3", bc.Bench, len(bc.Arms))
+		}
+	}
+}

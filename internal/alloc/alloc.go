@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"dualbank/internal/core"
+	_ "dualbank/internal/exact" // registers the MethodExact backend
 	"dualbank/internal/ir"
 	"dualbank/internal/machine"
 )

@@ -197,7 +197,7 @@ func TestFMReplaysCanonicalWalk(t *testing.T) {
 // TestParseMethodRoundTrip covers the method name round trip and the
 // error path.
 func TestParseMethodRoundTrip(t *testing.T) {
-	for _, m := range []Method{MethodGreedy, MethodKL, MethodAnneal, MethodFM} {
+	for _, m := range []Method{MethodGreedy, MethodKL, MethodAnneal, MethodFM, MethodExact} {
 		got, err := ParseMethod(m.String())
 		if err != nil || got != m {
 			t.Errorf("ParseMethod(%q) = %v, %v; want %v", m.String(), got, err, m)

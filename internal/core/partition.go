@@ -142,6 +142,15 @@ func (g *Graph) Partition() *Partition {
 	return part
 }
 
+// PartitionFromSides materialises a Partition from an explicit side
+// assignment (inY[i] true puts node i in bank Y), computing the
+// residual cost from the CSR view. External partitioner backends — the
+// certified exact solver in internal/exact — and tests use it to turn
+// a solved assignment into the structure the allocation pass consumes.
+func (g *Graph) PartitionFromSides(inY []bool) *Partition {
+	return g.partitionFrom(inY)
+}
+
 // partitionFrom materialises a Partition from a side assignment,
 // computing the residual cost from the CSR view.
 func (g *Graph) partitionFrom(inY []bool) *Partition {

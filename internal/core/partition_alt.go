@@ -38,6 +38,14 @@ const (
 	// O(degree) incremental gain updates, followed by FM refinement
 	// passes. Never worse than greedy, asymptotically faster.
 	MethodFM
+	// MethodExact is the certified branch-and-bound bipartitioner from
+	// internal/exact: it seeds an incumbent from the heuristics and
+	// proves optimality (or a bound) within a deterministic node
+	// budget, so it is never costlier than any heuristic arm. The
+	// implementation lives outside this package and registers itself
+	// via RegisterExactPartitioner; alloc links it, so every pipeline
+	// caller has it available behind the -partitioner flag.
+	MethodExact
 )
 
 func (m Method) String() string {
@@ -48,6 +56,8 @@ func (m Method) String() string {
 		return "anneal"
 	case MethodFM:
 		return "fm"
+	case MethodExact:
+		return "exact"
 	}
 	return "greedy"
 }
@@ -63,9 +73,20 @@ func ParseMethod(s string) (Method, error) {
 		return MethodAnneal, nil
 	case "fm":
 		return MethodFM, nil
+	case "exact":
+		return MethodExact, nil
 	}
-	return 0, fmt.Errorf("core: unknown partition method %q (want greedy, kl, anneal, or fm)", s)
+	return 0, fmt.Errorf("core: unknown partition method %q (want greedy, kl, anneal, fm, or exact)", s)
 }
+
+// exactPartition is the registered certified-exact backend. It lives
+// in internal/exact (which imports this package), so dispatch goes
+// through a function value rather than a direct call.
+var exactPartition func(*Graph) *Partition
+
+// RegisterExactPartitioner installs the MethodExact backend. Called
+// from internal/exact's init; last registration wins.
+func RegisterExactPartitioner(f func(*Graph) *Partition) { exactPartition = f }
 
 // PartitionWith partitions the graph with the chosen method.
 func (g *Graph) PartitionWith(m Method) *Partition {
@@ -87,6 +108,11 @@ func (g *Graph) PartitionWithPasses(m Method, fmPasses int) *Partition {
 			fmPasses = fmMaxPasses
 		}
 		return g.PartitionFMPasses(fmPasses)
+	case MethodExact:
+		if exactPartition == nil {
+			panic("core: exact partitioner not linked (import dualbank/internal/exact)")
+		}
+		return exactPartition(g)
 	default:
 		return g.Partition()
 	}

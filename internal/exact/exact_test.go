@@ -1,0 +1,326 @@
+package exact_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualbank/internal/alloc"
+	"dualbank/internal/bench"
+	"dualbank/internal/core"
+	"dualbank/internal/exact"
+	"dualbank/internal/ir"
+	"dualbank/internal/pipeline"
+)
+
+// randomGraph builds a random weighted interference graph (mirrors the
+// helper the core package tests use).
+func randomGraph(rng *rand.Rand, n, edges int) *core.Graph {
+	syms := make([]*ir.Symbol, n)
+	for i := range syms {
+		syms[i] = &ir.Symbol{Name: string(rune('a'+i%26)) + string(rune('0'+i/26)), Size: 1}
+	}
+	g := core.NewGraph(syms)
+	for e := 0; e < edges; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if g.Weight(syms[i], syms[j]) == 0 {
+			g.SetWeight(syms[i], syms[j], int64(rng.Intn(5)+1))
+		}
+	}
+	return g
+}
+
+// cutCost evaluates the residual cost of a side assignment on g.
+func cutCost(g *core.Graph, inY []bool) int64 {
+	c := g.CSR()
+	var cost int64
+	for a := 0; a < len(g.Nodes); a++ {
+		for h := c.Start[a]; h < c.Start[a+1]; h++ {
+			if b := int(c.Adj[h]); b > a && inY[b] == inY[a] {
+				cost += c.W[h]
+			}
+		}
+	}
+	return cost
+}
+
+// activeNodes returns the indices of nodes with at least one edge.
+func activeNodes(g *core.Graph) []int {
+	c := g.CSR()
+	var act []int
+	for i := range g.Nodes {
+		if c.Degree(i) > 0 {
+			act = append(act, i)
+		}
+	}
+	return act
+}
+
+// bruteForce enumerates every bipartition over the active nodes
+// (isolated nodes cannot contribute cost; the first active node is
+// pinned by symmetry) and returns the minimum residual cost. Callers
+// must keep the active count at or below 16.
+func bruteForce(t *testing.T, g *core.Graph) int64 {
+	t.Helper()
+	act := activeNodes(g)
+	if len(act) == 0 {
+		return 0
+	}
+	if len(act) > 16 {
+		t.Fatalf("bruteForce on %d active nodes", len(act))
+	}
+	inY := make([]bool, len(g.Nodes))
+	best := int64(1) << 62
+	for mask := 0; mask < 1<<(len(act)-1); mask++ {
+		for bi, node := range act[1:] {
+			inY[node] = mask&(1<<bi) != 0
+		}
+		if cost := cutCost(g, inY); cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+// checkInvariants asserts the properties every Solve result must have:
+// the partition realises Upper, Lower never exceeds Upper, the exact
+// arm is never costlier than any heuristic, and every heuristic sits
+// inside the reported bound.
+func checkInvariants(t *testing.T, g *core.Graph, r *exact.Result) {
+	t.Helper()
+	if r.Part.Cost != r.Cert.Upper {
+		t.Fatalf("partition cost %d != certificate upper %d", r.Part.Cost, r.Cert.Upper)
+	}
+	if r.Cert.Lower > r.Cert.Upper {
+		t.Fatalf("lower %d > upper %d", r.Cert.Lower, r.Cert.Upper)
+	}
+	if r.Cert.Verdict == exact.Optimal && r.Cert.Lower != r.Cert.Upper {
+		t.Fatalf("verdict optimal with open interval [%d, %d]", r.Cert.Lower, r.Cert.Upper)
+	}
+	heuristics := map[string]int64{
+		"greedy": g.Partition().Cost,
+		"fm":     g.PartitionFM().Cost,
+		"kl":     g.PartitionKL().Cost,
+		"anneal": g.PartitionAnneal(1).Cost,
+	}
+	for name, cost := range heuristics {
+		if r.Cert.Upper > cost {
+			t.Fatalf("exact cost %d worse than %s %d", r.Cert.Upper, name, cost)
+		}
+		if cost < r.Cert.Lower {
+			t.Fatalf("%s cost %d below proven lower bound %d", name, cost, r.Cert.Lower)
+		}
+	}
+}
+
+// TestExactMatchesBruteForceBenchmarks pins the branch-and-bound
+// against exhaustive enumeration on every benchmark whose interference
+// graph has at most 16 active arrays — all twelve kernels and most
+// applications qualify.
+func TestExactMatchesBruteForceBenchmarks(t *testing.T) {
+	progs := append(bench.Kernels(), bench.Applications()...)
+	checked := 0
+	for _, p := range progs {
+		c, err := pipeline.Compile(p.Source, p.Name, pipeline.Options{Mode: alloc.CB})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.Name, err)
+		}
+		g := c.Alloc.Graph
+		if len(activeNodes(g)) > 16 {
+			continue
+		}
+		checked++
+		want := bruteForce(t, g)
+		r := exact.Solve(g, exact.Options{})
+		checkInvariants(t, g, r)
+		if r.Cert.Verdict != exact.Optimal {
+			t.Errorf("%s: verdict %v, want optimal", p.Name, r.Cert.Verdict)
+		}
+		if r.Cert.Upper != want {
+			t.Errorf("%s: exact cost %d, brute force %d", p.Name, r.Cert.Upper, want)
+		}
+	}
+	if checked < 12 {
+		t.Fatalf("only %d benchmarks qualified for brute force, want >= 12 (all kernels)", checked)
+	}
+}
+
+// TestExactMatchesBruteForceRandom pins the solver against brute force
+// on 200 seeded random graphs, both through the default ordering and
+// with the spectral seed+ordering forced on (SpectralMin 2), so the
+// float path is exercised on graphs small enough to verify exhaustively.
+func TestExactMatchesBruteForceRandom(t *testing.T) {
+	for _, opt := range []exact.Options{{}, {SpectralMin: 2}} {
+		rng := rand.New(rand.NewSource(41))
+		for trial := 0; trial < 200; trial++ {
+			n := 2 + rng.Intn(13)
+			g := randomGraph(rng, n, rng.Intn(4*n))
+			want := bruteForce(t, g)
+			r := exact.Solve(g, opt)
+			checkInvariants(t, g, r)
+			if r.Cert.Verdict != exact.Optimal {
+				t.Fatalf("trial %d (spectralMin=%d): verdict %v, want optimal",
+					trial, opt.SpectralMin, r.Cert.Verdict)
+			}
+			if r.Cert.Upper != want {
+				t.Fatalf("trial %d (spectralMin=%d): exact cost %d, brute force %d",
+					trial, opt.SpectralMin, r.Cert.Upper, want)
+			}
+		}
+	}
+}
+
+// TestExactBudgetExhaustion: even with the budget strangled to a single
+// node the result must stay a valid bound around the true optimum, and
+// the incumbent (seeded from the heuristics) must never regress.
+func TestExactBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(10)
+		g := randomGraph(rng, n, n+rng.Intn(3*n))
+		want := bruteForce(t, g)
+		for _, budget := range []int64{1, 5, 50} {
+			r := exact.Solve(g, exact.Options{NodeBudget: budget})
+			checkInvariants(t, g, r)
+			if r.Cert.Lower > want || want > r.Cert.Upper {
+				t.Fatalf("trial %d budget %d: optimum %d outside [%d, %d]",
+					trial, budget, want, r.Cert.Lower, r.Cert.Upper)
+			}
+			if r.Cert.BBNodes > budget {
+				t.Fatalf("trial %d: expanded %d nodes over budget %d", trial, r.Cert.BBNodes, budget)
+			}
+		}
+	}
+}
+
+// TestExactComponentsAdd: disjoint components solve independently and
+// their optima (and certificate counts) add.
+func TestExactComponentsAdd(t *testing.T) {
+	syms := make([]*ir.Symbol, 7)
+	for i := range syms {
+		syms[i] = &ir.Symbol{Name: string(rune('a' + i)), Size: 1}
+	}
+	g := core.NewGraph(syms)
+	// Two triangles (any bipartition strands one edge: min edge 1 and 2
+	// respectively) plus one isolated node.
+	g.SetWeight(syms[0], syms[1], 1)
+	g.SetWeight(syms[1], syms[2], 4)
+	g.SetWeight(syms[0], syms[2], 5)
+	g.SetWeight(syms[3], syms[4], 2)
+	g.SetWeight(syms[4], syms[5], 3)
+	g.SetWeight(syms[3], syms[5], 6)
+	r := exact.Solve(g, exact.Options{})
+	if r.Cert.Verdict != exact.Optimal || r.Cert.Upper != 3 {
+		t.Fatalf("two triangles: verdict %v cost %d, want optimal 3", r.Cert.Verdict, r.Cert.Upper)
+	}
+	if r.Cert.Components != 2 || r.Cert.Closed != 2 {
+		t.Fatalf("components %d closed %d, want 2 and 2", r.Cert.Components, r.Cert.Closed)
+	}
+	if len(r.Part.SetX)+len(r.Part.SetY) != 7 {
+		t.Fatalf("partition dropped nodes: |X|+|Y| = %d", len(r.Part.SetX)+len(r.Part.SetY))
+	}
+}
+
+// TestExactDeterministic: equal graphs and options give bit-identical
+// certificates and partitions, run-to-run.
+func TestExactDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 30, 120)
+	a := exact.Solve(g, exact.Options{NodeBudget: 10_000})
+	b := exact.Solve(g, exact.Options{NodeBudget: 10_000})
+	if a.Cert != b.Cert {
+		t.Fatalf("certificates differ: %+v vs %+v", a.Cert, b.Cert)
+	}
+	if a.Part.String() != b.Part.String() {
+		t.Fatalf("partitions differ:\n%s\nvs\n%s", a.Part, b.Part)
+	}
+	if !a.Cert.Spectral {
+		t.Fatalf("30-node connected component should engage the spectral ordering")
+	}
+}
+
+// TestExactMethodDispatch: the "exact" arm is reachable through the
+// core Method surface the pipeline and CLIs use.
+func TestExactMethodDispatch(t *testing.T) {
+	m, err := core.ParseMethod("exact")
+	if err != nil || m != core.MethodExact {
+		t.Fatalf("ParseMethod(exact) = %v, %v", m, err)
+	}
+	if m.String() != "exact" {
+		t.Fatalf("MethodExact.String() = %q", m.String())
+	}
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 10, 25)
+	got := g.PartitionWith(core.MethodExact)
+	want := exact.Solve(g, exact.Options{})
+	if got.Cost != want.Cert.Upper {
+		t.Fatalf("PartitionWith(exact) cost %d, Solve %d", got.Cost, want.Cert.Upper)
+	}
+}
+
+// TestVerdictText: the verdict names round-trip through the text
+// marshalling BENCH_gaps.json uses.
+func TestVerdictText(t *testing.T) {
+	for _, v := range []exact.Verdict{exact.Optimal, exact.Bounded, exact.Budget} {
+		b, err := v.MarshalText()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back exact.Verdict
+		if err := back.UnmarshalText(b); err != nil || back != v {
+			t.Fatalf("round-trip %v: got %v, %v", v, back, err)
+		}
+	}
+	var v exact.Verdict
+	if err := v.UnmarshalText([]byte("nonsense")); err == nil {
+		t.Fatal("UnmarshalText accepted nonsense")
+	}
+}
+
+// graphFromBytes derives a small deterministic graph from fuzz input.
+func graphFromBytes(data []byte) *core.Graph {
+	if len(data) < 4 {
+		return nil
+	}
+	n := 2 + int(data[0]%11)
+	syms := make([]*ir.Symbol, n)
+	for i := range syms {
+		syms[i] = &ir.Symbol{Name: string(rune('a' + i)), Size: 1}
+	}
+	g := core.NewGraph(syms)
+	for i := 1; i+2 < len(data); i += 3 {
+		a, b := int(data[i])%n, int(data[i+1])%n
+		if a == b {
+			continue
+		}
+		g.SetWeight(syms[a], syms[b], int64(data[i+2]%9)+1)
+	}
+	return g
+}
+
+// FuzzExactNeverWorse: on arbitrary small graphs the exact arm is never
+// costlier than any heuristic, every heuristic lies inside the reported
+// bound, and (the graphs being small enough to enumerate) a closed
+// search really did find the optimum.
+func FuzzExactNeverWorse(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 3, 1, 2, 5, 0, 2, 2})
+	f.Add([]byte{9, 0, 1, 1, 1, 2, 1, 2, 3, 1, 3, 4, 1, 4, 0, 1})
+	f.Add([]byte{12, 5, 9, 7, 2, 8, 1, 0, 11, 3, 4, 6, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graphFromBytes(data)
+		if g == nil {
+			return
+		}
+		r := exact.Solve(g, exact.Options{})
+		checkInvariants(t, g, r)
+		want := bruteForce(t, g)
+		if r.Cert.Lower > want || want > r.Cert.Upper {
+			t.Fatalf("optimum %d outside certified [%d, %d]", want, r.Cert.Lower, r.Cert.Upper)
+		}
+		if r.Cert.Verdict == exact.Optimal && r.Cert.Upper != want {
+			t.Fatalf("claimed optimal %d, brute force %d", r.Cert.Upper, want)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package exact
+
+// Spectral seed + ordering for components too large to close by pure
+// branch-and-bound. The embedding is the Fiedler-style spectral
+// relaxation of the bipartition problem, taken at the max-cut end of
+// the Laplacian spectrum: for L = D - A, the quadratic form
+// x'Lx = Σ w_uv (x_u - x_v)² is the (doubled, weighted) cut, so the
+// dominant eigenvector of L is the unit direction of maximum cut —
+// exactly the relaxed objective of minimum residual cost. Its signs
+// make a strong seed partition and its magnitudes rank how firmly the
+// relaxation has decided each node, which is the decision order that
+// lets the branch-and-bound bound fire earliest.
+//
+// Determinism across architectures matters here: the committed
+// BENCH_gaps.json baseline embeds node counts that depend on this
+// ordering. Power iteration with a fixed start vector and a fixed
+// iteration count is a closed arithmetic recipe; every product feeding
+// an accumulation is wrapped in an explicit float64 conversion, which
+// the Go spec defines as a rounding boundary, so no architecture may
+// contract it into an FMA and perturb the low bits.
+
+// spectralIters is the fixed power-iteration count. The ordering only
+// needs the eigenvector's sign/ranking structure, not convergence to
+// machine precision.
+const spectralIters = 64
+
+// spectralVector returns the (approximate, max-abs-normalised)
+// dominant eigenvector of the component's Laplacian, or nil when the
+// iteration degenerates (the caller then falls back to the
+// weighted-degree ordering).
+func spectralVector(n int, start []int32, adj []int32, w []int64) []float64 {
+	if n < 2 {
+		return nil
+	}
+	wf := make([]float64, len(w))
+	for h, wt := range w {
+		wf[h] = float64(wt)
+	}
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var d float64
+		for h := start[i]; h < start[i+1]; h++ {
+			d += wf[h]
+		}
+		deg[i] = d
+	}
+
+	// Fixed asymmetric start: already orthogonal to the constant
+	// vector (L's kernel) and with no two equal entries, so the
+	// iterate cannot start stuck on a symmetry.
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i) - float64(n-1)/2
+	}
+	tmp := make([]float64, n)
+	for iter := 0; iter < spectralIters; iter++ {
+		// Re-centre: deflation against the kernel's constant vector,
+		// guarding against drift from accumulated rounding.
+		var mean float64
+		for _, x := range v {
+			mean += x
+		}
+		mean /= float64(n)
+		for i := range v {
+			v[i] -= mean
+		}
+		// tmp = L v = D v - A v.
+		for i := 0; i < n; i++ {
+			s := float64(deg[i] * v[i])
+			for h := start[i]; h < start[i+1]; h++ {
+				s -= float64(wf[h] * v[adj[h]])
+			}
+			tmp[i] = s
+		}
+		// Max-abs normalisation keeps the iterate in range without a
+		// square root.
+		var norm float64
+		for _, x := range tmp {
+			if a := abs64(x); a > norm {
+				norm = a
+			}
+		}
+		if norm == 0 {
+			return nil
+		}
+		inv := 1 / norm
+		for i := range v {
+			v[i] = float64(tmp[i] * inv)
+		}
+	}
+	return v
+}

@@ -1,0 +1,143 @@
+package explore
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dualbank/internal/bench"
+	"dualbank/internal/exact"
+)
+
+// certSuite is a fast representative slice of the suite: a zero-cost
+// kernel, a positive-cost kernel, and the application whose graph is
+// large enough to engage the spectral ordering and a non-trivial
+// branch-and-bound.
+var certSuite = []string{"fir_32_1", "iir_1_1", "G721WFencode"}
+
+func certProgs(t *testing.T) []bench.Program {
+	t.Helper()
+	var progs []bench.Program
+	for _, n := range certSuite {
+		p, ok := bench.ByName(n)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", n)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+func TestCertifyReport(t *testing.T) {
+	rep, err := Certify(context.Background(), certProgs(t), CertifyOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != len(certSuite) {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(certSuite))
+	}
+	for i, bc := range rep.Benchmarks {
+		if bc.Bench != certSuite[i] {
+			t.Fatalf("benchmark %d is %q, want %q (input order must be preserved)", i, bc.Bench, certSuite[i])
+		}
+		if len(bc.Arms) != 3 || bc.Arms[0].Arm != "greedy" || bc.Arms[1].Arm != "fm" || bc.Arms[2].Arm != "anneal" {
+			t.Fatalf("%s: arms malformed: %+v", bc.Bench, bc.Arms)
+		}
+		for _, a := range bc.Arms {
+			if a.Cost < bc.Cert.Upper {
+				t.Errorf("%s: %s cost %d below exact %d", bc.Bench, a.Arm, a.Cost, bc.Cert.Upper)
+			}
+			if a.Cost < bc.Cert.Lower {
+				t.Errorf("%s: %s cost %d below proven lower bound %d", bc.Bench, a.Arm, a.Cost, bc.Cert.Lower)
+			}
+		}
+	}
+	// The three verdicts on this slice are known: every graph closes.
+	if rep.Optimal != 3 || rep.Bounded != 0 || rep.Exhausted != 0 {
+		t.Errorf("verdict tally %d/%d/%d, want 3 optimal", rep.Optimal, rep.Bounded, rep.Exhausted)
+	}
+	// iir_1_1's proven optimum is 12 (pinned by the brute-force
+	// differential in internal/exact).
+	if got := rep.Benchmarks[1].Cert; got.Upper != 12 || got.Lower != 12 {
+		t.Errorf("iir_1_1 certified [%d, %d], want [12, 12]", got.Lower, got.Upper)
+	}
+}
+
+// TestCertifyDeterministicAcrossWorkers: the committed BENCH_gaps.json
+// baseline is only diffable in CI if the report bytes are independent
+// of -workers. Run the sweep serially and wide and require identical
+// JSON.
+func TestCertifyDeterministicAcrossWorkers(t *testing.T) {
+	progs := certProgs(t)
+	opts := CertifyOptions{NodeBudget: 50_000}
+	var reports [][]byte
+	for _, w := range []int{1, 8} {
+		opts.Workers = w
+		rep, err := Certify(context.Background(), progs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, b)
+	}
+	if string(reports[0]) != string(reports[1]) {
+		t.Fatalf("report differs between workers=1 and workers=8:\n%s\nvs\n%s", reports[0], reports[1])
+	}
+}
+
+func TestCertifyBudgetVerdict(t *testing.T) {
+	p, _ := bench.ByName("G721WFencode")
+	rep, err := Certify(context.Background(), []bench.Program{p}, CertifyOptions{NodeBudget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := rep.Benchmarks[0]
+	if bc.Cert.Verdict == exact.Optimal {
+		t.Fatalf("10-node budget cannot close G721WFencode, got %+v", bc.Cert)
+	}
+	if bc.Cert.BBNodes > 10 {
+		t.Fatalf("expanded %d nodes over budget 10", bc.Cert.BBNodes)
+	}
+	for _, a := range bc.Arms {
+		if a.Cost < bc.Cert.Lower || bc.Cert.Upper > a.Cost {
+			t.Errorf("%s arm %d outside bound [%d, %d]", a.Arm, a.Cost, bc.Cert.Lower, bc.Cert.Upper)
+		}
+	}
+}
+
+func TestGapPct(t *testing.T) {
+	cases := []struct {
+		cost, lower int64
+		want        float64
+	}{
+		{0, 0, 0},   // matched a zero bound
+		{12, 12, 0}, // matched a positive bound
+		{50, 49, 2.041},
+		{386, 171, 125.731},
+		{5, 0, -1}, // positive cost, vacuous bound: no percentage
+	}
+	for _, c := range cases {
+		if got := gapPct(c.cost, c.lower); got != c.want {
+			t.Errorf("gapPct(%d, %d) = %v, want %v", c.cost, c.lower, got, c.want)
+		}
+	}
+}
+
+func TestCertifyWriteText(t *testing.T) {
+	rep, err := Certify(context.Background(), certProgs(t), CertifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"certified optimality gaps", "iir_1_1", "optimal", "G721WFencode"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package corpus
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCertifySample(t *testing.T) {
+	rep, err := Certify(context.Background(), CertifyOptions{N: 24, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 24 {
+		t.Fatalf("got %d rows, want 24", len(rep.Rows))
+	}
+	total := 0
+	for _, s := range rep.Stats {
+		total += s.Programs
+		if s.Certified > s.Programs || s.FMOptimal > s.Certified ||
+			s.GreedyOptimal > s.Certified || s.AnnealOptimal > s.Certified {
+			t.Errorf("%s: inconsistent tallies %+v", s.Archetype, s)
+		}
+	}
+	if total != 24 {
+		t.Fatalf("archetype tallies sum to %d, want 24", total)
+	}
+	for _, row := range rep.Rows {
+		if row.Lower > row.Upper {
+			t.Errorf("%s: lower %d > upper %d", row.Name, row.Lower, row.Upper)
+		}
+		for _, arm := range []struct {
+			name string
+			cost int64
+		}{{"greedy", row.Greedy}, {"fm", row.FM}, {"anneal", row.Anneal}} {
+			if arm.cost < row.Upper {
+				t.Errorf("%s: exact %d worse than %s %d", row.Name, row.Upper, arm.name, arm.cost)
+			}
+		}
+		if row.Verdict == "optimal" && row.Lower != row.Upper {
+			t.Errorf("%s: optimal verdict with open interval [%d, %d]", row.Name, row.Lower, row.Upper)
+		}
+	}
+}
+
+// TestCertifySampleDeterministic: equal (N, Seed) at any worker width
+// must produce identical reports.
+func TestCertifySampleDeterministic(t *testing.T) {
+	var reports [][]byte
+	for _, w := range []int{1, 8} {
+		rep, err := Certify(context.Background(), CertifyOptions{N: 16, Seed: 7, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, b)
+	}
+	if string(reports[0]) != string(reports[1]) {
+		t.Fatalf("certified sample differs between workers=1 and workers=8:\n%s\nvs\n%s",
+			reports[0], reports[1])
+	}
+}
+
+func TestCertifyReportText(t *testing.T) {
+	rep, err := Certify(context.Background(), CertifyOptions{N: 9, Seed: 3, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"certified sample", "archetype", "fm-opt", "FM provably optimal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCertifyRejectsBadN(t *testing.T) {
+	if _, err := Certify(context.Background(), CertifyOptions{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}

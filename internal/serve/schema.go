@@ -222,7 +222,7 @@ func (req *Request) Job(maxSource int) (Job, error) {
 	}
 	if req.Partitioner != "" {
 		if j.Method, err = core.ParseMethod(req.Partitioner); err != nil {
-			return Job{}, fmt.Errorf("unknown partitioner %q (want greedy, kl, anneal, or fm)", req.Partitioner)
+			return Job{}, fmt.Errorf("unknown partitioner %q (want greedy, kl, anneal, fm, or exact)", req.Partitioner)
 		}
 	}
 	if req.FMPasses != 0 && j.Method != core.MethodFM {

@@ -384,7 +384,7 @@ type benchmarkInfo struct {
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	resp := benchmarksResponse{
 		Modes:        Modes(),
-		Partitioners: []string{"greedy", "kl", "anneal", "fm"},
+		Partitioners: []string{"greedy", "kl", "anneal", "fm", "exact"},
 	}
 	for _, p := range append(bench.Kernels(), bench.Applications()...) {
 		resp.Benchmarks = append(resp.Benchmarks, benchmarkInfo{

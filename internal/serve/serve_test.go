@@ -120,7 +120,7 @@ func TestServeModeAliasesAndPartitioners(t *testing.T) {
 		t.Errorf("alias dup resolved to %s", aliased.Mode)
 	}
 
-	for _, part := range []string{"greedy", "fm", "kl", "anneal"} {
+	for _, part := range []string{"greedy", "fm", "kl", "anneal", "exact"} {
 		body := fmt.Sprintf(`{"bench":"mult_4_4","mode":"CB","partitioner":%q}`, part)
 		code, data := postRun(t, ts.Client(), ts.URL, body)
 		if code != http.StatusOK {
@@ -308,8 +308,8 @@ func TestServeInventoryAndHealth(t *testing.T) {
 	if len(inv.Modes) != 7 {
 		t.Errorf("inventory lists %d modes, want 7", len(inv.Modes))
 	}
-	if len(inv.Partitioners) != 4 {
-		t.Errorf("inventory lists %d partitioners, want 4", len(inv.Partitioners))
+	if len(inv.Partitioners) != 5 {
+		t.Errorf("inventory lists %d partitioners, want 5", len(inv.Partitioners))
 	}
 
 	resp, err = ts.Client().Get(ts.URL + "/healthz")
