@@ -14,12 +14,19 @@
 // Usage:
 //
 //	dspexplore [-benchmark name[,name...]] [-kernels] [-apps]
-//	           [-budget N] [-workers N] [-exactk K]
+//	           [-budget N] [-workers N] [-exactk K] [-banks N] [-ports P]
 //	           [-checkpoint dir] [-resume=false] [-fault-profile spec]
 //	           [-json path] [-csv path] [-quiet]
 //	dspexplore -certify path [-certify-budget N]
 //	dspexplore -bench-report path
+//	dspexplore -hw-report path [-hw-grid B1xP1,B2xP2,...]
 //	dspexplore -list
+//
+// -banks/-ports pin the exploration to one machine geometry (bank
+// count × ports per bank; the default 2×1 is the paper's machine).
+// -hw-report instead sweeps a geometry grid with a fixed compiler-arm
+// set and writes the three-axis Pareto surface — cycles × memory cost
+// × hardware cost — per benchmark (BENCH_hw.json).
 //
 // -certify runs the certified-optimality sweep instead of a design-
 // space exploration: every selected benchmark's interference graph
@@ -46,6 +53,7 @@ import (
 	"dualbank/internal/explore"
 	"dualbank/internal/explore/store"
 	"dualbank/internal/faultinject"
+	"dualbank/internal/machine"
 )
 
 func main() {
@@ -72,6 +80,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budget := fs.Int("budget", 200, "evaluation budget per benchmark")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent evaluations (any width is deterministic)")
 	exactK := fs.Int("exactk", 4, "exhaustively enumerate duplication subsets up to this many arrays; hill-climb beyond")
+	banks := fs.Int("banks", 0, "data-bank count (0 = the classic 2)")
+	ports := fs.Int("ports", 0, "ports per bank (0 = the classic 1)")
+	hwReport := fs.String("hw-report", "", "sweep machine geometries and write the 3-axis Pareto surface JSON here")
+	hwGrid := fs.String("hw-grid", "2x1,3x1,4x1,2x2,3x2,4x2", "comma-separated BxP geometries for -hw-report")
 	checkpoint := fs.String("checkpoint", "", "checkpoint completed evaluations to this directory")
 	resume := fs.Bool("resume", true, "replay existing checkpoints instead of re-simulating (needs -checkpoint)")
 	faultProfile := fs.String("fault-profile", "", "inject checkpoint-store faults per this profile (requires DSP_FAULT_ENABLE=1)")
@@ -95,9 +107,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var names []string
 	if *benchReport != "" {
 		names = benchReportSuite
-	} else if *certify != "" {
-		// The certified sweep defaults to the full suite; explicit
-		// selections narrow it.
+	} else if *certify != "" || *hwReport != "" || *banks != 0 || *ports != 0 {
+		// The certified and hardware sweeps — and explorations pinned to
+		// a non-default machine geometry — default to the full suite;
+		// explicit selections narrow them.
 		if *kernels || *apps || *benchmarks != "" {
 			if *kernels {
 				for _, p := range bench.Kernels() {
@@ -174,11 +187,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *hwReport != "" {
+		specs, err := parseHWGrid(*hwGrid)
+		if err != nil {
+			fmt.Fprintln(stderr, "dspexplore:", err)
+			return 2
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		h := bench.NewHarness(*workers)
+		rep, err := explore.ExploreHW(ctx, progs, specs, explore.Options{Harness: h})
+		if err != nil {
+			fmt.Fprintln(stderr, "dspexplore:", err)
+			return 1
+		}
+		writeHWText(stdout, rep)
+		if err := writeJSON(*hwReport, rep); err != nil {
+			fmt.Fprintln(stderr, "dspexplore:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *hwReport)
+		return 0
+	}
+
 	opts := explore.Options{
 		Budget:   *budget,
 		Workers:  *workers,
 		ExactK:   *exactK,
 		NoResume: !*resume,
+		Banks:    *banks,
+		Ports:    *ports,
 	}
 	inj, err := faultinject.FromFlag(*faultProfile)
 	if err != nil {
@@ -251,6 +289,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote %s\n", *csvPath)
 	}
 	return 0
+}
+
+// parseHWGrid parses the -hw-grid flag: comma-separated "BxP"
+// geometries.
+func parseHWGrid(s string) ([]machine.BankSpec, error) {
+	var specs []machine.BankSpec
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		var b, p int
+		if _, err := fmt.Sscanf(field, "%dx%d", &b, &p); err != nil {
+			return nil, fmt.Errorf("bad -hw-grid geometry %q (want BxP)", field)
+		}
+		spec := machine.BankSpec{Banks: b, PortsPerBank: p}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("empty -hw-grid")
+	}
+	return specs, nil
+}
+
+// writeHWText renders the sweep's per-benchmark frontiers.
+func writeHWText(w io.Writer, rep *explore.HWReport) {
+	fmt.Fprintf(w, "hardware co-design sweep: %s over %d benchmarks\n",
+		strings.Join(rep.Geometries, " "), len(rep.Benchmarks))
+	for _, br := range rep.Benchmarks {
+		fmt.Fprintf(w, "%s: %d points, frontier:\n", br.Bench, len(br.Points))
+		for _, pt := range br.Frontier {
+			fmt.Fprintf(w, "  %dx%d hw=%-3d %8d cycles %6d words  %s\n",
+				pt.Banks, pt.Ports, pt.HW, pt.Cycles, pt.Cost, pt.Config)
+		}
+	}
 }
 
 func writeJSON(path string, rep any) error {

@@ -130,33 +130,73 @@ type Options struct {
 	// allocation must schedule and simulate to the same cycle count —
 	// the metamorphic test suite relies on this. Modes that do not
 	// steer banks (LowOrder, FullDup, Ideal ports) are unaffected.
+	// It is sugar for BankPerm = {1, 0}.
 	SwapBanks bool
+	// Spec is the bank/port geometry. The zero value is the classic
+	// 2-bank, 1-port machine, which takes the historical allocation
+	// path bit for bit; other specs run the k-way generalization.
+	// Non-default specs support the placement-steered modes only
+	// (SingleBank, CB, CBProfiled, CBDup, FullDup) — Ideal and
+	// LowOrder are defined on the paper's 2-bank machine.
+	Spec machine.BankSpec
+	// BankPerm generalizes SwapBanks to an arbitrary permutation of
+	// the spec's banks: a symbol the pass would place in bank b lands
+	// in bank BankPerm[b], including the save-slot rotation and the
+	// coherence-store order. Nil means identity. The banks are
+	// architecturally identical, so a permuted allocation schedules
+	// and simulates to the same cycle count — the k-ary metamorphic
+	// invariance the corpus gauntlet asserts.
+	BankPerm []int
 }
 
 // Result describes the allocation for reporting and the cost model.
 type Result struct {
 	Mode  Mode
 	Graph *core.Graph     // nil unless the mode partitions
-	Part  *core.Partition // nil unless the mode partitions
+	Part  *core.Partition // nil unless the mode partitions (2-bank runs)
+	// PartK is the k-way partition for non-default specs (nil on the
+	// default machine, where Part carries the bipartition).
+	PartK *core.KPartition
 
 	Duplicated []*ir.Symbol
 	DupStores  int // coherence stores inserted
 
 	// Word accounting for the cost model: the shared duplicated region
-	// (present in both banks), per-bank globals, and per-bank static
+	// (present in all banks), per-bank globals, and per-bank static
 	// stack (locals, parameter slots, spills, save slots).
 	DupWords         int
 	GlobalX, GlobalY int
 	StackX, StackY   int
+	// GlobalBank and StackBank are the per-bank accounts for banks
+	// beyond the classic pair; nil on the default machine. When set,
+	// their first two entries equal GlobalX/GlobalY and StackX/StackY.
+	GlobalBank []int
+	StackBank  []int
 
 	Ports machine.PortModel
+	// Spec echoes the bank/port geometry the allocation ran under.
+	Spec machine.BankSpec
 }
 
 // Run performs data allocation on p according to opts. It mutates
 // symbol bank/address assignments and memory-op tags, and inserts
 // coherence stores for duplicated data.
 func Run(p *ir.Program, opts Options) (*Result, error) {
-	res := &Result{Mode: opts.Mode, Ports: machine.PortsBanked}
+	if err := opts.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !opts.Spec.IsDefault() {
+		return runK(p, opts)
+	}
+	// Default 2-bank machine: fold BankPerm into SwapBanks and take the
+	// historical path bit for bit.
+	if perm := opts.BankPerm; perm != nil {
+		if len(perm) != 2 || perm[0] == perm[1] || perm[0] < 0 || perm[0] > 1 {
+			return nil, fmt.Errorf("alloc: bank permutation %v invalid for 2 banks", perm)
+		}
+		opts.SwapBanks = perm[0] == 1 // an explicit permutation wins
+	}
+	res := &Result{Mode: opts.Mode, Ports: machine.PortsBanked, Spec: opts.Spec}
 
 	bankX, bankY := machine.BankX, machine.BankY
 	if opts.SwapBanks {

@@ -22,6 +22,7 @@ import (
 	"dualbank/internal/core"
 	"dualbank/internal/cost"
 	"dualbank/internal/ir"
+	"dualbank/internal/machine"
 	"dualbank/internal/pipeline"
 )
 
@@ -172,6 +173,15 @@ type RunOptions struct {
 	// policy (duplicate every marked array). Meaningful only under
 	// alloc.CBDup.
 	DupOnly []string
+	// Banks and Ports select the machine's bank geometry — bank count
+	// and ports per bank. Zero values mean the classic dual-bank,
+	// single-ported machine, reproducing the historical measurement
+	// exactly.
+	Banks, Ports int
+	// BankPerm relabels the banks by a permutation before layout; cycle
+	// counts are invariant under it (the metamorphic suite proves it)
+	// but memory-split figures are not, so it is part of the memo key.
+	BankPerm []int
 	// Engine selects the simulation engine. The zero value is the
 	// compiled engine. All engines produce identical measurements (the
 	// differential suite pins them), but the harness still keys its
@@ -208,6 +218,8 @@ func RunCtx(ctx context.Context, p Program, mode alloc.Mode, ro RunOptions) (Res
 	po := pipeline.Options{
 		Mode: mode, Partitioner: ro.Partitioner,
 		FMPasses: ro.FMPasses, Profiled: ro.Profiled,
+		Spec:     machine.BankSpec{Banks: ro.Banks, PortsPerBank: ro.Ports},
+		BankPerm: ro.BankPerm,
 	}
 	if ro.DupOnly != nil {
 		po.DupOnly = make(map[string]bool, len(ro.DupOnly))

@@ -100,6 +100,10 @@ type runKey struct {
 	// deduplicated, comma-joined names ("=" alone is the empty set).
 	dup    string
 	config string
+	// perm encodes a bank permutation ("" when none): cycle counts are
+	// invariant under it but the per-bank memory split is not, so
+	// permuted measurements never alias unpermuted ones.
+	perm string
 	// engine is the simulation engine that produced the entry. Results
 	// are engine-independent by the differential pinning, but the
 	// recorded timings are not, so entries never alias across engines.
@@ -116,14 +120,17 @@ type runKey struct {
 // (batched only distinguishes timing amortization, never the result,
 // so batched and single-run measurements share one L2 entry).
 func (k runKey) String() string {
-	return "run|" + k.bench +
+	s := "run|" + k.bench +
 		"|mode=" + k.mode.String() +
 		"|part=" + k.method.String() +
 		"|fmp=" + strconv.Itoa(k.fmPasses) +
 		"|prof=" + strconv.FormatBool(k.profiled) +
-		"|dup=" + k.dup +
-		"|engine=" + k.engine.String() +
-		"|" + k.config
+		"|dup=" + k.dup
+	if k.perm != "" {
+		// Appended only when set, so classic-machine keys are unchanged.
+		s += "|perm=" + k.perm
+	}
+	return s + "|engine=" + k.engine.String() + "|" + k.config
 }
 
 // CacheKey returns the canonical string identity of one memoizable
@@ -151,8 +158,15 @@ func newRunKey(p Program, mode alloc.Mode, ro RunOptions) runKey {
 		fmPasses: ro.FMPasses,
 		profiled: ro.Profiled,
 		dup:      "-",
-		config:   configKey(mode),
+		config:   configKeySpec(mode, machine.BankSpec{Banks: ro.Banks, PortsPerBank: ro.Ports}),
 		engine:   ro.Engine,
+	}
+	if ro.BankPerm != nil {
+		parts := make([]string, len(ro.BankPerm))
+		for i, b := range ro.BankPerm {
+			parts[i] = strconv.Itoa(b)
+		}
+		key.perm = strings.Join(parts, ",")
 	}
 	if key.method != core.MethodFM {
 		key.fmPasses = 0
@@ -181,10 +195,12 @@ type cacheEntry struct {
 	cancelled bool
 }
 
-// configKey fingerprints the machine and port-model configuration a
-// measurement depends on, so cached results can never leak across
-// architecture variants.
-func configKey(mode alloc.Mode) string {
+// configKeySpec fingerprints the machine and port-model configuration
+// a measurement depends on, so cached results can never leak across
+// architecture variants. A non-default bank spec appends an "hw="
+// geometry term (and its own unit count); the classic machine's string
+// is unchanged, preserving every existing cache and checkpoint key.
+func configKeySpec(mode alloc.Mode, spec machine.BankSpec) string {
 	ports := machine.PortsBanked
 	switch mode {
 	case alloc.Ideal:
@@ -192,8 +208,13 @@ func configKey(mode alloc.Mode) string {
 	case alloc.LowOrder:
 		ports = machine.PortsLowOrder
 	}
-	return fmt.Sprintf("units=%d;bank=%d;stack=%d;ports=%v",
-		machine.NumUnits, machine.BankWords, machine.StackWords, ports)
+	n := spec.Norm()
+	s := fmt.Sprintf("units=%d;bank=%d;stack=%d;ports=%v",
+		n.NumUnits(), machine.BankWords, machine.StackWords, ports)
+	if !n.IsDefault() {
+		s += ";hw=" + n.String()
+	}
+	return s
 }
 
 // Fingerprint returns the machine and port-model configuration string
@@ -201,7 +222,13 @@ func configKey(mode alloc.Mode) string {
 // cache keys on. The explorer's on-disk checkpoint store includes it
 // in its content-addressed keys so checkpoints never leak across
 // architecture variants.
-func Fingerprint(mode alloc.Mode) string { return configKey(mode) }
+func Fingerprint(mode alloc.Mode) string { return configKeySpec(mode, machine.BankSpec{}) }
+
+// FingerprintSpec is Fingerprint for an explicit bank geometry; the
+// zero spec reproduces Fingerprint exactly.
+func FingerprintSpec(mode alloc.Mode, spec machine.BankSpec) string {
+	return configKeySpec(mode, spec)
+}
 
 // NewHarness returns a harness running at most parallel concurrent
 // jobs (values below 1 are treated as 1).

@@ -76,6 +76,26 @@ func TestClusterDifferential(t *testing.T) {
 		}
 	}
 
+	// Multi-bank keys route and memoize like classic ones: the machine
+	// geometry is part of the memo key, so a 4-bank request and its
+	// classic twin are distinct cluster keys with distinct answers.
+	hwBodies := []string{
+		`{"bench":"latnrm_8_1","mode":"CB","banks":4}`,
+		`{"bench":"latnrm_8_1","mode":"CB","banks":2,"ports":2}`,
+		`{"bench":"latnrm_8_1","mode":"CB"}`,
+	}
+	for i, body := range hwBodies {
+		sc, sdata := postJSON(t, ss.URL+"/v1/run", body)
+		cc, cdata := postJSON(t, lc.URL(i%lc.N())+"/v1/run", body)
+		if sc != cc || sc != http.StatusOK {
+			t.Fatalf("%s: single status %d, cluster status %d: %s", body, sc, cc, sdata)
+		}
+		sn, cn := normalizeRun(t, sdata), normalizeRun(t, cdata)
+		if !bytes.Equal(sn, cn) {
+			t.Errorf("%s:\nsingle  %s\ncluster %s", body, sn, cn)
+		}
+	}
+
 	// The exploration differential: same submission, byte-identical
 	// frontier. The explorer is deterministic and the cluster tier
 	// passes explorations through untouched, so no normalization at all.

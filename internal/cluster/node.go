@@ -164,6 +164,7 @@ func (n *Node) RunKey(j serve.Job) string {
 	return bench.CacheKey(j.Prog, j.Mode, bench.RunOptions{
 		Partitioner: j.Method,
 		FMPasses:    j.FMPasses, Profiled: j.Profiled, DupOnly: j.DupOnly,
+		Banks: j.Banks, Ports: j.Ports,
 		Engine: n.effectiveEngine(j),
 	})
 }

@@ -46,11 +46,11 @@ func TestScheduleBlockZeroAlloc(t *testing.T) {
 	_, blk := allocTestBlock()
 	s := new(Scratch)
 	cfg := Config{Ports: machine.PortsBanked}
-	if _, err := s.scheduleBlock(blk, cfg); err != nil { // warm the scratch
+	if _, err := s.scheduleBlock(blk, cfg, nil); err != nil { // warm the scratch
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		if _, err := s.scheduleBlock(blk, cfg); err != nil {
+		if _, err := s.scheduleBlock(blk, cfg, nil); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -99,13 +99,13 @@ func BenchmarkScheduleBlock(b *testing.B) {
 	_, blk := allocTestBlock()
 	s := new(Scratch)
 	cfg := Config{Ports: machine.PortsBanked}
-	if _, err := s.scheduleBlock(blk, cfg); err != nil {
+	if _, err := s.scheduleBlock(blk, cfg, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.scheduleBlock(blk, cfg); err != nil {
+		if _, err := s.scheduleBlock(blk, cfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,9 +17,11 @@ import (
 
 // Instr is one VLIW long instruction: at most one operation per
 // functional unit, all executing in a single cycle with operands read
-// before results are written.
+// before results are written. The slot array is sized for the widest
+// machine in the generalized family (machine.MaxUnits); on the default
+// 2-bank machine only the classic nine slots are ever occupied.
 type Instr struct {
-	Slots [machine.NumUnits]*ir.Op
+	Slots [machine.MaxUnits]*ir.Op
 }
 
 // Ops returns the instruction's operations in unit order.
@@ -62,6 +64,9 @@ type Program struct {
 	Src   *ir.Program
 	Funcs map[string]*Func
 	Ports machine.PortModel
+	// Spec is the bank/port geometry the program was scheduled for;
+	// the zero value is the classic 2-bank, 1-port machine.
+	Spec machine.BankSpec
 }
 
 // StaticInstrs returns the total number of long instructions in the
@@ -80,15 +85,77 @@ func (p *Program) StaticInstrs() int {
 // Config parameterises scheduling.
 type Config struct {
 	// Ports is the memory port model: banked (MU0=X, MU1=Y) or
-	// dual-ported (Ideal).
+	// dual-ported (Ideal). Non-default Specs always use the banked
+	// model (each memory unit is one port of one bank).
 	Ports machine.PortModel
+	// Spec is the bank/port geometry; the zero value is the classic
+	// 2-bank, 1-port machine, which takes the historical scheduling
+	// path bit for bit.
+	Spec machine.BankSpec
 	// MirrorBanks flips the unit preference for operations free to use
 	// either memory unit (duplicated loads tagged BankBoth): MU1 is
 	// tried before MU0. Set when the allocation ran with swapped banks,
 	// it makes the schedule of a mirrored allocation the exact mirror
 	// of the unmirrored one — the swap-invariance the metamorphic tests
 	// assert would otherwise be broken by the fixed MU0-first order.
+	// It is sugar for BankPerm = {1, 0} (plus identity beyond bank 1).
 	MirrorBanks bool
+	// BankPerm generalizes MirrorBanks to an arbitrary bank
+	// permutation: the unit preference for bank-free operations tries
+	// banks in BankPerm order (BankPerm[0]'s units first). Nil means
+	// identity. Set when the allocation ran under the same permutation,
+	// it makes the schedule of a permuted allocation the exact
+	// permutation image of the original — the k-ary generalization of
+	// the swap-invariance above.
+	BankPerm []int
+}
+
+// specUnits is the per-Config unit-preference table for non-default
+// bank specs, built once per ScheduleWith (and per Validate) so the
+// per-operation unitsFor lookup stays allocation-free.
+type specUnits struct {
+	// forBank[b] lists the memory units wired to bank b, ordinal order.
+	forBank [][]machine.Unit
+	// anyBank is the preference order for bank-free operations
+	// (duplicated loads tagged BankBoth): banks in permutation order,
+	// each bank's ports in ordinal order.
+	anyBank []machine.Unit
+}
+
+// normalize resolves the Config's spec/permutation pair: it returns
+// nil for configurations the historical 2-bank scheduler handles
+// (possibly after folding BankPerm {1,0} into MirrorBanks), and a
+// freshly built specUnits table otherwise.
+func (cfg *Config) normalize() *specUnits {
+	perm := cfg.BankPerm
+	if cfg.Spec.IsDefault() {
+		switch {
+		case perm == nil, len(perm) == 2 && perm[0] == 0 && perm[1] == 1:
+			return nil
+		case len(perm) == 2 && perm[0] == 1 && perm[1] == 0:
+			cfg.MirrorBanks = true
+			cfg.BankPerm = nil
+			return nil
+		}
+	}
+	spec := cfg.Spec.Norm()
+	if perm == nil {
+		perm = make([]int, spec.Banks)
+		for i := range perm {
+			perm[i] = i
+		}
+		if cfg.MirrorBanks && spec.Banks >= 2 {
+			perm[0], perm[1] = 1, 0
+		}
+	}
+	su := &specUnits{forBank: make([][]machine.Unit, spec.Banks)}
+	for b := 0; b < spec.Banks; b++ {
+		su.forBank[b] = spec.UnitsForBankIndex(b)
+	}
+	for _, b := range perm {
+		su.anyBank = append(su.anyBank, su.forBank[b]...)
+	}
+	return su
 }
 
 // Scratch holds the scheduler's reusable working state: the
@@ -141,11 +208,12 @@ func ScheduleWith(p *ir.Program, cfg Config, s *Scratch) (*Program, error) {
 	if s == nil {
 		s = new(Scratch)
 	}
-	out := &Program{Src: p, Funcs: make(map[string]*Func, len(p.Funcs)), Ports: cfg.Ports}
+	su := cfg.normalize()
+	out := &Program{Src: p, Funcs: make(map[string]*Func, len(p.Funcs)), Ports: cfg.Ports, Spec: cfg.Spec}
 	for _, f := range p.Funcs {
 		sf := &Func{Src: f, Blocks: make([]*Block, 0, len(f.Blocks))}
 		for _, b := range f.Blocks {
-			n, err := s.scheduleBlock(b, cfg)
+			n, err := s.scheduleBlock(b, cfg, su)
 			if err != nil {
 				return nil, fmt.Errorf("compact %s %s: %w", f.Name, b, err)
 			}
@@ -161,11 +229,23 @@ func ScheduleWith(p *ir.Program, cfg Config, s *Scratch) (*Program, error) {
 var unitsMemoryMirror = []machine.Unit{machine.MU1, machine.MU0}
 
 // unitsFor lists the functional units that may execute op, most
-// preferred first. The returned slice is shared and read-only.
-func unitsFor(op *ir.Op, cfg Config) []machine.Unit {
+// preferred first. The returned slice is shared and read-only. su is
+// nil on the default 2-bank machine (the historical path) and the
+// prebuilt preference table otherwise.
+func unitsFor(op *ir.Op, cfg Config, su *specUnits) []machine.Unit {
 	cls := op.Kind.Class()
 	if cls != machine.ClassMemory {
 		return machine.UnitsOf(cls)
+	}
+	if su != nil {
+		if b := op.Bank.Index(); b >= 0 {
+			return su.forBank[b]
+		}
+		if op.Bank == machine.BankBoth {
+			return su.anyBank
+		}
+		// Unassigned data lives in bank 0 (the baseline layout).
+		return su.forBank[0]
 	}
 	units := cfg.Ports.UnitsForBank(op.Bank)
 	if cfg.MirrorBanks && len(units) == 2 {
@@ -179,7 +259,7 @@ func unitsFor(op *ir.Op, cfg Config) []machine.Unit {
 // it performs no heap allocations: the dependence graph, bookkeeping
 // arrays, and instruction storage are all reused (enforced by
 // TestScheduleBlockZeroAlloc).
-func (s *Scratch) scheduleBlock(b *ir.Block, cfg Config) (int, error) {
+func (s *Scratch) scheduleBlock(b *ir.Block, cfg Config, su *specUnits) (int, error) {
 	g := s.ddg.Build(b)
 	n := len(g.Ops)
 	s.arena = s.arena[:0]
@@ -268,8 +348,8 @@ func (s *Scratch) scheduleBlock(b *ir.Block, cfg Config) (int, error) {
 					if j < 0 || s.scheduled[j] || s.inDRS[j] != s.drsEpoch || !s.compatible(g, j, cycle) {
 						continue
 					}
-					if s.place(g, instr, cfg, i, cycle) {
-						if s.place(g, instr, cfg, j, cycle) {
+					if s.place(g, instr, cfg, su, i, cycle) {
+						if s.place(g, instr, cfg, su, j, cycle) {
 							placed = true
 						} else {
 							// Undo: both halves wait for the next cycle.
@@ -285,7 +365,7 @@ func (s *Scratch) scheduleBlock(b *ir.Block, cfg Config) (int, error) {
 					}
 					continue
 				}
-				if s.place(g, instr, cfg, i, cycle) {
+				if s.place(g, instr, cfg, su, i, cycle) {
 					placed = true
 				}
 			}
@@ -313,8 +393,8 @@ func (s *Scratch) compatible(g *ddg.Graph, i, cycle int) bool {
 }
 
 // place puts op i into the first free unit that can execute it.
-func (s *Scratch) place(g *ddg.Graph, instr *Instr, cfg Config, i, cycle int) bool {
-	for _, u := range unitsFor(g.Ops[i], cfg) {
+func (s *Scratch) place(g *ddg.Graph, instr *Instr, cfg Config, su *specUnits, i, cycle int) bool {
+	for _, u := range unitsFor(g.Ops[i], cfg, su) {
 		if instr.Slots[u] == nil {
 			instr.Slots[u] = g.Ops[i]
 			s.scheduled[i] = true
@@ -346,6 +426,8 @@ func (s *Scratch) seal(b *ir.Block, n int) *Block {
 // constraints; tests run it over every compiled benchmark.
 func Validate(p *Program) error {
 	var bu ddg.Builder // reused across blocks; the graph is read per block
+	vcfg := Config{Ports: p.Ports, Spec: p.Spec}
+	vsu := vcfg.normalize()
 	for name, f := range p.Funcs {
 		for _, sb := range f.Blocks {
 			cycle := make(map[*ir.Op]int)
@@ -357,7 +439,7 @@ func Validate(p *Program) error {
 					cycle[op] = c
 					cls := op.Kind.Class()
 					okUnit := false
-					for _, au := range unitsFor(op, Config{Ports: p.Ports}) {
+					for _, au := range unitsFor(op, vcfg, vsu) {
 						if machine.Unit(u) == au {
 							okUnit = true
 						}

@@ -16,7 +16,7 @@ type Stats struct {
 	Ops    int // operations scheduled
 
 	// UnitOps[u] is the number of instructions using unit u.
-	UnitOps [machine.NumUnits]int
+	UnitOps [machine.MaxUnits]int
 
 	// MemInstrs counts instructions with at least one memory access;
 	// DualMemInstrs those with two (the exploited parallelism).
@@ -78,7 +78,13 @@ func (s Stats) String() string {
 	fmt.Fprintf(&sb, "memory instructions: %d, dual-access: %d (%.0f%%)\n",
 		s.MemInstrs, s.DualMemInstrs, 100*s.DualMemRatio())
 	sb.WriteString("unit occupancy:")
-	for u := 0; u < machine.NumUnits; u++ {
+	for u := 0; u < machine.MaxUnits; u++ {
+		// The classic nine units always print; the extra memory units
+		// of wider machines only when occupied, so default-machine
+		// output is unchanged.
+		if u >= machine.NumUnits && s.UnitOps[u] == 0 {
+			continue
+		}
 		fmt.Fprintf(&sb, " %s=%d", machine.Unit(u), s.UnitOps[u])
 	}
 	sb.WriteString("\n")

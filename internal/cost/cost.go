@@ -22,15 +22,43 @@ type Memory struct {
 	// XData and YData are each bank's data size: the duplicated region
 	// (present in both banks) plus the bank's private globals.
 	XData, YData int
-	// Stack is the static stack reservation S; both banks reserve it.
+	// Extra are the data sizes of banks beyond the classic X/Y pair,
+	// in bank order; empty on the 2-bank machine.
+	Extra []int
+	// Stack is the static stack reservation S; every bank reserves it.
 	Stack int
 	// Instr is the instruction-memory size in words (one per long
 	// instruction).
 	Instr int
+	// NBanks is the number of banks reserving the stack; 0 means the
+	// classic two, preserving the paper's 2·S term.
+	NBanks int
 }
 
 // Of computes the footprint from an allocation result and a schedule.
 func Of(a *alloc.Result, sched *compact.Program) Memory {
+	if a.GlobalBank != nil {
+		// k-way allocation: one data term per bank, stack reserved in
+		// every bank.
+		k := len(a.GlobalBank)
+		s := 0
+		for _, st := range a.StackBank {
+			if st > s {
+				s = st
+			}
+		}
+		m := Memory{
+			XData:  a.DupWords + a.GlobalBank[0],
+			YData:  a.DupWords + a.GlobalBank[1],
+			Stack:  s,
+			Instr:  sched.StaticInstrs(),
+			NBanks: k,
+		}
+		for b := 2; b < k; b++ {
+			m.Extra = append(m.Extra, a.DupWords+a.GlobalBank[b])
+		}
+		return m
+	}
 	s := a.StackX
 	if a.StackY > s {
 		s = a.StackY
@@ -43,8 +71,20 @@ func Of(a *alloc.Result, sched *compact.Program) Memory {
 	}
 }
 
-// Total evaluates the cost model.
-func (m Memory) Total() int { return m.XData + m.YData + 2*m.Stack + m.Instr }
+// Total evaluates the cost model, generalized to k banks: every bank's
+// data plus k·S plus instruction memory (the paper's X + Y + 2·S + I
+// on the classic machine).
+func (m Memory) Total() int {
+	nb := m.NBanks
+	if nb < 2 {
+		nb = 2
+	}
+	t := m.XData + m.YData + nb*m.Stack + m.Instr
+	for _, e := range m.Extra {
+		t += e
+	}
+	return t
+}
 
 // Metrics bundles the Table 3 quantities for one technique relative to
 // the unoptimized (single-bank) reference.

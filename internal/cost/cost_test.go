@@ -36,8 +36,8 @@ func TestCompareProperties(t *testing.T) {
 	f := func(baseCycles, cycles uint16, bx, by, bs, bi, ox, oy, os, oi uint8) bool {
 		bc := int64(baseCycles) + 1
 		cc := int64(cycles) + 1
-		base := Memory{int(bx) + 1, int(by), int(bs), int(bi) + 1}
-		opt := Memory{int(ox) + 1, int(oy), int(os), int(oi) + 1}
+		base := Memory{XData: int(bx) + 1, YData: int(by), Stack: int(bs), Instr: int(bi) + 1}
+		opt := Memory{XData: int(ox) + 1, YData: int(oy), Stack: int(os), Instr: int(oi) + 1}
 		m := Compare(bc, cc, base, opt)
 		if m.PG <= 0 || m.CI <= 0 {
 			return false

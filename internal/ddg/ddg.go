@@ -279,10 +279,7 @@ func (g *Graph) addEdge(from, to int, strict bool) {
 // parallel with the original. Untagged accesses (before allocation, or
 // duplicated loads tagged BankBoth) conflict conservatively.
 func banksConflict(a, b machine.Bank) bool {
-	if a == machine.BankX && b == machine.BankY {
-		return false
-	}
-	if a == machine.BankY && b == machine.BankX {
+	if a.IsSingle() && b.IsSingle() && a != b {
 		return false
 	}
 	return true

@@ -9,6 +9,7 @@ import (
 	"dualbank/internal/alloc"
 	"dualbank/internal/bench"
 	"dualbank/internal/core"
+	"dualbank/internal/machine"
 )
 
 // Config is one point of the explorer's design space: the knobs the
@@ -32,14 +33,26 @@ type Config struct {
 	// Dup, when non-empty, is an explicit duplication subset (sorted).
 	// Mutually exclusive with DupAll.
 	Dup []string `json:"dup,omitempty"`
+	// Banks and Ports are the hardware axis: bank count and ports per
+	// bank. Zero values are the classic 2-bank, single-ported machine
+	// (and 2/1 canonicalize to zero), so classic design points render
+	// the same keys they always did.
+	Banks int `json:"banks,omitempty"`
+	Ports int `json:"ports,omitempty"`
 }
 
 // Canon returns the canonical form of c: irrelevant knobs zeroed and
 // the duplication set sorted and deduplicated, so equal design points
 // always render equal keys.
 func (c Config) Canon() Config {
+	if c.Banks == 2 {
+		c.Banks = 0
+	}
+	if c.Ports == 1 {
+		c.Ports = 0
+	}
 	if c.Single {
-		return Config{Single: true}
+		return Config{Single: true, Banks: c.Banks, Ports: c.Ports}
 	}
 	if c.Part != core.MethodFM {
 		c.FMPasses = 0
@@ -64,26 +77,38 @@ func (c Config) Canon() Config {
 // the wire schema all use.
 func (c Config) Key() string {
 	c = c.Canon()
-	if c.Single {
-		return "single"
-	}
 	var sb strings.Builder
-	sb.WriteString("part=")
-	sb.WriteString(c.Part.String())
-	if c.FMPasses != 0 {
-		fmt.Fprintf(&sb, ";fmp=%d", c.FMPasses)
+	if c.Single {
+		sb.WriteString("single")
+	} else {
+		sb.WriteString("part=")
+		sb.WriteString(c.Part.String())
+		if c.FMPasses != 0 {
+			fmt.Fprintf(&sb, ";fmp=%d", c.FMPasses)
+		}
+		if c.Profiled {
+			sb.WriteString(";prof")
+		}
+		switch {
+		case c.DupAll:
+			sb.WriteString(";dup=all")
+		case len(c.Dup) > 0:
+			sb.WriteString(";dup=")
+			sb.WriteString(strings.Join(c.Dup, ","))
+		}
 	}
-	if c.Profiled {
-		sb.WriteString(";prof")
-	}
-	switch {
-	case c.DupAll:
-		sb.WriteString(";dup=all")
-	case len(c.Dup) > 0:
-		sb.WriteString(";dup=")
-		sb.WriteString(strings.Join(c.Dup, ","))
+	if c.Banks != 0 || c.Ports != 0 {
+		// The hardware term appears only off the classic machine, so
+		// every historical key is unchanged.
+		fmt.Fprintf(&sb, ";hw=%s", c.Spec().Norm())
 	}
 	return sb.String()
+}
+
+// Spec returns the machine geometry of the design point (the zero
+// value for the classic machine).
+func (c Config) Spec() machine.BankSpec {
+	return machine.BankSpec{Banks: c.Banks, PortsPerBank: c.Ports}
 }
 
 // ParseConfig inverts Key. It accepts exactly the strings Key renders
@@ -98,6 +123,8 @@ func ParseConfig(s string) (Config, error) {
 	for _, field := range strings.Split(s, ";") {
 		k, v, _ := strings.Cut(field, "=")
 		switch k {
+		case "single":
+			c.Single = true
 		case "part":
 			m, err := core.ParseMethod(v)
 			if err != nil {
@@ -116,9 +143,19 @@ func ParseConfig(s string) (Config, error) {
 			} else {
 				c.Dup = strings.Split(v, ",")
 			}
+		case "hw":
+			if _, err := fmt.Sscanf(v, "%dx%d", &c.Banks, &c.Ports); err != nil {
+				return Config{}, fmt.Errorf("explore: config %q: bad hw %q", s, v)
+			}
+			if err := c.Spec().Validate(); err != nil {
+				return Config{}, fmt.Errorf("explore: config %q: %w", s, err)
+			}
 		default:
 			return Config{}, fmt.Errorf("explore: config %q: unknown field %q", s, field)
 		}
+	}
+	if c.Single {
+		return Config{Single: true, Banks: c.Banks, Ports: c.Ports}.Canon(), nil
 	}
 	if !sawPart {
 		return Config{}, fmt.Errorf("explore: config %q: missing part=", s)
@@ -143,7 +180,10 @@ func (c Config) Mode() alloc.Mode {
 // options.
 func (c Config) RunOptions() bench.RunOptions {
 	c = c.Canon()
-	ro := bench.RunOptions{Partitioner: c.Part, FMPasses: c.FMPasses, Profiled: c.Profiled}
+	ro := bench.RunOptions{
+		Partitioner: c.Part, FMPasses: c.FMPasses, Profiled: c.Profiled,
+		Banks: c.Banks, Ports: c.Ports,
+	}
 	if !c.Single && !c.DupAll && c.Dup != nil {
 		ro.DupOnly = c.Dup
 	}

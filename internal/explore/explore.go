@@ -28,6 +28,7 @@ import (
 	"dualbank/internal/bench"
 	"dualbank/internal/cost"
 	"dualbank/internal/explore/store"
+	"dualbank/internal/machine"
 	"dualbank/internal/pipeline"
 )
 
@@ -99,6 +100,22 @@ type Options struct {
 	// Progress, when non-nil, receives one Event per finished
 	// evaluation, serialized (never concurrently).
 	Progress func(Event)
+	// Banks and Ports pin the exploration to one machine geometry
+	// (stamped onto every candidate configuration). Zero values explore
+	// the classic dual-bank, single-ported machine, byte-identical to
+	// the pre-generalization explorer.
+	Banks, Ports int
+}
+
+// hw is the hardware-cost annotation for the exploration's machine: 0
+// on the classic machine (keeping historical report bytes), the spec's
+// HardwareCost otherwise.
+func (o Options) hw() int {
+	s := machine.BankSpec{Banks: o.Banks, PortsPerBank: o.Ports}
+	if s.IsDefault() {
+		return 0
+	}
+	return s.HardwareCost()
 }
 
 func (o Options) withDefaults() Options {
@@ -261,7 +278,7 @@ func Explore(ctx context.Context, progs []bench.Program, opts Options) (*Report,
 				costWords += ev.Mem.Total()
 			}
 			if shared {
-				f.Add(point(key, cycles, costWords, baseCycles, baseCost))
+				f.Add(point(key, cycles, costWords, baseCycles, baseCost, opts.hw()))
 			}
 		}
 		rep.Suite = f.Points()
@@ -269,11 +286,12 @@ func Explore(ctx context.Context, progs []bench.Program, opts Options) (*Report,
 	return rep, nil
 }
 
-// point builds a frontier point with its Table 3 metrics.
-func point(key string, cycles int64, costWords int, baseCycles int64, baseCost int) Point {
+// point builds a frontier point with its Table 3 metrics. hw is the
+// machine's hardware-cost annotation (0 on the classic machine).
+func point(key string, cycles int64, costWords int, baseCycles int64, baseCost int, hw int) Point {
 	pg := float64(baseCycles) / float64(cycles)
 	ci := float64(costWords) / float64(baseCost)
-	return Point{Config: key, Cycles: cycles, Cost: costWords, PG: pg, CI: ci, PCR: pg / ci}
+	return Point{Config: key, Cycles: cycles, Cost: costWords, HW: hw, PG: pg, CI: ci, PCR: pg / ci}
 }
 
 // exploreBench searches one benchmark's space.
@@ -287,6 +305,15 @@ func (e *engine) exploreBench(ctx context.Context, p bench.Program) (*BenchRepor
 	}
 
 	configs := enumerate(marked, arrays, e.opts.ExactK)
+	// The hardware axis is a fixed stamp, not a search dimension: every
+	// candidate runs on the exploration's machine. (ExploreHW sweeps
+	// geometries by running this per-geometry search once per point.)
+	if e.opts.Banks != 0 || e.opts.Ports != 0 {
+		for i := range configs {
+			configs[i].Banks, configs[i].Ports = e.opts.Banks, e.opts.Ports
+			configs[i] = configs[i].Canon()
+		}
+	}
 	exhaustive := len(arrays) <= e.opts.ExactK && len(configs) <= e.opts.Budget
 	if len(configs) > e.opts.Budget {
 		configs = configs[:e.opts.Budget]
@@ -326,6 +353,8 @@ func (e *engine) hillClimb(ctx context.Context, p bench.Program, arrays []string
 	// Carrier: the feasible non-duplication configuration with the
 	// fewest cycles (ties by key), stripped to its partitioning knobs.
 	carrier := FixedCB
+	carrier.Banks, carrier.Ports = e.opts.Banks, e.opts.Ports
+	carrier = carrier.Canon()
 	bestCycles := int64(-1)
 	var bestSet []string
 	bestSetCycles := int64(-1)
@@ -439,6 +468,9 @@ func (e *engine) reportBench(p bench.Program, marked, arrays []string, evals []E
 		DupMarked:      marked,
 		Exhaustive:     exhaustive,
 	}
+	cbRef := FixedCB
+	cbRef.Banks, cbRef.Ports = e.opts.Banks, e.opts.Ports
+	cbKey := cbRef.Key()
 	var f Frontier
 	var cb, best Point
 	haveCB, haveBest := false, false
@@ -454,9 +486,9 @@ func (e *engine) reportBench(p bench.Program, marked, arrays []string, evals []E
 			br.Infeasible++
 			continue
 		}
-		pt := point(ev.Key, ev.Cycles, ev.Mem.Total(), baseCycles, baseCost)
+		pt := point(ev.Key, ev.Cycles, ev.Mem.Total(), baseCycles, baseCost, e.opts.hw())
 		f.Add(pt)
-		if ev.Key == FixedCB.Key() {
+		if ev.Key == cbKey {
 			cb, haveCB = pt, true
 		}
 		if !haveBest || pt.Cycles < best.Cycles {
@@ -582,14 +614,18 @@ func (e *engine) fromStore(p bench.Program, c Config) (Eval, bool) {
 	if e.opts.Store == nil || e.opts.NoResume {
 		return Eval{}, false
 	}
-	rec, ok := e.opts.Store.Get(store.Key(p.Name, c.Key(), bench.Fingerprint(c.Mode())))
+	rec, ok := e.opts.Store.Get(store.Key(p.Name, c.Key(), bench.FingerprintSpec(c.Mode(), c.Spec())))
 	if !ok {
 		return Eval{}, false
 	}
 	ev := Eval{
 		Config: c, Key: c.Key(),
-		Cycles:     rec.Cycles,
-		Mem:        cost.Memory{XData: rec.MemXData, YData: rec.MemYData, Stack: rec.MemStack, Instr: rec.MemInstr},
+		Cycles: rec.Cycles,
+		Mem: cost.Memory{
+			XData: rec.MemXData, YData: rec.MemYData,
+			Extra: rec.MemExtra, NBanks: rec.MemNBanks,
+			Stack: rec.MemStack, Instr: rec.MemInstr,
+		},
 		DupStores:  rec.DupStores,
 		Duplicated: rec.Duplicated,
 		Err:        rec.Err,
@@ -626,10 +662,11 @@ func (e *engine) record(ctx context.Context, p bench.Program, c Config, res benc
 		rec := store.Record{
 			Bench: p.Name, Config: ev.Key, Cycles: ev.Cycles,
 			MemXData: ev.Mem.XData, MemYData: ev.Mem.YData,
+			MemExtra: ev.Mem.Extra, MemNBanks: ev.Mem.NBanks,
 			MemStack: ev.Mem.Stack, MemInstr: ev.Mem.Instr,
 			DupStores: ev.DupStores, Duplicated: ev.Duplicated, Err: ev.Err,
 		}
-		if err := e.opts.Store.Put(store.Key(p.Name, ev.Key, bench.Fingerprint(c.Mode())), rec); err != nil {
+		if err := e.opts.Store.Put(store.Key(p.Name, ev.Key, bench.FingerprintSpec(c.Mode(), c.Spec())), rec); err != nil {
 			return Eval{}, err
 		}
 	}

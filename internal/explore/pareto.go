@@ -11,6 +11,11 @@ type Point struct {
 	Config string `json:"config"`
 	Cycles int64  `json:"cycles"`
 	Cost   int    `json:"cost"`
+	// HW is the machine's hardware-cost annotation — the third axis of
+	// the architecture sweep. It is 0 on the classic dual-bank machine
+	// (and then absent from the JSON), so classic reports render the
+	// bytes they always did.
+	HW int `json:"hw,omitempty"`
 
 	PG  float64 `json:"pg"`
 	CI  float64 `json:"ci"`

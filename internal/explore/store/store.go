@@ -44,6 +44,11 @@ type Record struct {
 	MemYData int `json:"mem_y_data"`
 	MemStack int `json:"mem_stack"`
 	MemInstr int `json:"mem_instr"`
+	// MemExtra and MemNBanks carry the k-way footprint terms for
+	// multi-bank design points; both are absent from classic records,
+	// whose on-disk bytes are unchanged.
+	MemExtra  []int `json:"mem_extra,omitempty"`
+	MemNBanks int   `json:"mem_nbanks,omitempty"`
 
 	DupStores  int      `json:"dup_stores"`
 	Duplicated []string `json:"duplicated,omitempty"`

@@ -16,6 +16,7 @@ import (
 	"dualbank/internal/compact"
 	"dualbank/internal/cost"
 	"dualbank/internal/genmc"
+	"dualbank/internal/machine"
 	"dualbank/internal/pipeline"
 )
 
@@ -36,7 +37,10 @@ type Options struct {
 	// Workers bounds verification parallelism (default GOMAXPROCS).
 	Workers int
 	// Metamorphic also checks the three invariances (identifier rename,
-	// declaration permutation, bank swap) on every program.
+	// declaration permutation, bank swap) on every program, plus the
+	// multi-bank gauntlet: each program re-verified on a 4-bank, 2-port
+	// machine across all three engines with the oracle cross-check and
+	// a k-ary bank-permutation invariance.
 	Metamorphic bool
 	// Progress, when non-nil, is called after each program completes.
 	Progress func(done, total int)
@@ -156,26 +160,30 @@ func engines(ctx context.Context, gp genmc.Program, c *pipeline.Compiled, cc *pi
 		}
 	}
 
-	// Full-image pinning: fast covers the whole bank; the compiled
-	// arenas cover the used prefix, beyond which the reference must
-	// have left zeroes (same discipline as the differential suite).
-	for i := range ref.X {
-		if fast.X[i] != ref.X[i] || fast.Y[i] != ref.Y[i] {
-			fail("fast image diverges at word %#x", i)
-			break
+	// Full-image pinning across every bank (two on the classic machine,
+	// more under a multi-bank spec): fast covers the whole bank; the
+	// compiled arenas cover the used prefix, beyond which the reference
+	// must have left zeroes (same discipline as the differential suite).
+	for b := range ref.Banks {
+		rb, fb, cb := ref.Banks[b], fast.Banks[b], cm.Banks[b]
+		for i := range rb {
+			if fb[i] != rb[i] {
+				fail("fast image diverges in bank %d at word %#x", b, i)
+				break
+			}
 		}
-	}
-	n := len(cm.X)
-	for i := 0; i < n; i++ {
-		if cm.X[i] != ref.X[i] || cm.Y[i] != ref.Y[i] {
-			fail("compiled image diverges at word %#x", i)
-			break
+		n := len(cb)
+		for i := 0; i < n; i++ {
+			if cb[i] != rb[i] {
+				fail("compiled image diverges in bank %d at word %#x", b, i)
+				break
+			}
 		}
-	}
-	for i := n; i < len(ref.X); i++ {
-		if ref.X[i] != 0 || ref.Y[i] != 0 {
-			fail("reference wrote word %#x beyond the compiled arena (%d words)", i, n)
-			break
+		for i := n; i < len(rb); i++ {
+			if rb[i] != 0 {
+				fail("reference wrote bank %d word %#x beyond the compiled arena (%d words)", b, i, n)
+				break
+			}
 		}
 	}
 
@@ -285,6 +293,31 @@ func VerifyProgram(ctx context.Context, gp genmc.Program, cc *pipeline.Compiler,
 					fails = append(fails, fmt.Sprintf("%s/%v: %s changed cycles: %d -> %d",
 						gp.Name, mode, v.label, base[mode], got))
 				}
+			}
+		}
+
+		// Multi-bank gauntlet: the same program compiled for a 4-bank,
+		// 2-port machine must verify on all three engines against the
+		// generator's oracle, and its cycle count must be invariant
+		// under a k-ary bank permutation (the generalization of the
+		// bank-swap variant above). The report's rows carry classic
+		// measurements only, so the committed baseline bytes are
+		// untouched — this gauntlet can only add failures.
+		hwSpec := machine.BankSpec{Banks: 4, PortsPerBank: 2}
+		for _, mode := range []alloc.Mode{alloc.CB, alloc.CBDup} {
+			c, err := cc.CompileCtx(ctx, gp.Source, gp.Name, pipeline.Options{Mode: mode, Spec: hwSpec})
+			if err != nil {
+				fails = append(fails, fmt.Sprintf("%s/%v: hw 4x2: compile: %v", gp.Name, mode, err))
+				continue
+			}
+			hwCycles := engines(ctx, gp, c, cc, &fails)
+			got, err := fastCycles(ctx, cc, gp.Source, gp.Name,
+				pipeline.Options{Mode: mode, Spec: hwSpec, BankPerm: []int{1, 2, 3, 0}})
+			if err != nil {
+				fails = append(fails, fmt.Sprintf("%s/%v: hw 4x2 perm: %v", gp.Name, mode, err))
+			} else if got != hwCycles {
+				fails = append(fails, fmt.Sprintf("%s/%v: hw 4x2 bank permutation changed cycles: %d -> %d",
+					gp.Name, mode, hwCycles, got))
 			}
 		}
 	}

@@ -35,6 +35,10 @@ func (b Bank) String() string {
 	case BankBoth:
 		return "XY"
 	}
+	if b >= 4 {
+		// Banks beyond the classic pair (see BankAt in spec.go).
+		return fmt.Sprintf("B%d", int(b)-2)
+	}
 	return fmt.Sprintf("Bank(%d)", int8(b))
 }
 
@@ -78,6 +82,10 @@ const (
 var unitNames = [NumUnits]string{"PCU", "MU0", "MU1", "AU0", "AU1", "DU0", "DU1", "FPU0", "FPU1"}
 
 func (u Unit) String() string {
+	if u >= NumUnits && u < MaxUnits {
+		// Memory units appended past FPU1 (see MemUnit in spec.go).
+		return fmt.Sprintf("MU%d", int(u)-NumUnits+2)
+	}
 	if u < 0 || int(u) >= NumUnits {
 		return fmt.Sprintf("Unit(%d)", int8(u))
 	}

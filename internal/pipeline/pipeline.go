@@ -14,6 +14,7 @@ import (
 	"dualbank/internal/core"
 	"dualbank/internal/ir"
 	"dualbank/internal/lower"
+	"dualbank/internal/machine"
 	"dualbank/internal/minic"
 	"dualbank/internal/opt"
 	"dualbank/internal/regalloc"
@@ -48,6 +49,15 @@ type Options struct {
 	// architecturally identical, so cycle counts must not change; the
 	// metamorphic tests compile every benchmark both ways to prove it.
 	SwapBanks bool
+	// Spec selects the machine's bank geometry (bank count × ports per
+	// bank); the zero value is the classic dual-bank, single-ported
+	// machine and reproduces the historical pipeline exactly.
+	Spec machine.BankSpec
+	// BankPerm relabels the banks by a general permutation (the k-ary
+	// form of SwapBanks, which it supersedes when non-nil): data
+	// assigned to bank i lands in bank BankPerm[i]. Cycle counts must
+	// not change; the k-ary metamorphic tests prove it.
+	BankPerm []int
 }
 
 // Compiled is the result of compiling one program.
@@ -146,6 +156,7 @@ func (cc *Compiler) CompileCtx(ctx context.Context, source, name string, o Optio
 		Mode: o.Mode, InterruptSafe: o.InterruptSafe,
 		Method: o.Partitioner, FMPasses: o.FMPasses, Profiled: profiled,
 		Scanner: &cc.scanner, SwapBanks: o.SwapBanks,
+		Spec: o.Spec, BankPerm: o.BankPerm,
 	}
 	if o.DupOnly != nil {
 		filter := o.DupOnly
@@ -156,7 +167,8 @@ func (cc *Compiler) CompileCtx(ctx context.Context, source, name string, o Optio
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	sched, err := compact.ScheduleWith(prog,
-		compact.Config{Ports: allocRes.Ports, MirrorBanks: o.SwapBanks}, &cc.scratch)
+		compact.Config{Ports: allocRes.Ports, MirrorBanks: o.SwapBanks,
+			Spec: o.Spec, BankPerm: o.BankPerm}, &cc.scratch)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}

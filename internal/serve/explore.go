@@ -13,6 +13,7 @@ import (
 	"dualbank/internal/alloc"
 	"dualbank/internal/bench"
 	"dualbank/internal/explore"
+	"dualbank/internal/machine"
 )
 
 // This file is the async exploration API: POST /v1/explore submits a
@@ -37,6 +38,11 @@ type ExploreRequest struct {
 	// Resume controls checkpoint replay when the server has a store
 	// (default true).
 	Resume *bool `json:"resume,omitempty"`
+	// Banks and Ports pin the exploration's machine geometry — the hw
+	// axis. Zero values explore the classic 2-bank, single-ported
+	// machine.
+	Banks int `json:"banks,omitempty"`
+	Ports int `json:"ports,omitempty"`
 }
 
 // ExploreStatus is the JSON body of POST /v1/explore (202) and
@@ -115,6 +121,12 @@ func (s *Server) handleExploreSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		progs = append(progs, p)
 	}
+	if req.Banks != 0 || req.Ports != 0 {
+		if err := (machine.BankSpec{Banks: req.Banks, PortsPerBank: req.Ports}).Validate(); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	budget := req.Budget
 	if budget <= 0 {
 		budget = 200
@@ -137,6 +149,8 @@ func (s *Server) handleExploreSubmit(w http.ResponseWriter, r *http.Request) {
 		ExactK:   req.ExactK,
 		Store:    s.cfg.ExploreStore,
 		NoResume: req.Resume != nil && !*req.Resume,
+		Banks:    req.Banks,
+		Ports:    req.Ports,
 		Evaluate: s.exploreEval,
 		Progress: func(ev explore.Event) {
 			s.metrics.ExploreEval(ev.Source)
@@ -185,6 +199,7 @@ func (s *Server) exploreEval(ctx context.Context, p bench.Program, mode alloc.Mo
 	return s.pool.Do(ctx, Job{
 		Prog: p, Mode: mode, Method: ro.Partitioner,
 		FMPasses: ro.FMPasses, Profiled: ro.Profiled, DupOnly: ro.DupOnly,
+		Banks: ro.Banks, Ports: ro.Ports,
 		Cacheable: true,
 	})
 }

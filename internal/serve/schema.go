@@ -19,6 +19,7 @@ import (
 	"dualbank/internal/alloc"
 	"dualbank/internal/bench"
 	"dualbank/internal/core"
+	"dualbank/internal/machine"
 )
 
 // Request is the JSON body of POST /v1/run. Exactly one of Bench (a
@@ -50,6 +51,12 @@ type Request struct {
 	// Dup names the exact arrays to duplicate instead of the paper's
 	// marked-array policy. Requires the Dup mode.
 	Dup []string `json:"dup,omitempty"`
+	// Banks and Ports select the machine geometry — data-bank count and
+	// ports per bank. Zero values are the classic 2-bank, single-ported
+	// machine. The Ideal and low-order modes model the classic machine
+	// only.
+	Banks int `json:"banks,omitempty"`
+	Ports int `json:"ports,omitempty"`
 	// Engine pins the simulation engine for this request: compiled,
 	// fast, or machine. Empty uses the server's configured engine. The
 	// cluster forwarder sets it explicitly so every node computes the
@@ -73,7 +80,11 @@ type Response struct {
 	MemYData int `json:"mem_y_data"`
 	MemStack int `json:"mem_stack"`
 	MemInstr int `json:"mem_instr"`
-	MemTotal int `json:"mem_total"`
+	// MemExtra and MemNBanks carry the extra banks' data sizes and the
+	// bank count for multi-bank requests; absent on the classic machine.
+	MemExtra  []int `json:"mem_extra,omitempty"`
+	MemNBanks int   `json:"mem_nbanks,omitempty"`
+	MemTotal  int   `json:"mem_total"`
 
 	DupStores  int      `json:"dup_stores"`
 	Duplicated []string `json:"duplicated,omitempty"`
@@ -97,6 +108,8 @@ func ResponseFor(res bench.Result, method core.Method, cached bool) Response {
 		MemYData:       res.Mem.YData,
 		MemStack:       res.Mem.Stack,
 		MemInstr:       res.Mem.Instr,
+		MemExtra:       res.Mem.Extra,
+		MemNBanks:      res.Mem.NBanks,
 		MemTotal:       res.Mem.Total(),
 		DupStores:      res.DupStores,
 		Duplicated:     res.Duplicated,
@@ -121,6 +134,9 @@ type Job struct {
 	FMPasses int
 	Profiled bool
 	DupOnly  []string
+	// Banks and Ports are the request's machine geometry (zero = the
+	// classic 2-bank, single-ported machine).
+	Banks, Ports int
 	// Engine is the request's pinned simulation engine, meaningful only
 	// when EngineSet is true (the zero Engine is a valid engine); when
 	// false the server's configured engine applies.
@@ -234,6 +250,16 @@ func (req *Request) Job(maxSource int) (Job, error) {
 	j.FMPasses = req.FMPasses
 	j.Profiled = req.Profiled
 	j.DupOnly = req.Dup
+	if req.Banks != 0 || req.Ports != 0 {
+		spec := machine.BankSpec{Banks: req.Banks, PortsPerBank: req.Ports}
+		if err := spec.Validate(); err != nil {
+			return Job{}, err
+		}
+		if !spec.IsDefault() && (j.Mode == alloc.Ideal || j.Mode == alloc.LowOrder) {
+			return Job{}, fmt.Errorf("mode %q models the classic 2-bank machine only", j.Mode)
+		}
+		j.Banks, j.Ports = req.Banks, req.Ports
+	}
 	if req.Engine != "" {
 		if j.Engine, err = bench.ParseEngine(req.Engine); err != nil {
 			return Job{}, err

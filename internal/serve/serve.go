@@ -231,6 +231,7 @@ func (s *Server) execute(ctx context.Context, cc *pipeline.Compiler, j Job) (ben
 	ro := bench.RunOptions{
 		Compiler: cc, Partitioner: j.Method,
 		FMPasses: j.FMPasses, Profiled: j.Profiled, DupOnly: j.DupOnly,
+		Banks: j.Banks, Ports: j.Ports,
 		Engine: s.engineFor(j),
 	}
 	s.metrics.EngineRun(ro.Engine.String())
@@ -263,6 +264,7 @@ func (s *Server) HasCached(j Job) bool {
 	return s.harness.Cached(j.Prog, j.Mode, bench.RunOptions{
 		Partitioner: j.Method,
 		FMPasses:    j.FMPasses, Profiled: j.Profiled, DupOnly: j.DupOnly,
+		Banks: j.Banks, Ports: j.Ports,
 		Engine: s.engineFor(j),
 	})
 }

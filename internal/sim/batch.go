@@ -21,13 +21,21 @@ type Batch struct {
 // batch.
 func (b *Batch) MachineFor(cp *CompiledProgram) *CompiledMachine {
 	m := &b.m
-	if cap(m.X) < cp.memWords {
-		m.X = make([]uint32, cp.memWords)
-		m.Y = make([]uint32, cp.memWords)
+	if cap(m.Banks) < cp.nbanks {
+		nb := make([][]uint32, cp.nbanks)
+		copy(nb, m.Banks[:cap(m.Banks)])
+		m.Banks = nb
 	} else {
-		m.X = m.X[:cp.memWords]
-		m.Y = m.Y[:cp.memWords]
+		m.Banks = m.Banks[:cp.nbanks]
 	}
+	for i := range m.Banks {
+		if cap(m.Banks[i]) < cp.memWords {
+			m.Banks[i] = make([]uint32, cp.memWords)
+		} else {
+			m.Banks[i] = m.Banks[i][:cp.memWords]
+		}
+	}
+	m.X, m.Y = m.Banks[0], m.Banks[1]
 	m.cp = cp
 	m.MaxCycles = DefaultMaxSteps
 	m.Reset()

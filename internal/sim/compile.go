@@ -70,9 +70,11 @@ type cInstr struct {
 	// one run-time-resolved access): the closures count ports and
 	// finishDyn settles the bandwidth counters and conflict stall.
 	dyn bool
-	// statPX and statPY are the statically-resolved access counts a dyn
-	// instruction contributes on top of its run-time ports.
-	statPX, statPY int8
+	// statPX and statPY are the statically-resolved bank-0/bank-1
+	// access counts a dyn instruction contributes on top of its
+	// run-time ports (the low-order model is 2-bank only); statM is the
+	// total static access count across every bank.
+	statPX, statPY, statM int8
 
 	ctrl    uint8
 	ctrlReg uint8
@@ -107,12 +109,15 @@ type CompiledProgram struct {
 	main     *cFunc
 	ports    machine.PortModel
 	lowOrder bool
+	// Bank geometry, resolved once from Prog.Spec.
+	nbanks, pports int
+	bankOf         [machine.MaxUnits]uint8
 	// memWords is the per-bank arena length: the data high-water mark
 	// of the program's symbol layout, so machines carry (and Reset
-	// restores) kilobytes instead of the architectural 2×256 KiB.
+	// restores) kilobytes instead of the architectural full banks.
 	memWords int
-	// initX and initY are the initial bank images, memWords long.
-	initX, initY []uint32
+	// initBanks are the initial bank images, memWords long each.
+	initBanks [][]uint32
 }
 
 // MemWords returns the per-bank arena length in words.
@@ -124,7 +129,7 @@ type cPend struct {
 	addr  int32
 	reg   uint8
 	isMem bool
-	bankY bool
+	bank  uint8
 }
 
 // CompiledMachine executes a compiled program. It reproduces the
@@ -137,8 +142,10 @@ type cPend struct {
 type CompiledMachine struct {
 	cp *CompiledProgram
 
-	// X and Y are the two data-memory bank arenas (MemWords long).
-	X, Y []uint32
+	// Banks are the data-memory bank arenas (MemWords long); X and Y
+	// alias Banks[0] and Banks[1] (every spec has at least two).
+	Banks [][]uint32
+	X, Y  []uint32
 	// Regs is the unified physical register file view.
 	Regs [65]uint32
 
@@ -157,7 +164,7 @@ type CompiledMachine struct {
 
 	portX, portY int32
 	fault        error
-	pend         [machine.NumUnits]cPend
+	pend         [machine.MaxUnits]cPend
 
 	cancel ctxCheck
 }
@@ -168,10 +175,18 @@ var errCycleLimit = errors.New("cycle limit exceeded")
 // Compile lowers a scheduled program for the compiled engine. The
 // program must be in physical-register form.
 func Compile(p *compact.Program) (*CompiledProgram, error) {
+	spec := p.Spec.Norm()
 	cp := &CompiledProgram{
 		Prog:     p,
 		ports:    p.Ports,
 		lowOrder: p.Ports == machine.PortsLowOrder,
+		nbanks:   spec.Banks,
+		pports:   spec.PortsPerBank,
+	}
+	for u := range cp.bankOf {
+		if i := spec.BankOfUnit(machine.Unit(u)).Index(); i >= 0 {
+			cp.bankOf[u] = uint8(i)
+		}
 	}
 
 	// Arena sizing: the allocator lays symbols out densely from word 0,
@@ -185,7 +200,7 @@ func Compile(p *compact.Program) (*CompiledProgram, error) {
 	}
 	words := high
 	if cp.lowOrder {
-		words = (high + 1) >> 1
+		words = (high + cp.nbanks - 1) / cp.nbanks
 	}
 	if words < 1 {
 		words = 1
@@ -194,28 +209,24 @@ func Compile(p *compact.Program) (*CompiledProgram, error) {
 		words = machine.BankWords
 	}
 	cp.memWords = words
-	cp.initX = make([]uint32, words)
-	cp.initY = make([]uint32, words)
+	cp.initBanks = make([][]uint32, cp.nbanks)
+	for b := range cp.initBanks {
+		cp.initBanks[b] = make([]uint32, words)
+	}
 	for _, s := range p.Src.Symbols() {
 		for i, w := range s.Init {
+			a := s.Addr + i
 			if cp.lowOrder {
-				a := s.Addr + i
-				if a&1 == 0 {
-					cp.initX[a>>1] = w
-				} else {
-					cp.initY[a>>1] = w
+				cp.initBanks[a%cp.nbanks][a/cp.nbanks] = w
+				continue
+			}
+			if s.Bank == machine.BankBoth {
+				for b := range cp.initBanks {
+					cp.initBanks[b][a] = w
 				}
 				continue
 			}
-			switch s.Bank {
-			case machine.BankY:
-				cp.initY[s.Addr+i] = w
-			case machine.BankBoth:
-				cp.initX[s.Addr+i] = w
-				cp.initY[s.Addr+i] = w
-			default:
-				cp.initX[s.Addr+i] = w
-			}
+			cp.initBanks[bankIndexOf(s.Bank, cp.nbanks)][a] = w
 		}
 	}
 
@@ -233,7 +244,7 @@ func Compile(p *compact.Program) (*CompiledProgram, error) {
 			cb := &cf.blocks[bi]
 			cb.instrs = make([]cInstr, 0, len(sb.Instrs))
 			for _, in := range sb.Instrs {
-				ci, err := lowerInstr(in, sb, funcs, p.Ports)
+				ci, err := lowerInstr(in, sb, funcs, cp)
 				if err != nil {
 					return nil, fmt.Errorf("sim: compile %s: %w", name, err)
 				}
@@ -242,10 +253,10 @@ func Compile(p *compact.Program) (*CompiledProgram, error) {
 				cb.cycles++
 				cb.nops += instrNops(in)
 				if !ci.dyn {
-					px, py := int(ci.statPX), int(ci.statPY)
-					ci.statPX, ci.statPY = 0, 0
-					cb.mem += int64(px + py)
-					if px+py >= 2 {
+					px, py, sm := int(ci.statPX), int(ci.statPY), int(ci.statM)
+					ci.statPX, ci.statPY, ci.statM = 0, 0, 0
+					cb.mem += int64(sm)
+					if sm >= 2 {
 						cb.dual++
 					}
 					if cp.lowOrder && (px > 1 || py > 1) {
@@ -279,7 +290,7 @@ func instrNops(in *compact.Instr) int64 {
 // lowerInstr lowers one long instruction: control resolution, the
 // anti-dependence analysis choosing direct vs staged form, and closure
 // generation.
-func lowerInstr(in *compact.Instr, sb *compact.Block, funcs map[string]*cFunc, ports machine.PortModel) (cInstr, error) {
+func lowerInstr(in *compact.Instr, sb *compact.Block, funcs map[string]*cFunc, cp *CompiledProgram) (cInstr, error) {
 	ci := cInstr{ctrl: cNone, succ0: -1, succ1: -1}
 	type dataOp struct {
 		op   *ir.Op
@@ -325,13 +336,13 @@ func lowerInstr(in *compact.Instr, sb *compact.Block, funcs map[string]*cFunc, p
 	}
 
 	order, ok := commitOrder(func(i int) *ir.Op { return data[i].op }, len(data))
-	lowOrder := ports == machine.PortsLowOrder
+	lowOrder := cp.lowOrder
 	if ok {
 		// Direct form: execute in the proven order, commit immediately.
 		ci.ops = make([]cOp, 0, len(data))
 		for _, di := range order {
 			d := data[di]
-			f, canFault, dyn, bank, err := lowerDirect(d.op, d.unit, ports)
+			f, canFault, dyn, bank, err := lowerDirect(d.op, d.unit, cp)
 			if err != nil {
 				return cInstr{}, err
 			}
@@ -340,10 +351,14 @@ func lowerInstr(in *compact.Instr, sb *compact.Block, funcs map[string]*cFunc, p
 			if d.op.IsMem() {
 				if dyn {
 					ci.dyn = true
-				} else if bank {
-					ci.statPY++
 				} else {
-					ci.statPX++
+					ci.statM++
+					switch bank {
+					case 0:
+						ci.statPX++
+					case 1:
+						ci.statPY++
+					}
 				}
 			}
 		}
@@ -358,7 +373,7 @@ func lowerInstr(in *compact.Instr, sb *compact.Block, funcs map[string]*cFunc, p
 	ci.ops = make([]cOp, 0, len(data))
 	ci.canFault = true
 	for k, d := range data {
-		po, err := predecodeOp(d.op, d.unit, ports)
+		po, err := predecodeOp(d.op, d.unit, cp.ports, &cp.bankOf, cp.nbanks)
 		if err != nil {
 			return cInstr{}, err
 		}
@@ -366,10 +381,14 @@ func lowerInstr(in *compact.Instr, sb *compact.Block, funcs map[string]*cFunc, p
 		if d.op.IsMem() {
 			if lowOrder {
 				ci.dyn = true
-			} else if po.bankY {
-				ci.statPY++
 			} else {
-				ci.statPX++
+				ci.statM++
+				switch po.bank {
+				case 0:
+					ci.statPX++
+				case 1:
+					ci.statPY++
+				}
 			}
 		}
 	}
@@ -385,12 +404,12 @@ func lowerInstr(in *compact.Instr, sb *compact.Block, funcs map[string]*cFunc, p
 // deterministic) and whether one exists; a cyclic anti-dependence —
 // e.g. a packed register swap — has none.
 func commitOrder(op func(int) *ir.Op, n int) ([]int, bool) {
-	if n > machine.NumUnits {
+	if n > machine.MaxUnits {
 		return nil, false
 	}
-	var before [machine.NumUnits][machine.NumUnits]bool
-	var uses [machine.NumUnits][]ir.Reg
-	var buf [4 * machine.NumUnits]ir.Reg
+	var before [machine.MaxUnits][machine.MaxUnits]bool
+	var uses [machine.MaxUnits][]ir.Reg
+	var buf [4 * machine.MaxUnits]ir.Reg
 	scratch := buf[:0]
 	for i := 0; i < n; i++ {
 		start := len(scratch)
@@ -439,7 +458,7 @@ func commitOrder(op func(int) *ir.Op, n int) ([]int, bool) {
 		}
 	}
 	order := make([]int, 0, n)
-	var done [machine.NumUnits]bool
+	var done [machine.MaxUnits]bool
 	for len(order) < n {
 		picked := -1
 		for j := 0; j < n && picked < 0; j++ {
@@ -476,10 +495,10 @@ func (m *CompiledMachine) setFault(err error) {
 // lowerDirect generates the specialized immediate-commit closure for
 // one data operation. canFault reports whether the closure can set the
 // machine fault; for memory operations dyn reports a run-time-resolved
-// bank (low-order indexed access) and bank the static bank (true = Y).
-func lowerDirect(op *ir.Op, u machine.Unit, ports machine.PortModel) (f cOp, canFault, dyn, bank bool, err error) {
+// bank (low-order indexed access) and bank the static bank index.
+func lowerDirect(op *ir.Op, u machine.Unit, cp *CompiledProgram) (f cOp, canFault, dyn bool, bank uint8, err error) {
 	if op.IsMem() {
-		f, canFault, dyn, bank, err = lowerMemDirect(op, u, ports)
+		f, canFault, dyn, bank, err = lowerMemDirect(op, u, cp)
 		return
 	}
 	f, canFault, err = lowerALUDirect(op)
@@ -488,10 +507,12 @@ func lowerDirect(op *ir.Op, u machine.Unit, ports machine.PortModel) (f cOp, can
 
 // lowerMemDirect lowers a load or store. Bank resolution follows the
 // port model: the executing unit under the banked model, the
-// operation's tag under the dual-ported model, the address parity —
+// operation's tag under the dual-ported model, the address low bits —
 // static for direct accesses, run-time for indexed ones — under the
-// low-order model.
-func lowerMemDirect(op *ir.Op, u machine.Unit, ports machine.PortModel) (f cOp, canFault, dyn, bankY bool, err error) {
+// low-order model. Banks 0 and 1 get closures over the dedicated X/Y
+// aliases, exactly the classic machine's code; wider specs index the
+// bank table.
+func lowerMemDirect(op *ir.Op, u machine.Unit, cp *CompiledProgram) (f cOp, canFault, dyn bool, bank uint8, err error) {
 	base := int32(op.Sym.Addr)
 	size := int32(op.Sym.Size)
 	load := op.Kind == ir.OpLoad
@@ -502,37 +523,42 @@ func lowerMemDirect(op *ir.Op, u machine.Unit, ports machine.PortModel) (f cOp, 
 		idx = uint8(op.Idx)
 	}
 
-	lowOrder := ports == machine.PortsLowOrder
-	switch ports {
+	lowOrder := cp.lowOrder
+	switch cp.ports {
 	case machine.PortsBanked:
-		bankY = machine.BankOfUnit(u) == machine.BankY
+		bank = cp.bankOf[u]
 	case machine.PortsDualPorted:
-		bankY = op.Bank == machine.BankY
+		bank = uint8(bankIndexOf(op.Bank, cp.nbanks))
 	}
 
 	if idx == 0 {
 		// Direct access: the address — and under the low-order model
-		// its parity — is a lowering-time constant.
+		// its bank — is a lowering-time constant.
 		if size < 1 {
 			serr := fmt.Errorf("index 0 out of range (size %d)", size)
-			return func(m *CompiledMachine) { m.setFault(serr) }, true, false, bankY, nil
+			return func(m *CompiledMachine) { m.setFault(serr) }, true, false, bank, nil
 		}
 		addr := base
 		if lowOrder {
-			bankY = addr&1 != 0
-			addr >>= 1
+			bank = uint8(int(addr) % cp.nbanks)
+			addr = int32(int(addr) / cp.nbanks)
 		}
+		bk := int(bank)
 		switch {
-		case load && bankY:
+		case load && bank == 1:
 			f = func(m *CompiledMachine) { m.Regs[dst] = m.Y[addr] }
-		case load:
+		case load && bank == 0:
 			f = func(m *CompiledMachine) { m.Regs[dst] = m.X[addr] }
-		case bankY:
+		case load:
+			f = func(m *CompiledMachine) { m.Regs[dst] = m.Banks[bk][addr] }
+		case bank == 1:
 			f = func(m *CompiledMachine) { m.Y[addr] = m.Regs[val] }
-		default:
+		case bank == 0:
 			f = func(m *CompiledMachine) { m.X[addr] = m.Regs[val] }
+		default:
+			f = func(m *CompiledMachine) { m.Banks[bk][addr] = m.Regs[val] }
 		}
-		return f, false, false, bankY, nil
+		return f, false, false, bank, nil
 	}
 
 	if lowOrder {
@@ -571,11 +597,12 @@ func lowerMemDirect(op *ir.Op, u machine.Unit, ports machine.PortModel) (f cOp, 
 				}
 			}
 		}
-		return f, true, true, false, nil
+		return f, true, true, 0, nil
 	}
 
+	bk := int(bank)
 	switch {
-	case load && bankY:
+	case load && bank == 1:
 		f = func(m *CompiledMachine) {
 			i := int32(m.Regs[idx])
 			if uint32(i) >= uint32(size) {
@@ -584,7 +611,7 @@ func lowerMemDirect(op *ir.Op, u machine.Unit, ports machine.PortModel) (f cOp, 
 			}
 			m.Regs[dst] = m.Y[base+i]
 		}
-	case load:
+	case load && bank == 0:
 		f = func(m *CompiledMachine) {
 			i := int32(m.Regs[idx])
 			if uint32(i) >= uint32(size) {
@@ -593,7 +620,16 @@ func lowerMemDirect(op *ir.Op, u machine.Unit, ports machine.PortModel) (f cOp, 
 			}
 			m.Regs[dst] = m.X[base+i]
 		}
-	case bankY:
+	case load:
+		f = func(m *CompiledMachine) {
+			i := int32(m.Regs[idx])
+			if uint32(i) >= uint32(size) {
+				m.setFault(fmt.Errorf("index %d out of range (size %d)", i, size))
+				return
+			}
+			m.Regs[dst] = m.Banks[bk][base+i]
+		}
+	case bank == 1:
 		f = func(m *CompiledMachine) {
 			i := int32(m.Regs[idx])
 			if uint32(i) >= uint32(size) {
@@ -602,7 +638,7 @@ func lowerMemDirect(op *ir.Op, u machine.Unit, ports machine.PortModel) (f cOp, 
 			}
 			m.Y[base+i] = m.Regs[val]
 		}
-	default:
+	case bank == 0:
 		f = func(m *CompiledMachine) {
 			i := int32(m.Regs[idx])
 			if uint32(i) >= uint32(size) {
@@ -611,8 +647,17 @@ func lowerMemDirect(op *ir.Op, u machine.Unit, ports machine.PortModel) (f cOp, 
 			}
 			m.X[base+i] = m.Regs[val]
 		}
+	default:
+		f = func(m *CompiledMachine) {
+			i := int32(m.Regs[idx])
+			if uint32(i) >= uint32(size) {
+				m.setFault(fmt.Errorf("index %d out of range (size %d)", i, size))
+				return
+			}
+			m.Banks[bk][base+i] = m.Regs[val]
+		}
 	}
-	return f, true, false, bankY, nil
+	return f, true, false, bank, nil
 }
 
 // errDivZero is the shared division fault.
@@ -771,41 +816,36 @@ func lowerStaged(op *ir.Op, po pOp, k int, lowOrder bool) cOp {
 	case ir.OpLoad:
 		dst := uint8(op.Dst)
 		return func(m *CompiledMachine) {
-			addr, bankY, err := resolvePOp(&m.Regs, &po, lowOrder)
-			if err != nil {
-				m.setFault(err)
-				return
-			}
-			var v uint32
-			if bankY {
-				if lowOrder {
-					m.portY++
-				}
-				v = m.Y[addr]
-			} else {
-				if lowOrder {
-					m.portX++
-				}
-				v = m.X[addr]
-			}
-			m.pend[k] = cPend{val: v, reg: dst}
-		}
-	case ir.OpStore:
-		val := uint8(op.Args[0])
-		return func(m *CompiledMachine) {
-			addr, bankY, err := resolvePOp(&m.Regs, &po, lowOrder)
+			addr, bank, err := resolvePOp(&m.Regs, &po, lowOrder)
 			if err != nil {
 				m.setFault(err)
 				return
 			}
 			if lowOrder {
-				if bankY {
+				if bank == 1 {
 					m.portY++
 				} else {
 					m.portX++
 				}
 			}
-			m.pend[k] = cPend{val: m.Regs[val], addr: addr, isMem: true, bankY: bankY}
+			m.pend[k] = cPend{val: m.Banks[bank][addr], reg: dst}
+		}
+	case ir.OpStore:
+		val := uint8(op.Args[0])
+		return func(m *CompiledMachine) {
+			addr, bank, err := resolvePOp(&m.Regs, &po, lowOrder)
+			if err != nil {
+				m.setFault(err)
+				return
+			}
+			if lowOrder {
+				if bank == 1 {
+					m.portY++
+				} else {
+					m.portX++
+				}
+			}
+			m.pend[k] = cPend{val: m.Regs[val], addr: addr, isMem: true, bank: bank}
 		}
 	default:
 		dst := uint8(op.Dst)
@@ -825,12 +865,14 @@ func lowerStaged(op *ir.Op, po pOp, k int, lowOrder bool) cOp {
 func (cp *CompiledProgram) NewMachine() *CompiledMachine {
 	m := &CompiledMachine{
 		cp:        cp,
-		X:         make([]uint32, cp.memWords),
-		Y:         make([]uint32, cp.memWords),
+		Banks:     make([][]uint32, cp.nbanks),
 		MaxCycles: DefaultMaxSteps,
 	}
-	copy(m.X, cp.initX)
-	copy(m.Y, cp.initY)
+	for b := range m.Banks {
+		m.Banks[b] = make([]uint32, cp.memWords)
+		copy(m.Banks[b], cp.initBanks[b])
+	}
+	m.X, m.Y = m.Banks[0], m.Banks[1]
 	return m
 }
 
@@ -838,8 +880,9 @@ func (cp *CompiledProgram) NewMachine() *CompiledMachine {
 // again without reallocating. Unlike the predecoded engine's Reset,
 // this touches only the program's used address range.
 func (m *CompiledMachine) Reset() {
-	copy(m.X, m.cp.initX)
-	copy(m.Y, m.cp.initY)
+	for b := range m.Banks {
+		copy(m.Banks[b], m.cp.initBanks[b])
+	}
 	m.Regs = [65]uint32{}
 	m.Cycles = 0
 	m.OpsExecuted = 0
@@ -960,13 +1003,10 @@ block:
 func (m *CompiledMachine) commit(n int) {
 	for i := 0; i < n; i++ {
 		p := &m.pend[i]
-		switch {
-		case !p.isMem:
+		if p.isMem {
+			m.Banks[p.bank][p.addr] = p.val
+		} else {
 			m.Regs[p.reg] = p.val
-		case p.bankY:
-			m.Y[p.addr] = p.val
-		default:
-			m.X[p.addr] = p.val
 		}
 	}
 }
@@ -996,28 +1036,24 @@ func (m *CompiledMachine) finishDyn(in *cInstr) {
 	}
 }
 
-// Word reads sym[idx], mirroring Machine.Word: the X copy for
-// duplicated symbols, with a coherence check across both banks.
+// Word reads sym[idx], mirroring Machine.Word: the bank-0 copy for
+// duplicated symbols, with a coherence check across every bank.
 func (m *CompiledMachine) Word(sym *ir.Symbol, idx int) (uint32, error) {
 	a := sym.Addr + idx
 	if m.cp.lowOrder {
-		if a&1 == 0 {
-			return m.X[a>>1], nil
-		}
-		return m.Y[a>>1], nil
+		return m.Banks[a%m.cp.nbanks][a/m.cp.nbanks], nil
 	}
-	switch sym.Bank {
-	case machine.BankY:
-		return m.Y[a], nil
-	case machine.BankBoth:
-		if m.X[a] != m.Y[a] {
-			return 0, fmt.Errorf("sim: duplicated symbol %s[%d] incoherent: X=%#x Y=%#x",
-				sym, idx, m.X[a], m.Y[a])
+	if sym.Bank == machine.BankBoth {
+		v := m.Banks[0][a]
+		for b := 1; b < m.cp.nbanks; b++ {
+			if m.Banks[b][a] != v {
+				return 0, fmt.Errorf("sim: duplicated symbol %s[%d] incoherent: %s=%#x %s=%#x",
+					sym, idx, machine.BankAt(0), v, machine.BankAt(b), m.Banks[b][a])
+			}
 		}
-		return m.X[a], nil
-	default:
-		return m.X[a], nil
+		return v, nil
 	}
+	return m.Banks[bankIndexOf(sym.Bank, m.cp.nbanks)][a], nil
 }
 
 // Int32 reads sym[idx] as an integer.

@@ -24,19 +24,19 @@ import (
 
 // pOp is one predecoded non-control operation. Register fields are
 // physical-file indices into FastMachine.Regs; for memory operations
-// base/size describe the accessed symbol and bankY carries the
-// statically resolved bank (meaningless under the low-order port
-// model, where address parity decides at run time).
+// base/size describe the accessed symbol and bank carries the
+// statically resolved bank index (meaningless under the low-order port
+// model, where the address low bits decide at run time).
 type pOp struct {
-	kind  ir.OpKind
-	bankY bool
-	dst   uint8
-	a0    uint8
-	a1    uint8
-	idx   uint8 // index register, 0 = direct access
-	imm   uint32
-	base  int32
-	size  int32
+	kind ir.OpKind
+	bank uint8
+	dst  uint8
+	a0   uint8
+	a1   uint8
+	idx  uint8 // index register, 0 = direct access
+	imm  uint32
+	base int32
+	size int32
 }
 
 // pInstr is one predecoded long instruction: a dense run of data
@@ -74,40 +74,56 @@ type Predecoded struct {
 
 	main  *pFunc
 	ports machine.PortModel
-	// initX and initY are the initial bank images (global initializers
-	// applied); Reset restores them with two copies.
-	initX, initY []uint32
+	// Bank geometry, resolved once from Prog.Spec.
+	nbanks, pports int
+	bankOf         [machine.MaxUnits]uint8
+	// initBanks are the initial bank images (global initializers
+	// applied); Reset restores them with one copy per bank.
+	initBanks [][]uint32
+}
+
+// bankIndexOf maps a single-bank tag to its bank index; unassigned
+// data lives in bank 0 (the baseline single-bank layout).
+func bankIndexOf(b machine.Bank, nbanks int) int {
+	if i := b.Index(); i >= 0 && i < nbanks {
+		return i
+	}
+	return 0
 }
 
 // Predecode flattens a scheduled program for the fast path. The
 // program must be in physical-register form.
 func Predecode(p *compact.Program) (*Predecoded, error) {
+	spec := p.Spec.Norm()
 	pd := &Predecoded{
-		Prog:  p,
-		ports: p.Ports,
-		initX: make([]uint32, machine.BankWords),
-		initY: make([]uint32, machine.BankWords),
+		Prog:   p,
+		ports:  p.Ports,
+		nbanks: spec.Banks,
+		pports: spec.PortsPerBank,
+	}
+	pd.initBanks = make([][]uint32, pd.nbanks)
+	for b := range pd.initBanks {
+		pd.initBanks[b] = make([]uint32, machine.BankWords)
+	}
+	for u := range pd.bankOf {
+		if i := spec.BankOfUnit(machine.Unit(u)).Index(); i >= 0 {
+			pd.bankOf[u] = uint8(i)
+		}
 	}
 	for _, s := range p.Src.Symbols() {
 		for i, w := range s.Init {
+			a := s.Addr + i
 			if p.Ports == machine.PortsLowOrder {
-				a := s.Addr + i
-				if a&1 == 0 {
-					pd.initX[a>>1] = w
-				} else {
-					pd.initY[a>>1] = w
+				pd.initBanks[a%pd.nbanks][a/pd.nbanks] = w
+				continue
+			}
+			if s.Bank == machine.BankBoth {
+				for b := range pd.initBanks {
+					pd.initBanks[b][a] = w
 				}
 				continue
 			}
-			switch s.Bank {
-			case machine.BankY:
-				pd.initY[s.Addr+i] = w
-			case machine.BankBoth:
-				pd.initX[s.Addr+i] = w
-				pd.initY[s.Addr+i] = w
-			default:
-				pd.initX[s.Addr+i] = w
-			}
+			pd.initBanks[bankIndexOf(s.Bank, pd.nbanks)][a] = w
 		}
 	}
 
@@ -155,7 +171,7 @@ func Predecode(p *compact.Program) (*Predecoded, error) {
 						pi.ctrl = ir.OpCall
 						pi.callee = callee
 					default:
-						po, err := predecodeOp(op, machine.Unit(u), p.Ports)
+						po, err := predecodeOp(op, machine.Unit(u), p.Ports, &pd.bankOf, pd.nbanks)
 						if err != nil {
 							return nil, fmt.Errorf("sim: predecode %s: %w", name, err)
 						}
@@ -178,7 +194,7 @@ func Predecode(p *compact.Program) (*Predecoded, error) {
 // where the port model makes it static: under the banked model the
 // executing unit determines the bank, under the dual-ported model the
 // operation's own tag does.
-func predecodeOp(op *ir.Op, u machine.Unit, ports machine.PortModel) (pOp, error) {
+func predecodeOp(op *ir.Op, u machine.Unit, ports machine.PortModel, bankOf *[machine.MaxUnits]uint8, nbanks int) (pOp, error) {
 	po := pOp{
 		kind: op.Kind,
 		dst:  uint8(op.Dst),
@@ -198,9 +214,9 @@ func predecodeOp(op *ir.Op, u machine.Unit, ports machine.PortModel) (pOp, error
 		po.size = int32(op.Sym.Size)
 		switch ports {
 		case machine.PortsBanked:
-			po.bankY = machine.BankOfUnit(u) == machine.BankY
+			po.bank = bankOf[u]
 		case machine.PortsDualPorted:
-			po.bankY = op.Bank == machine.BankY
+			po.bank = uint8(bankIndexOf(op.Bank, nbanks))
 		}
 	}
 	return po, nil
@@ -212,7 +228,7 @@ type pWrite struct {
 	addr  int32
 	reg   uint8
 	isReg bool
-	bankY bool
+	bank  uint8
 }
 
 // FastMachine executes a predecoded program. It reproduces the
@@ -224,8 +240,10 @@ type pWrite struct {
 type FastMachine struct {
 	pd *Predecoded
 
-	// X and Y are the two data-memory banks.
-	X, Y []uint32
+	// Banks are the data-memory banks; X and Y alias Banks[0] and
+	// Banks[1] (every spec has at least two).
+	Banks [][]uint32
+	X, Y  []uint32
 	// Regs is the unified physical register file view.
 	Regs [65]uint32
 
@@ -251,21 +269,24 @@ type FastMachine struct {
 func (pd *Predecoded) NewMachine() *FastMachine {
 	m := &FastMachine{
 		pd:        pd,
-		X:         make([]uint32, machine.BankWords),
-		Y:         make([]uint32, machine.BankWords),
+		Banks:     make([][]uint32, pd.nbanks),
 		MaxCycles: DefaultMaxSteps,
-		writes:    make([]pWrite, 0, machine.NumUnits),
+		writes:    make([]pWrite, 0, machine.MaxUnits),
 	}
-	copy(m.X, pd.initX)
-	copy(m.Y, pd.initY)
+	for b := range m.Banks {
+		m.Banks[b] = make([]uint32, machine.BankWords)
+		copy(m.Banks[b], pd.initBanks[b])
+	}
+	m.X, m.Y = m.Banks[0], m.Banks[1]
 	return m
 }
 
 // Reset restores the machine to its initial state so it can be run
 // again without reallocating. It performs no heap allocation.
 func (m *FastMachine) Reset() {
-	copy(m.X, m.pd.initX)
-	copy(m.Y, m.pd.initY)
+	for b := range m.Banks {
+		copy(m.Banks[b], m.pd.initBanks[b])
+	}
 	m.Regs = [65]uint32{}
 	m.Cycles = 0
 	m.OpsExecuted = 0
@@ -309,7 +330,8 @@ block:
 			}
 			m.OpsExecuted += in.nops
 			writes := m.writes[:0]
-			portX, portY := 0, 0
+			var ports [machine.MaxBanks]int
+			mem := 0
 
 			// Read phase: evaluate every data operation against the
 			// pre-instruction register file.
@@ -318,30 +340,21 @@ block:
 				op := &ops[oi]
 				switch op.kind {
 				case ir.OpLoad:
-					addr, bankY, err := m.resolveFast(op, lowOrder)
+					addr, bank, err := m.resolveFast(op, lowOrder)
 					if err != nil {
 						return fmt.Errorf("sim: %s: %w", f.name, err)
 					}
-					var v uint32
-					if bankY {
-						portY++
-						v = m.Y[addr]
-					} else {
-						portX++
-						v = m.X[addr]
-					}
-					writes = append(writes, pWrite{isReg: true, reg: op.dst, val: v})
+					ports[bank]++
+					mem++
+					writes = append(writes, pWrite{isReg: true, reg: op.dst, val: m.Banks[bank][addr]})
 				case ir.OpStore:
-					addr, bankY, err := m.resolveFast(op, lowOrder)
+					addr, bank, err := m.resolveFast(op, lowOrder)
 					if err != nil {
 						return fmt.Errorf("sim: %s: %w", f.name, err)
 					}
-					if bankY {
-						portY++
-					} else {
-						portX++
-					}
-					writes = append(writes, pWrite{addr: addr, bankY: bankY, val: m.Regs[op.a0]})
+					ports[bank]++
+					mem++
+					writes = append(writes, pWrite{addr: addr, bank: bank, val: m.Regs[op.a0]})
 				default:
 					v, err := m.evalFast(op)
 					if err != nil {
@@ -351,20 +364,30 @@ block:
 				}
 			}
 
-			if portX+portY > 0 {
-				m.MemAccesses += int64(portX + portY)
-				if portX+portY >= 2 {
+			if mem > 0 {
+				m.MemAccesses += int64(mem)
+				if mem >= 2 {
 					m.DualMemCycles++
 				}
 				// Under the low-order-interleaved organisation a run-time
-				// same-bank conflict serialises the instruction: one stall
-				// cycle. (Under the banked model the schedule is validated
+				// same-bank conflict serialises the instruction: the
+				// memory system drains each bank's accesses through its
+				// ports, and the instruction retires with the slowest
+				// bank. (Under the banked model the schedule is validated
 				// conflict-free; the reference engine's CheckPorts
 				// assertion guards that invariant.)
-				if lowOrder && (portX > 1 || portY > 1) {
-					m.Cycles++
-					m.BankConflicts++
-					m.DualMemCycles--
+				if lowOrder {
+					stall := 0
+					for b := 0; b < m.pd.nbanks; b++ {
+						if rounds := (ports[b] + m.pd.pports - 1) / m.pd.pports; rounds-1 > stall {
+							stall = rounds - 1
+						}
+					}
+					if stall > 0 {
+						m.Cycles += int64(stall)
+						m.BankConflicts += int64(stall)
+						m.DualMemCycles--
+					}
 				}
 			}
 
@@ -373,10 +396,8 @@ block:
 				w := &writes[wi]
 				if w.isReg {
 					m.Regs[w.reg] = w.val
-				} else if w.bankY {
-					m.Y[w.addr] = w.val
 				} else {
-					m.X[w.addr] = w.val
+					m.Banks[w.bank][w.addr] = w.val
 				}
 			}
 			m.writes = writes[:0]
@@ -430,28 +451,30 @@ block:
 	}
 }
 
-// resolveFast computes the in-bank word address and bank of a memory
-// access. The bank is predecoded except under the low-order model,
-// where address parity decides.
-func (m *FastMachine) resolveFast(op *pOp, lowOrder bool) (int32, bool, error) {
+// resolveFast computes the in-bank word address and bank index of a
+// memory access. The bank is predecoded except under the low-order
+// model, where address parity decides.
+func (m *FastMachine) resolveFast(op *pOp, lowOrder bool) (int32, uint8, error) {
 	return resolvePOp(&m.Regs, op, lowOrder)
 }
 
 // resolvePOp is resolveFast over an explicit register file, shared with
-// the compiled engine's staged (two-phase) instruction path.
-func resolvePOp(r *[65]uint32, op *pOp, lowOrder bool) (int32, bool, error) {
+// the compiled engine's staged (two-phase) instruction path. The
+// low-order model is defined on the classic 2-bank machine (wider
+// specs reject it at allocation), so its address split is the parity.
+func resolvePOp(r *[65]uint32, op *pOp, lowOrder bool) (int32, uint8, error) {
 	idx := int32(0)
 	if op.idx != 0 {
 		idx = int32(r[op.idx])
 	}
 	if idx < 0 || idx >= op.size {
-		return 0, false, fmt.Errorf("index %d out of range (size %d)", idx, op.size)
+		return 0, 0, fmt.Errorf("index %d out of range (size %d)", idx, op.size)
 	}
 	addr := op.base + idx
 	if lowOrder {
-		return addr >> 1, addr&1 != 0, nil
+		return addr >> 1, uint8(addr & 1), nil
 	}
-	return addr, op.bankY, nil
+	return addr, op.bank, nil
 }
 
 // evalFast computes a scalar operation's result from the current
@@ -519,28 +542,24 @@ func evalPOp(r *[65]uint32, op *pOp) (uint32, error) {
 	return 0, fmt.Errorf("sim: cannot execute %s", op.kind)
 }
 
-// Word reads sym[idx], mirroring Machine.Word: the X copy for
-// duplicated symbols, with a coherence check across both banks.
+// Word reads sym[idx], mirroring Machine.Word: the bank-0 copy for
+// duplicated symbols, with a coherence check across every bank.
 func (m *FastMachine) Word(sym *ir.Symbol, idx int) (uint32, error) {
 	a := sym.Addr + idx
 	if m.pd.ports == machine.PortsLowOrder {
-		if a&1 == 0 {
-			return m.X[a>>1], nil
-		}
-		return m.Y[a>>1], nil
+		return m.Banks[a%m.pd.nbanks][a/m.pd.nbanks], nil
 	}
-	switch sym.Bank {
-	case machine.BankY:
-		return m.Y[a], nil
-	case machine.BankBoth:
-		if m.X[a] != m.Y[a] {
-			return 0, fmt.Errorf("sim: duplicated symbol %s[%d] incoherent: X=%#x Y=%#x",
-				sym, idx, m.X[a], m.Y[a])
+	if sym.Bank == machine.BankBoth {
+		v := m.Banks[0][a]
+		for b := 1; b < m.pd.nbanks; b++ {
+			if m.Banks[b][a] != v {
+				return 0, fmt.Errorf("sim: duplicated symbol %s[%d] incoherent: %s=%#x %s=%#x",
+					sym, idx, machine.BankAt(0), v, machine.BankAt(b), m.Banks[b][a])
+			}
 		}
-		return m.X[a], nil
-	default:
-		return m.X[a], nil
+		return v, nil
 	}
+	return m.Banks[bankIndexOf(sym.Bank, m.pd.nbanks)][a], nil
 }
 
 // Int32 reads sym[idx] as an integer.

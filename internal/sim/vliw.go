@@ -67,7 +67,11 @@ func (c *ctxCheck) poll() error {
 type Machine struct {
 	Prog *compact.Program
 
-	// X and Y are the two data-memory banks.
+	// Banks holds the data-memory banks, indexed by bank index. X and Y
+	// alias Banks[0] and Banks[1] — the classic pair every machine in
+	// the generalized family retains.
+	Banks [][]uint32
+	// X and Y are the two classic data-memory banks (views of Banks).
 	X, Y []uint32
 	// Regs is the unified physical register file view: entries 1..32
 	// are the integer file, 33..64 the float file.
@@ -110,6 +114,11 @@ type Machine struct {
 	// one-write-per-register-per-instruction assertion.
 	regStamp [65]int64
 
+	// Bank geometry, resolved once from Prog.Spec: bank count, ports
+	// per bank, and the per-unit bank binding.
+	nbanks, pports int
+	bankOf         [machine.MaxUnits]int8
+
 	cancel ctxCheck
 }
 
@@ -120,12 +129,21 @@ const maxHWLoopDepth = 64
 // banks are zeroed and global initializers copied into their assigned
 // locations (duplicated symbols into both banks).
 func NewMachine(p *compact.Program) *Machine {
+	spec := p.Spec.Norm()
 	m := &Machine{
 		Prog:       p,
-		X:          make([]uint32, machine.BankWords),
-		Y:          make([]uint32, machine.BankWords),
+		Banks:      make([][]uint32, spec.Banks),
 		MaxCycles:  DefaultMaxSteps,
 		CheckPorts: true,
+		nbanks:     spec.Banks,
+		pports:     spec.PortsPerBank,
+	}
+	for b := range m.Banks {
+		m.Banks[b] = make([]uint32, machine.BankWords)
+	}
+	m.X, m.Y = m.Banks[0], m.Banks[1]
+	for u := range m.bankOf {
+		m.bankOf[u] = int8(spec.BankOfUnit(machine.Unit(u)).Index())
 	}
 	for _, s := range p.Src.Symbols() {
 		for i, w := range s.Init {
@@ -133,37 +151,36 @@ func NewMachine(p *compact.Program) *Machine {
 				m.storeFlat(s.Addr+i, w)
 				continue
 			}
-			switch s.Bank {
-			case machine.BankX:
-				m.X[s.Addr+i] = w
-			case machine.BankY:
-				m.Y[s.Addr+i] = w
-			case machine.BankBoth:
-				m.X[s.Addr+i] = w
-				m.Y[s.Addr+i] = w
-			default:
-				m.X[s.Addr+i] = w
+			if s.Bank == machine.BankBoth {
+				for b := range m.Banks {
+					m.Banks[b][s.Addr+i] = w
+				}
+				continue
 			}
+			m.Banks[m.bankIdx(s.Bank)][s.Addr+i] = w
 		}
 	}
 	return m
 }
 
-// storeFlat and loadFlat implement the low-order-interleaved address
-// map: even word addresses live in bank X, odd in bank Y.
-func (m *Machine) storeFlat(addr int, w uint32) {
-	if addr&1 == 0 {
-		m.X[addr>>1] = w
-	} else {
-		m.Y[addr>>1] = w
+// bankIdx maps a single-bank tag to its bank index; unassigned data
+// lives in bank 0 (the baseline single-bank layout).
+func (m *Machine) bankIdx(b machine.Bank) int {
+	if i := b.Index(); i >= 0 && i < m.nbanks {
+		return i
 	}
+	return 0
+}
+
+// storeFlat and loadFlat implement the low-order-interleaved address
+// map: bank = address modulo the bank count (even/odd on the classic
+// pair), in-bank address = address divided by it.
+func (m *Machine) storeFlat(addr int, w uint32) {
+	m.Banks[addr%m.nbanks][addr/m.nbanks] = w
 }
 
 func (m *Machine) loadFlat(addr int) uint32 {
-	if addr&1 == 0 {
-		return m.X[addr>>1]
-	}
-	return m.Y[addr>>1]
+	return m.Banks[addr%m.nbanks][addr/m.nbanks]
 }
 
 // Run executes main() to completion.
@@ -188,25 +205,24 @@ func (m *Machine) RunContext(ctx context.Context) error {
 	return m.runFunc(f)
 }
 
-// Word reads sym[idx] from the bank holding it (the X copy for
-// duplicated symbols; both copies are checked to be coherent).
+// Word reads sym[idx] from the bank holding it (the bank-0 copy for
+// duplicated symbols; every copy is checked to be coherent).
 func (m *Machine) Word(sym *ir.Symbol, idx int) (uint32, error) {
 	a := sym.Addr + idx
 	if m.Prog.Ports == machine.PortsLowOrder {
 		return m.loadFlat(a), nil
 	}
-	switch sym.Bank {
-	case machine.BankY:
-		return m.Y[a], nil
-	case machine.BankBoth:
-		if m.X[a] != m.Y[a] {
-			return 0, fmt.Errorf("sim: duplicated symbol %s[%d] incoherent: X=%#x Y=%#x",
-				sym, idx, m.X[a], m.Y[a])
+	if sym.Bank == machine.BankBoth {
+		v := m.Banks[0][a]
+		for b := 1; b < m.nbanks; b++ {
+			if m.Banks[b][a] != v {
+				return 0, fmt.Errorf("sim: duplicated symbol %s[%d] incoherent: %s=%#x %s=%#x",
+					sym, idx, machine.BankAt(0), v, machine.BankAt(b), m.Banks[b][a])
+			}
 		}
-		return m.X[a], nil
-	default:
-		return m.X[a], nil
+		return v, nil
 	}
+	return m.Banks[m.bankIdx(sym.Bank)][a], nil
 }
 
 // Int32 reads sym[idx] as an integer.
@@ -224,7 +240,7 @@ func (m *Machine) Float32(sym *ir.Symbol, idx int) (float32, error) {
 type pendingWrite struct {
 	isReg bool
 	reg   ir.Reg
-	bank  machine.Bank
+	bank  int // bank index for memory writes
 	addr  int
 	val   uint32
 }
@@ -264,7 +280,8 @@ func (m *Machine) runBlock(f *compact.Func, b *compact.Block) (next *ir.Block, r
 		var branchTo *ir.Block
 		var doRet bool
 		var callee *compact.Func
-		portX, portY := 0, 0
+		var ports [machine.MaxBanks]int
+		mem := 0
 
 		// Read phase: evaluate every operation.
 		for u, op := range instr.Slots {
@@ -315,28 +332,16 @@ func (m *Machine) runBlock(f *compact.Func, b *compact.Block) (next *ir.Block, r
 				if err != nil {
 					return nil, false, err
 				}
-				if bank == machine.BankX {
-					portX++
-				} else {
-					portY++
-				}
-				var v uint32
-				if bank == machine.BankX {
-					v = m.X[addr]
-				} else {
-					v = m.Y[addr]
-				}
-				writes = append(writes, pendingWrite{isReg: true, reg: op.Dst, val: v})
+				ports[bank]++
+				mem++
+				writes = append(writes, pendingWrite{isReg: true, reg: op.Dst, val: m.Banks[bank][addr]})
 			case ir.OpStore:
 				bank, addr, err := m.resolve(op, machine.Unit(u))
 				if err != nil {
 					return nil, false, err
 				}
-				if bank == machine.BankX {
-					portX++
-				} else {
-					portY++
-				}
+				ports[bank]++
+				mem++
 				writes = append(writes, pendingWrite{bank: bank, addr: addr, val: m.Regs[op.Args[0]]})
 			default:
 				v, err := m.evalALU(op)
@@ -347,24 +352,37 @@ func (m *Machine) runBlock(f *compact.Func, b *compact.Block) (next *ir.Block, r
 			}
 		}
 
-		if portX+portY > 0 {
-			m.MemAccesses += int64(portX + portY)
-			if portX+portY >= 2 {
+		if mem > 0 {
+			m.MemAccesses += int64(mem)
+			if mem >= 2 {
 				m.DualMemCycles++
 			}
 		}
 		switch m.Prog.Ports {
 		case machine.PortsBanked:
-			if m.CheckPorts && (portX > 1 || portY > 1) {
-				return nil, false, fmt.Errorf("sim: bank port conflict (X=%d Y=%d accesses) in %s",
-					portX, portY, f.Src.Name)
+			if m.CheckPorts {
+				for b := 0; b < m.nbanks; b++ {
+					if ports[b] > m.pports {
+						return nil, false, fmt.Errorf("sim: bank port conflict (%s=%d accesses, %d ports) in %s",
+							machine.BankAt(b), ports[b], m.pports, f.Src.Name)
+					}
+				}
 			}
 		case machine.PortsLowOrder:
-			// A run-time same-bank conflict costs one stall cycle: the
-			// two accesses are serialised by the memory system.
-			if portX > 1 || portY > 1 {
-				m.Cycles++
-				m.BankConflicts++
+			// A run-time same-bank conflict costs stall cycles: accesses
+			// beyond a bank's port capacity are serialised by the memory
+			// system, and the instruction retires with the slowest bank
+			// (one stall per extra round). On the classic 2-bank,
+			// 1-port machine this is the paper's single-cycle stall.
+			stall := 0
+			for b := 0; b < m.nbanks; b++ {
+				if rounds := (ports[b] + m.pports - 1) / m.pports; rounds-1 > stall {
+					stall = rounds - 1
+				}
+			}
+			if stall > 0 {
+				m.Cycles += int64(stall)
+				m.BankConflicts += int64(stall)
 				m.DualMemCycles--
 			}
 		}
@@ -381,11 +399,7 @@ func (m *Machine) runBlock(f *compact.Func, b *compact.Block) (next *ir.Block, r
 				m.Regs[w.reg] = w.val
 				continue
 			}
-			if w.bank == machine.BankX {
-				m.X[w.addr] = w.val
-			} else {
-				m.Y[w.addr] = w.val
-			}
+			m.Banks[w.bank][w.addr] = w.val
 		}
 
 		if m.AfterInstr != nil {
@@ -424,33 +438,26 @@ func (m *Machine) traceInstr(f *compact.Func, b *compact.Block, in *compact.Inst
 	io.WriteString(m.Trace, sb.String())
 }
 
-// resolve computes the bank and in-bank word address of a memory
+// resolve computes the bank index and in-bank word address of a memory
 // access. Under the banked port model the executing unit determines
 // the bank; under the dual-ported model the operation's own tag does;
-// under the low-order model the address parity does.
-func (m *Machine) resolve(op *ir.Op, u machine.Unit) (machine.Bank, int, error) {
+// under the low-order model the address modulo the bank count does.
+func (m *Machine) resolve(op *ir.Op, u machine.Unit) (int, int, error) {
 	idx := 0
 	if op.Idx != ir.NoReg {
 		idx = int(int32(m.Regs[op.Idx]))
 	}
 	if idx < 0 || idx >= op.Sym.Size {
-		return machine.BankX, 0, fmt.Errorf("sim: index %d out of range for %s (size %d)", idx, op.Sym, op.Sym.Size)
+		return 0, 0, fmt.Errorf("sim: index %d out of range for %s (size %d)", idx, op.Sym, op.Sym.Size)
 	}
 	addr := op.Sym.Addr + idx
 	switch m.Prog.Ports {
 	case machine.PortsBanked:
-		return machine.BankOfUnit(u), addr, nil
+		return int(m.bankOf[u]), addr, nil
 	case machine.PortsLowOrder:
-		if addr&1 == 0 {
-			return machine.BankX, addr >> 1, nil
-		}
-		return machine.BankY, addr >> 1, nil
+		return addr % m.nbanks, addr / m.nbanks, nil
 	default: // dual-ported
-		bank := op.Bank
-		if bank != machine.BankY {
-			bank = machine.BankX
-		}
-		return bank, addr, nil
+		return m.bankIdx(op.Bank), addr, nil
 	}
 }
 
